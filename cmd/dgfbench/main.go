@@ -1,0 +1,56 @@
+// Command dgfbench regenerates the reproduction's experiments (E1–E11):
+// the paper's four figures as executable artifacts plus the quantified
+// claims and scenarios. Output is the set of tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dgfbench              # run everything at full scale
+//	dgfbench -exp E6,E7   # run a subset
+//	dgfbench -small       # quick pass (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datagridflow/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *small {
+		scale = experiments.Small
+	}
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failed := 0
+	for _, exp := range experiments.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		t0 := time.Now()
+		report, err := exp.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", exp.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(report.String())
+		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,189 @@
+// Command dgfctl is the client CLI for a matrix (DfMS) server: it
+// submits DGL documents, polls execution status at any granularity, and
+// drives the long-run controls (pause, resume, cancel, restart).
+//
+// Usage:
+//
+//	dgfctl -addr host:7401 submit flow.xml        # synchronous
+//	dgfctl -addr host:7401 submit -async flow.xml # returns an id
+//	dgfctl -addr host:7401 status <id> [-detail]
+//	dgfctl -addr host:7401 pause|resume|cancel <id>
+//	dgfctl -addr host:7401 restart <id>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/wire"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: dgfctl [-addr host:port] [-user name] <command> [args]
+
+commands:
+  submit [-async] <file.xml>   submit a DGL dataGridRequest document
+  status [-detail] <id>        query an execution, flow or step id
+  pause <id>                   suspend a running execution
+  resume <id>                  continue a paused execution
+  cancel <id>                  stop an execution
+  restart <id>                 re-run a failed execution, skipping
+                               already-succeeded steps
+  list                         list the server's executions
+  render [-dot] <file.xml>     render a DGL document as a tree (or DOT)
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7401", "matrix server address")
+	user := flag.String("user", "admin", "grid user for status queries")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	// render is purely local: no server connection needed.
+	if args[0] == "render" {
+		dot := false
+		rest := args[1:]
+		if len(rest) > 0 && rest[0] == "-dot" {
+			dot = true
+			rest = rest[1:]
+		}
+		if len(rest) != 1 {
+			usage()
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		req, err := dgl.ParseRequest(data)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if req.Flow == nil {
+			log.Fatal("dgfctl: document has no flow to render")
+		}
+		if dot {
+			fmt.Print(dgl.Dot(req.Flow))
+		} else {
+			fmt.Print(dgl.Tree(req.Flow))
+		}
+		return
+	}
+
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("dgfctl: %v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "submit":
+		async := false
+		rest := args[1:]
+		if len(rest) > 0 && rest[0] == "-async" {
+			async = true
+			rest = rest[1:]
+		}
+		if len(rest) != 1 {
+			usage()
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		req, err := dgl.DecodeRequest(data)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if async {
+			req.Async = true
+		}
+		resp, err := client.Submit(req)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if resp.Error != "" {
+			log.Fatalf("dgfctl: server: %s", resp.Error)
+		}
+		if resp.Ack != nil {
+			fmt.Printf("accepted: id=%s status=%s\n", resp.Ack.ID, resp.Ack.Status)
+			return
+		}
+		printStatus(resp.Status, 0)
+	case "status":
+		detail := false
+		rest := args[1:]
+		if len(rest) > 0 && rest[0] == "-detail" {
+			detail = true
+			rest = rest[1:]
+		}
+		if len(rest) != 1 {
+			usage()
+		}
+		st, err := client.Status(*user, rest[0], detail)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		printStatus(st, 0)
+	case "pause", "resume", "cancel":
+		if len(args) != 2 {
+			usage()
+		}
+		var err error
+		switch args[0] {
+		case "pause":
+			err = client.Pause(args[1])
+		case "resume":
+			err = client.Resume(args[1])
+		case "cancel":
+			err = client.Cancel(args[1])
+		}
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		fmt.Printf("%s: ok\n", args[0])
+	case "restart":
+		if len(args) != 2 {
+			usage()
+		}
+		id, err := client.Restart(args[1])
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		fmt.Printf("restarted as %s\n", id)
+	case "list":
+		rows, err := client.List()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if len(rows) == 0 {
+			fmt.Println("(no executions)")
+			return
+		}
+		for _, row := range rows {
+			fmt.Printf("%-24s %-20s %-10s %s\n", row.ID, row.Name, row.State, row.User)
+		}
+	default:
+		usage()
+	}
+}
+
+func printStatus(st *dgl.FlowStatus, depth int) {
+	if st == nil {
+		fmt.Println("(no status)")
+		return
+	}
+	fmt.Printf("%s%s\n", strings.Repeat("  ", depth), st.Summary())
+	for i := range st.Children {
+		printStatus(&st.Children[i], depth+1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command lookupd runs a lookup server for the peer-to-peer
+// datagridflow network: matrix peers register their name and address
+// here and resolve one another when routing status queries ("Multiple
+// DfMS servers can form a peer-to-peer datagridflow network with one or
+// more lookup servers").
+//
+// Usage:
+//
+//	lookupd -addr :7400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"datagridflow/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
+	flag.Parse()
+
+	srv := wire.NewLookupServer()
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("lookupd: %v", err)
+	}
+	fmt.Printf("lookupd: serving peer registry on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("lookupd: shutting down")
+	srv.Close()
+}

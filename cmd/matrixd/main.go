@@ -1,0 +1,147 @@
+// Command matrixd runs a networked DfMS (matrix) server: it builds a
+// grid from an Infrastructure Description Language document (or a
+// built-in demo topology), wraps it in a flow engine, and serves DGL
+// requests over TCP. With -lookup it joins a peer-to-peer datagridflow
+// network.
+//
+// Usage:
+//
+//	matrixd -addr :7401                          # demo grid
+//	matrixd -addr :7401 -infra grid.xml          # described grid
+//	matrixd -name matrixA -lookup host:7400      # join a peer network
+//	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/infra"
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/namespace"
+	"datagridflow/internal/provenance"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/trigger"
+	"datagridflow/internal/vfs"
+	"datagridflow/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
+	name := flag.String("name", "", "peer name (required with -lookup)")
+	lookup := flag.String("lookup", "", "lookup server address to register with")
+	infraPath := flag.String("infra", "", "infrastructure description XML (default: demo topology)")
+	triggerPath := flag.String("triggers", "", "trigger definitions XML to install at startup")
+	provPath := flag.String("prov", "", "provenance log file (default: in-memory)")
+	admin := flag.String("admin", "admin", "grid administrator user")
+	openWrite := flag.Bool("open", true, "grant every user write access under /grid (demo mode)")
+	flag.Parse()
+
+	var prov *provenance.Store
+	if *provPath != "" {
+		var err error
+		prov, err = provenance.Open(*provPath)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		defer prov.Close()
+	}
+	grid := dgms.New(dgms.Options{
+		Admin:      *admin,
+		Clock:      sim.RealClock{},
+		Provenance: prov,
+	})
+	if *infraPath != "" {
+		data, err := os.ReadFile(*infraPath)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		desc, err := infra.Parse(data)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		if _, err := desc.Apply(grid); err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		log.Printf("matrixd: applied infrastructure %q (%d domains)", desc.Name, len(desc.Domains))
+	} else {
+		for _, r := range []*vfs.Resource{
+			vfs.New("local-disk", "local", vfs.Disk, 0),
+			vfs.New("local-archive", "local", vfs.Archive, 0),
+		} {
+			if err := grid.RegisterResource(r); err != nil {
+				log.Fatalf("matrixd: %v", err)
+			}
+		}
+		log.Printf("matrixd: using demo topology (local-disk, local-archive)")
+	}
+	if err := grid.CreateCollectionAll(*admin, "/grid"); err != nil {
+		log.Fatalf("matrixd: %v", err)
+	}
+	if *openWrite {
+		// Demo convenience: a real deployment manages ACLs explicitly.
+		if err := grid.Namespace().SetPermission("/grid", "*", namespace.PermWrite); err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+	}
+
+	cfg := matrix.Config{}
+	if *name != "" {
+		cfg.IDPrefix = *name + ":"
+	}
+	engine := matrix.NewEngineConfig(grid, cfg)
+
+	if *triggerPath != "" {
+		data, err := os.ReadFile(*triggerPath)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		doc, err := trigger.ParseDefinitions(data)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		triggers := trigger.NewManager(grid, engine, 4, 4096)
+		defer triggers.Close()
+		names, err := triggers.DefineAll(doc)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		log.Printf("matrixd: installed %d trigger(s): %v", len(names), names)
+	}
+
+	var bound string
+	var closeFn func()
+	if *lookup != "" {
+		if *name == "" {
+			log.Fatal("matrixd: -lookup requires -name")
+		}
+		peer := wire.NewPeer(*name, engine)
+		var err error
+		bound, err = peer.Start(*addr, *lookup)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		closeFn = peer.Close
+		log.Printf("matrixd: peer %q registered with %s", *name, *lookup)
+	} else {
+		srv := wire.NewServer(engine)
+		var err error
+		bound, err = srv.Listen(*addr)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		closeFn = srv.Close
+	}
+	fmt.Printf("matrixd: serving DGL on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("matrixd: shutting down")
+	closeFn()
+}

@@ -1,0 +1,75 @@
+package datagridflow
+
+// configs_test.go keeps the shipped sample documents in configs/ valid:
+// they are the first thing a new deployment copies.
+
+import (
+	"os"
+	"testing"
+
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/ilm"
+	"datagridflow/internal/infra"
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/trigger"
+)
+
+func TestShippedConfigsValid(t *testing.T) {
+	// Infrastructure applies cleanly.
+	data, err := os.ReadFile("configs/infra.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := infra.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := dgms.New(dgms.Options{})
+	nodes, err := desc.Apply(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || len(grid.Resources()) != 3 {
+		t.Errorf("infra shape: %d nodes, %d resources", len(nodes), len(grid.Resources()))
+	}
+	if sla, ok := desc.SLAFor("sdsc", "scec"); !ok || sla.Name != "scec-gold" {
+		t.Errorf("SLA = %+v, %v", sla, ok)
+	}
+	// Triggers install. The protect-large trigger targets local-archive
+	// (the matrixd demo resource); register it so Define validates the
+	// action targets at runtime rather than failing the document.
+	engine := matrix.NewEngine(grid)
+	data, err = os.ReadFile("configs/triggers.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := trigger.ParseDefinitions(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := trigger.NewManager(grid, engine, 1, 16)
+	defer mgr.Close()
+	names, err := mgr.DefineAll(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("triggers = %v", names)
+	}
+	// ILM policy builds.
+	data, err = os.ReadFile("configs/ilm-policy.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdoc, err := ilm.ParsePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, _, model, err := pdoc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || len(pol.Tiers) != 3 || len(pol.Window.Days) != 2 {
+		t.Errorf("policy = %+v", pol)
+	}
+}

@@ -1,0 +1,135 @@
+// ILM stars: the paper's two datagrid-ILM topologies on one program.
+//
+// Imploding star (BBSRC-CCLRC): hospital domains produce records; the
+// archiver domain pulls everything onto its tape silo during a nightly
+// window. Exploding star (CERN CMS): the tier-0 site pushes event data
+// down two tiers in stages, so tier-2 pulls from tier-1 rather than
+// saturating CERN's uplink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	datagridflow "datagridflow"
+
+	"datagridflow/internal/ilm"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/workload"
+)
+
+func main() {
+	implodingStar()
+	fmt.Println()
+	explodingStar()
+}
+
+func implodingStar() {
+	fmt.Println("=== imploding star (BBSRC hospitals → archiver) ===")
+	grid := datagridflow.NewGrid(datagridflow.GridOptions{})
+	if err := grid.RegisterResource(
+		datagridflow.NewResource("archive-tape", "archiver", datagridflow.Archive, 0)); err != nil {
+		log.Fatal(err)
+	}
+	const hospitals = 4
+	specs := workload.Hospitals(sim.NewRand(3), hospitals, 12)
+	for domain, files := range specs {
+		if err := grid.RegisterResource(
+			datagridflow.NewResource(domain+"-disk", domain, datagridflow.Disk, 0)); err != nil {
+			log.Fatal(err)
+		}
+		// Slow hospital uplinks to the archiver.
+		grid.Network().SetSymmetric(domain, "archiver", sim.Link{
+			Bandwidth: 5 << 20, Latency: 80 * time.Millisecond,
+		})
+		if err := workload.Ingest(grid, grid.Admin(), domain+"-disk", files); err != nil {
+			log.Fatal(err)
+		}
+	}
+	grid.Network().Reset()
+
+	// The archival schedule: only run in the 20:00–06:00 window.
+	window := datagridflow.ExecutionWindow{StartHour: 20, EndHour: 6}
+	now := grid.Clock().Now()
+	if !window.Contains(now) {
+		wait := window.NextOpen(now).Sub(now)
+		fmt.Printf("outside the archival window; sleeping %v\n", wait)
+		grid.Clock().Sleep(wait)
+	}
+
+	flow, err := datagridflow.ImplodingStar(grid, grid.Admin(), "/grid/hospitals", "archive-tape", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated DGL flow with %d migration steps\n", flow.CountSteps())
+	engine := datagridflow.NewEngine(grid)
+	exec, err := engine.Run(grid.Admin(), flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	tape, _ := grid.Resource("archive-tape")
+	fmt.Printf("archived %d records (%s) onto tape\n", tape.Count(), sim.FormatBytes(tape.Used()))
+	for _, row := range grid.Network().TrafficReport()[:3] {
+		fmt.Println("  top traffic:", row.String())
+	}
+	fmt.Printf("archive completed at %v (simulated)\n", grid.Clock().Now().Format(time.RFC3339))
+}
+
+func explodingStar() {
+	fmt.Println("=== exploding star (CERN CMS tiered push) ===")
+	grid := datagridflow.NewGrid(datagridflow.GridOptions{})
+	domains := []string{"cern", "fnal", "in2p3", "ufl", "caltech"}
+	for _, d := range domains {
+		if err := grid.RegisterResource(
+			datagridflow.NewResource(d, d, datagridflow.Disk, 0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Fat pipes CERN→tier-1, slimmer tier-1→tier-2, slow CERN→tier-2.
+	for _, t1 := range []string{"fnal", "in2p3"} {
+		grid.Network().SetSymmetric("cern", t1, sim.Link{Bandwidth: 100 << 20, Latency: 50 * time.Millisecond})
+		for _, t2 := range []string{"ufl", "caltech"} {
+			grid.Network().SetSymmetric(t1, t2, sim.Link{Bandwidth: 50 << 20, Latency: 30 * time.Millisecond})
+		}
+	}
+	for _, t2 := range []string{"ufl", "caltech"} {
+		grid.Network().SetSymmetric("cern", t2, sim.Link{Bandwidth: 10 << 20, Latency: 120 * time.Millisecond})
+	}
+	specs := workload.CMSRuns(sim.NewRand(4), 6)
+	if err := workload.Ingest(grid, grid.Admin(), "cern", specs); err != nil {
+		log.Fatal(err)
+	}
+	grid.Network().Reset()
+
+	flow, err := datagridflow.ExplodingStar(grid, grid.Admin(), "/grid/cms",
+		[][]string{{"fnal", "in2p3"}, {"ufl", "caltech"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := datagridflow.NewEngine(grid)
+	exec, err := engine.Run(grid.Admin(), flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	reps, _ := grid.Namespace().Replicas(specs[0].Path)
+	fmt.Printf("%s now has %d replicas across the tiers\n", specs[0].Path, len(reps))
+	var cernOut int64
+	for _, d := range domains[1:] {
+		cernOut += grid.Network().Traffic("cern", d)
+	}
+	fmt.Printf("CERN egress: %s of %s total traffic (staging kept tier-2 off the tier-0 uplink)\n",
+		sim.FormatBytes(cernOut), sim.FormatBytes(grid.Network().TotalTraffic()))
+
+	// For contrast, what the value model would say about this fresh data.
+	vm := ilm.NewValueModel()
+	vm.Record(specs[0].Path, grid.Clock().Now())
+	fmt.Printf("domain value of %s right now: %.0f/100\n",
+		specs[0].Path, vm.Value(specs[0].Path, grid.Clock().Now(), grid.Clock().Now()))
+}

@@ -1,0 +1,116 @@
+// SCEC ingest: the Southern California Earthquake Center scenario from
+// the paper ("SCEC workflow for ingesting files into the SRB datagrid
+// was also performed using DGL"). A simulation run produces waveform
+// files; a trigger tags them as they arrive; a DGL pipeline — iterating
+// over a datagrid query, the paper's late-bound working set — verifies
+// fixity, runs post-processing business logic on the grid, marks each
+// file processed and archives it to tape. Everything is auditable
+// through provenance afterwards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	datagridflow "datagridflow"
+
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/namespace"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/workload"
+)
+
+func main() {
+	// Grid: SCEC's parallel scratch FS, project disk and tape at SDSC.
+	grid := datagridflow.NewGrid(datagridflow.GridOptions{})
+	for _, r := range []*datagridflow.Resource{
+		datagridflow.NewResource("sdsc-gpfs", "sdsc", datagridflow.ParallelFS, 0),
+		datagridflow.NewResource("sdsc-disk", "sdsc", datagridflow.Disk, 0),
+		datagridflow.NewResource("sdsc-tape", "sdsc", datagridflow.Archive, 0),
+	} {
+		if err := grid.RegisterResource(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := grid.CreateCollectionAll(grid.Admin(), "/grid/scec"); err != nil {
+		log.Fatal(err)
+	}
+	engine := datagridflow.NewEngine(grid)
+
+	// Trigger: every ingested waveform is tagged for the pipeline — the
+	// paper's "creating metadata when a file is created".
+	triggers := datagridflow.NewTriggerManager(grid, engine, 2, 256)
+	defer triggers.Close()
+	err := triggers.Define(datagridflow.Trigger{
+		Name: "tag-waveforms", Owner: grid.Admin(),
+		Events: []datagridflow.EventType{dgms.EventIngest}, Phase: dgms.After,
+		Condition: "endsWith($path, '.dat')",
+		Operations: []datagridflow.Operation{
+			datagridflow.Op(datagridflow.OpSetMeta, map[string]string{
+				"path": "$path", "attr": "stage", "value": "raw",
+			}),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The simulation produced 2 runs × 8 waveforms (synthetic stand-ins
+	// for TeraShake outputs — log-normal sizes around a 64 MiB median).
+	specs := workload.SCEC(sim.NewRand(2005), 2, 8)
+	if err := workload.Ingest(grid, grid.Admin(), "sdsc-gpfs", specs); err != nil {
+		log.Fatal(err)
+	}
+	triggers.Flush()
+	fmt.Printf("ingested %d waveforms (%s)\n", len(specs), sim.FormatBytes(workload.TotalBytes(specs)))
+
+	// The pipeline: forEach over a datagrid query selecting stage=raw —
+	// the working set binds when the loop starts, not when the document
+	// was written.
+	pipeline := datagridflow.NewFlow("scec-pipeline").
+		SubFlow(datagridflow.NewFlow("per-file").
+			ForEachQuery("file", datagridflow.NSQuery{
+				Scope: "/grid/scec", ObjectsOnly: true,
+				Conditions: []datagridflow.QueryCond{{Attr: "stage", Op: "=", Value: "raw"}},
+			}).
+			Step("verify", datagridflow.Op(datagridflow.OpVerify, map[string]string{
+				"path": "$file",
+			})).
+			Step("post-process", datagridflow.Op(datagridflow.OpExec, map[string]string{
+				"command": "seismogram-extract $file", "cpuSeconds": "120", "lane": "sdsc-cluster",
+			})).
+			Step("mark", datagridflow.Op(datagridflow.OpSetMeta, map[string]string{
+				"path": "$file", "attr": "stage", "value": "processed",
+			})).
+			Step("archive", datagridflow.Op(datagridflow.OpReplicate, map[string]string{
+				"path": "$file", "to": "sdsc-tape",
+			}))).Flow()
+
+	exec, err := engine.Run(grid.Admin(), pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.Wait(); err != nil {
+		log.Fatalf("pipeline failed: %v", err)
+	}
+
+	// Outcomes: every waveform processed, two replicas each, full audit
+	// trail, and the simulated cost of the campaign.
+	processed, err := grid.Search(grid.Admin(), datagridflow.NamespaceQuery{
+		ObjectsOnly: true,
+		Conditions: []datagridflow.NamespaceCondition{
+			{Attr: "stage", Op: namespace.OpEq, Value: "processed"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed: %d/%d files\n", len(processed), len(specs))
+	reps, _ := grid.Namespace().Replicas(specs[0].Path)
+	fmt.Printf("replicas of %s: %d\n", specs[0].Path, len(reps))
+	fmt.Printf("compute charged: %v on sdsc-cluster\n", grid.Meter().Busy("sdsc-cluster"))
+	audit := grid.Provenance().Query(datagridflow.ProvenanceFilter{Action: "replicate"})
+	fmt.Printf("provenance: %d archive replications recorded\n", len(audit))
+	fmt.Printf("status tree: %d nodes succeeded\n",
+		func() int { s := exec.Status(true); return s.CountByState()["succeeded"] }())
+}

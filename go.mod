@@ -1,0 +1,3 @@
+module datagridflow
+
+go 1.22

@@ -1,0 +1,111 @@
+package dgl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCorpusValid parses every hand-authored valid document in
+// testdata/, validates it, and re-marshals it losslessly — the corpus a
+// dgfctl user would submit.
+func TestCorpusValid(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.xml")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v, %v", files, err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req, err := ParseRequest(data)
+			if strings.Contains(file, "invalid-") {
+				if !errors.Is(err, ErrInvalid) {
+					t.Fatalf("invalid document accepted: %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			// Round trip through Marshal.
+			out, err := Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParseRequest(out)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(req, back) {
+				t.Errorf("round trip changed the document")
+			}
+		})
+	}
+}
+
+// TestCorpusSCECShape pins down the structure of the flagship document.
+func TestCorpusSCECShape(t *testing.T) {
+	data, err := os.ReadFile("testdata/scec-pipeline.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Async || req.User.VO != "SCEC" || req.User.Name != "jonw" {
+		t.Errorf("header = %+v %+v", req.Async, req.User)
+	}
+	f := req.Flow
+	if f.Name != "scec-pipeline" || len(f.Variables) != 1 || f.Variables[0].Name != "archive" {
+		t.Errorf("root flow = %+v", f)
+	}
+	if len(f.Logic.Rules) != 2 {
+		t.Errorf("rules = %d", len(f.Logic.Rules))
+	}
+	per := f.Flows[0]
+	if per.Logic.Control != ForEach || per.Logic.Iterate == nil || per.Logic.Iterate.Query == nil {
+		t.Fatalf("per-file logic = %+v", per.Logic)
+	}
+	q := per.Logic.Iterate.Query
+	if q.Scope != "/grid/scec" || !q.ObjectsOnly || len(q.Conditions) != 1 || q.Conditions[0].Attr != "stage" {
+		t.Errorf("query = %+v", q)
+	}
+	if len(per.Steps) != 4 {
+		t.Fatalf("steps = %d", len(per.Steps))
+	}
+	if per.Steps[1].OnError != OnErrorRetry || per.Steps[1].Retries != 2 {
+		t.Errorf("retry step = %+v", per.Steps[1])
+	}
+	if per.Steps[3].OnError != OnErrorContinue {
+		t.Errorf("continue step = %+v", per.Steps[3])
+	}
+	if v, _ := per.Steps[3].Operation.Param("to"); v != "$archive" {
+		t.Errorf("archive target = %q", v)
+	}
+}
+
+// TestCorpusStatusQueryShape checks the FlowStatusQuery document.
+func TestCorpusStatusQueryShape(t *testing.T) {
+	data, err := os.ReadFile("testdata/status-query.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Flow != nil || req.StatusQuery == nil {
+		t.Fatalf("choice = %+v", req)
+	}
+	if req.StatusQuery.ID != "dgf-000001/scec-pipeline/per-file" || !req.StatusQuery.Detail {
+		t.Errorf("query = %+v", req.StatusQuery)
+	}
+}

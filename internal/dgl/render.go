@@ -1,0 +1,145 @@
+package dgl
+
+// render.go visualizes flows. The paper's architecture includes a
+// Datagridflow IDE (Kepler/VERGIL with MoML) for authoring and viewing
+// gridflows; a GUI is out of scope here, but the same role — letting a
+// human see the structure they wrote — is served by two renderers: an
+// ASCII tree for terminals (dgfctl render) and a Graphviz DOT document
+// for everything else.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree renders the flow as an indented ASCII tree annotated with each
+// flow's control pattern, loop configuration, variables and rules.
+func Tree(f *Flow) string {
+	var sb strings.Builder
+	renderTree(&sb, f, "", true, true)
+	return sb.String()
+}
+
+func flowLabel(f *Flow) string {
+	label := fmt.Sprintf("%s [%s", f.Name, f.Logic.Control)
+	switch f.Logic.Control {
+	case While, Switch:
+		label += " " + f.Logic.Condition
+	case ForEach:
+		if it := f.Logic.Iterate; it != nil {
+			switch {
+			case it.In != "":
+				label += fmt.Sprintf(" %s in %q", it.Var, it.In)
+			case it.Times > 0:
+				label += fmt.Sprintf(" %s in 0..%d", it.Var, it.Times-1)
+			case it.Query != nil:
+				label += fmt.Sprintf(" %s in query(%s)", it.Var, it.Query.Scope)
+			}
+			if it.Parallel {
+				label += " parallel"
+			}
+		}
+	}
+	label += "]"
+	if len(f.Variables) > 0 {
+		names := make([]string, len(f.Variables))
+		for i, v := range f.Variables {
+			names[i] = v.Name
+		}
+		label += " vars(" + strings.Join(names, ",") + ")"
+	}
+	for _, r := range f.Logic.Rules {
+		label += " rule:" + r.Name
+	}
+	return label
+}
+
+func stepLabel(s *Step) string {
+	label := fmt.Sprintf("%s · %s", s.Name, s.Operation.Type)
+	var parts []string
+	for _, p := range s.Operation.Params {
+		parts = append(parts, p.Name+"="+p.Value)
+	}
+	if len(parts) > 0 {
+		label += "(" + strings.Join(parts, ", ") + ")"
+	}
+	if s.OnError != "" && s.OnError != OnErrorAbort {
+		label += " onError=" + s.OnError
+		if s.Retries > 0 {
+			label += fmt.Sprintf("×%d", s.Retries)
+		}
+	}
+	return label
+}
+
+func renderTree(sb *strings.Builder, f *Flow, prefix string, isLast, isRoot bool) {
+	childPrefix := prefix
+	if isRoot {
+		fmt.Fprintf(sb, "%s\n", flowLabel(f))
+	} else {
+		connector, next := branchParts(prefix, isLast)
+		fmt.Fprintf(sb, "%s%s\n", connector, flowLabel(f))
+		childPrefix = next
+	}
+	n := len(f.Flows) + len(f.Steps)
+	for i := range f.Flows {
+		renderTree(sb, &f.Flows[i], childPrefix, i == n-1, false)
+	}
+	for i := range f.Steps {
+		last := len(f.Flows)+i == n-1
+		connector, _ := branchParts(childPrefix, last)
+		fmt.Fprintf(sb, "%s%s\n", connector, stepLabel(&f.Steps[i]))
+	}
+}
+
+func branchParts(prefix string, isLast bool) (connector, childPrefix string) {
+	if isLast {
+		return prefix + "└─ ", prefix + "   "
+	}
+	return prefix + "├─ ", prefix + "│  "
+}
+
+// Dot renders the flow as a Graphviz digraph: flows are clusters, steps
+// are boxes, and sequential order is drawn with edges.
+func Dot(f *Flow) string {
+	var sb strings.Builder
+	sb.WriteString("digraph datagridflow {\n")
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	var n int
+	renderDot(&sb, f, "f", &n)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// renderDot emits one flow as a cluster, returning the node ids of its
+// children in document order for sequencing edges.
+func renderDot(sb *strings.Builder, f *Flow, id string, n *int) []string {
+	fmt.Fprintf(sb, "  subgraph cluster_%s {\n", id)
+	fmt.Fprintf(sb, "    label=%q;\n", flowLabel(f))
+	var childHeads []string
+	var prevTail string
+	sequential := f.Logic.Control != Parallel
+	link := func(head string) {
+		childHeads = append(childHeads, head)
+		if sequential && prevTail != "" {
+			fmt.Fprintf(sb, "    %s -> %s;\n", prevTail, head)
+		}
+		prevTail = head
+	}
+	for i := range f.Flows {
+		*n++
+		subID := fmt.Sprintf("%s_%d", id, *n)
+		heads := renderDot(sb, &f.Flows[i], subID, n)
+		if len(heads) > 0 {
+			link(heads[0])
+		}
+	}
+	for i := range f.Steps {
+		*n++
+		nodeID := fmt.Sprintf("s%d", *n)
+		fmt.Fprintf(sb, "    %s [label=%q];\n", nodeID, stepLabel(&f.Steps[i]))
+		link(nodeID)
+	}
+	sb.WriteString("  }\n")
+	return childHeads
+}

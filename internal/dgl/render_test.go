@@ -1,0 +1,83 @@
+package dgl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeRender(t *testing.T) {
+	f := sampleFlow()
+	out := Tree(&f)
+	for _, want := range []string{
+		"scec-pipeline [sequential]",
+		"vars(remaining,tier)",
+		"rule:beforeEntry",
+		"rule:afterExit",
+		`ingest-stage [forEach file in "a.dat,b.dat,c.dat"]`,
+		"fixity [parallel]",
+		"drain [while $remaining > 0]",
+		"route [switch $tier]",
+		"ingest-one · ingest",
+		"├─", "└─",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Fault policies annotated.
+	s := NewFlow("x").StepWith(Step{
+		Name: "retry-me", OnError: OnErrorRetry, Retries: 3,
+		Operation: Operation{Type: OpNoop},
+	}).Flow()
+	out = Tree(&s)
+	if !strings.Contains(out, "onError=retry×3") {
+		t.Errorf("retry annotation missing:\n%s", out)
+	}
+	// Parallel forEach annotation.
+	p := NewFlow("p").Repeat("i", 4).ParallelIterations().Step("s", Op(OpNoop, nil)).Flow()
+	out = Tree(&p)
+	if !strings.Contains(out, "i in 0..3 parallel") {
+		t.Errorf("parallel iterate annotation missing:\n%s", out)
+	}
+	// Query iteration annotation.
+	q := NewFlow("q").ForEachQuery("f", NSQuery{Scope: "/grid"}).Step("s", Op(OpNoop, nil)).Flow()
+	if !strings.Contains(Tree(&q), "f in query(/grid)") {
+		t.Errorf("query annotation missing")
+	}
+}
+
+func TestDotRender(t *testing.T) {
+	f := sampleFlow()
+	out := Dot(&f)
+	for _, want := range []string{
+		"digraph datagridflow",
+		"subgraph cluster_f",
+		"label=\"scec-pipeline [sequential]",
+		"->", // sequencing edges exist
+		"verify-a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+	// Parallel flows draw no internal sequencing edges between siblings.
+	p := NewFlow("par").Parallel().
+		Step("a", Op(OpNoop, nil)).
+		Step("b", Op(OpNoop, nil)).Flow()
+	out = Dot(&p)
+	if strings.Contains(out, "s1 -> s2") {
+		t.Errorf("parallel flow sequenced its children:\n%s", out)
+	}
+	// Sequential flows do.
+	sq := NewFlow("seq").
+		Step("a", Op(OpNoop, nil)).
+		Step("b", Op(OpNoop, nil)).Flow()
+	out = Dot(&sq)
+	if !strings.Contains(out, "s1 -> s2") {
+		t.Errorf("sequential flow missing edge:\n%s", out)
+	}
+	// Balanced braces (parseable by dot).
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Errorf("unbalanced braces:\n%s", out)
+	}
+}

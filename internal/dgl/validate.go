@@ -1,0 +1,235 @@
+package dgl
+
+import (
+	"errors"
+	"fmt"
+
+	"datagridflow/internal/expr"
+)
+
+// ErrInvalid wraps all validation failures.
+var ErrInvalid = errors.New("dgl: invalid document")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Validate checks a request for structural soundness before execution:
+// the Flow/StatusQuery choice, control-pattern requirements, child
+// homogeneity, name uniqueness, condition syntax and operation types.
+// Validation mirrors what an XML-Schema validator would enforce plus the
+// semantic constraints the schema cannot express.
+func (r *Request) Validate() error {
+	if (r.Flow == nil) == (r.StatusQuery == nil) {
+		return invalidf("request must contain exactly one of flow or flowStatusQuery")
+	}
+	if r.User.Name == "" {
+		return invalidf("gridUser.name is required")
+	}
+	if r.StatusQuery != nil {
+		if r.StatusQuery.ID == "" {
+			return invalidf("flowStatusQuery.id is required")
+		}
+		return nil
+	}
+	return ValidateFlow(r.Flow, nil)
+}
+
+// ValidateFlow checks one flow tree. extraOps lists additional operation
+// types registered with the executing engine (domain-specific
+// extensions); pass nil to accept only built-ins.
+func ValidateFlow(f *Flow, extraOps map[string]bool) error {
+	return validateFlow(f, "/"+f.Name, extraOps)
+}
+
+func validateFlow(f *Flow, path string, extraOps map[string]bool) error {
+	if f.Name == "" {
+		return invalidf("flow at %s has no name", path)
+	}
+	if len(f.Flows) > 0 && len(f.Steps) > 0 {
+		return invalidf("flow %s mixes sub-flows and steps", path)
+	}
+	if err := validateVariables(f.Variables, path); err != nil {
+		return err
+	}
+	// Control pattern requirements.
+	switch f.Logic.Control {
+	case Sequential, Parallel:
+		if f.Logic.Condition != "" {
+			return invalidf("flow %s: %s control takes no condition", path, f.Logic.Control)
+		}
+		if f.Logic.Iterate != nil {
+			return invalidf("flow %s: %s control takes no iterate", path, f.Logic.Control)
+		}
+	case While:
+		if f.Logic.Condition == "" {
+			return invalidf("flow %s: while requires a condition", path)
+		}
+		if f.Logic.Iterate != nil {
+			return invalidf("flow %s: while takes no iterate", path)
+		}
+		if _, err := expr.Parse(f.Logic.Condition); err != nil {
+			return invalidf("flow %s: bad while condition: %v", path, err)
+		}
+	case Switch:
+		if f.Logic.Condition == "" {
+			return invalidf("flow %s: switch requires a condition", path)
+		}
+		if f.Logic.Iterate != nil {
+			return invalidf("flow %s: switch takes no iterate", path)
+		}
+		if _, err := expr.Parse(f.Logic.Condition); err != nil {
+			return invalidf("flow %s: bad switch condition: %v", path, err)
+		}
+	case ForEach:
+		it := f.Logic.Iterate
+		if it == nil {
+			return invalidf("flow %s: forEach requires iterate", path)
+		}
+		if it.Var == "" {
+			return invalidf("flow %s: iterate.var is required", path)
+		}
+		sources := 0
+		if it.In != "" {
+			sources++
+		}
+		if it.Times > 0 {
+			sources++
+		}
+		if it.Query != nil {
+			sources++
+		}
+		if sources != 1 {
+			return invalidf("flow %s: iterate needs exactly one of in, times, query", path)
+		}
+		if it.Times < 0 {
+			return invalidf("flow %s: iterate.times must be non-negative", path)
+		}
+	case "":
+		return invalidf("flow %s: flowLogic.control is required", path)
+	default:
+		return invalidf("flow %s: unknown control %q", path, f.Logic.Control)
+	}
+	if err := validateRules(f.Logic.Rules, path, extraOps); err != nil {
+		return err
+	}
+	// Children: unique names within the flow, each child valid.
+	seen := map[string]bool{}
+	for i := range f.Flows {
+		child := &f.Flows[i]
+		if seen[child.Name] {
+			return invalidf("flow %s: duplicate child name %q", path, child.Name)
+		}
+		seen[child.Name] = true
+		if err := validateFlow(child, path+"/"+child.Name, extraOps); err != nil {
+			return err
+		}
+	}
+	for i := range f.Steps {
+		st := &f.Steps[i]
+		if seen[st.Name] {
+			return invalidf("flow %s: duplicate child name %q", path, st.Name)
+		}
+		seen[st.Name] = true
+		if err := validateStep(st, path+"/"+st.Name, extraOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateStep(s *Step, path string, extraOps map[string]bool) error {
+	if s.Name == "" {
+		return invalidf("step at %s has no name", path)
+	}
+	switch s.OnError {
+	case "", OnErrorAbort, OnErrorContinue, OnErrorRetry:
+	default:
+		return invalidf("step %s: unknown onError %q", path, s.OnError)
+	}
+	if s.Retries < 0 {
+		return invalidf("step %s: negative retries", path)
+	}
+	if s.OnError != OnErrorRetry && s.Retries > 0 {
+		return invalidf("step %s: retries set but onError is %q", path, s.OnError)
+	}
+	if err := validateVariables(s.Variables, path); err != nil {
+		return err
+	}
+	if err := validateRules(s.Rules, path, extraOps); err != nil {
+		return err
+	}
+	return validateOperation(&s.Operation, path, extraOps)
+}
+
+func validateVariables(vars []Variable, path string) error {
+	seen := map[string]bool{}
+	for _, v := range vars {
+		if v.Name == "" {
+			return invalidf("%s: variable with empty name", path)
+		}
+		if seen[v.Name] {
+			return invalidf("%s: duplicate variable %q", path, v.Name)
+		}
+		seen[v.Name] = true
+	}
+	return nil
+}
+
+func validateRules(rules []Rule, path string, extraOps map[string]bool) error {
+	seen := map[string]bool{}
+	for _, r := range rules {
+		if r.Name == "" {
+			return invalidf("%s: rule with empty name", path)
+		}
+		if seen[r.Name] {
+			return invalidf("%s: duplicate rule %q", path, r.Name)
+		}
+		seen[r.Name] = true
+		if r.Condition == "" {
+			return invalidf("%s: rule %q has no condition", path, r.Name)
+		}
+		if _, err := expr.Parse(r.Condition); err != nil {
+			return invalidf("%s: rule %q condition: %v", path, r.Name, err)
+		}
+		if len(r.Actions) == 0 {
+			return invalidf("%s: rule %q has no actions", path, r.Name)
+		}
+		actionNames := map[string]bool{}
+		for _, a := range r.Actions {
+			if a.Name == "" {
+				return invalidf("%s: rule %q has an unnamed action", path, r.Name)
+			}
+			if actionNames[a.Name] {
+				return invalidf("%s: rule %q duplicate action %q", path, r.Name, a.Name)
+			}
+			actionNames[a.Name] = true
+			if a.Operation != nil {
+				if err := validateOperation(a.Operation, path+"#"+r.Name, extraOps); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateOperation(o *Operation, path string, extraOps map[string]bool) error {
+	if o.Type == "" {
+		return invalidf("%s: operation has no type", path)
+	}
+	if !builtinOps[o.Type] && !extraOps[o.Type] {
+		return invalidf("%s: unknown operation type %q", path, o.Type)
+	}
+	seen := map[string]bool{}
+	for _, p := range o.Params {
+		if p.Name == "" {
+			return invalidf("%s: operation %s has an unnamed param", path, o.Type)
+		}
+		if seen[p.Name] {
+			return invalidf("%s: operation %s duplicate param %q", path, o.Type, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmall runs the whole harness at Small scale: each
+// experiment must produce a non-empty report and its internal shape
+// assertions must hold (they return errors otherwise).
+func TestAllExperimentsSmall(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			r, err := exp.Run(Small)
+			if err != nil {
+				t.Fatalf("%s failed: %v", exp.ID, err)
+			}
+			if r.ID != exp.ID {
+				t.Errorf("report id %q", r.ID)
+			}
+			if len(r.Rows) == 0 {
+				t.Errorf("%s produced no rows", exp.ID)
+			}
+			out := r.String()
+			if !strings.Contains(out, exp.ID) || !strings.Contains(out, r.Header[0]) {
+				t.Errorf("%s render missing content:\n%s", exp.ID, out)
+			}
+		})
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "X", Title: "t", Header: []string{"col-a", "b"}}
+	r.Row("1", "22222")
+	r.Row("333", "4")
+	r.Note("a note %d", 7)
+	out := r.String()
+	for _, want := range []string{"== X: t ==", "col-a", "333", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+type litNode struct{ v Value }
+
+func (n *litNode) eval(Env) (Value, error) { return n.v, nil }
+
+type varNode struct{ name string }
+
+func (n *varNode) eval(env Env) (Value, error) {
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		return Null, nil
+	}
+	return v, nil
+}
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(env Env) (Value, error) {
+	v, err := n.inner.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	return Bool(!v.AsBool()), nil
+}
+
+type negNode struct{ inner node }
+
+func (n *negNode) eval(env Env) (Value, error) {
+	v, err := n.inner.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	f, ok := v.AsNumber()
+	if !ok {
+		return Null, fmt.Errorf("expr: cannot negate %s %q", v.Kind(), v.AsString())
+	}
+	return Number(-f), nil
+}
+
+type logicalNode struct {
+	op          string // "&&" or "||"
+	left, right node
+}
+
+func (n *logicalNode) eval(env Env) (Value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	// Short-circuit like every mainstream language.
+	if n.op == "&&" && !l.AsBool() {
+		return Bool(false), nil
+	}
+	if n.op == "||" && l.AsBool() {
+		return Bool(true), nil
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	return Bool(r.AsBool()), nil
+}
+
+type cmpNode struct {
+	op          string
+	left, right node
+}
+
+func (n *cmpNode) eval(env Env) (Value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	switch n.op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	}
+	c, err := l.Compare(r)
+	if err != nil {
+		return Null, err
+	}
+	switch n.op {
+	case "<":
+		return Bool(c < 0), nil
+	case "<=":
+		return Bool(c <= 0), nil
+	case ">":
+		return Bool(c > 0), nil
+	case ">=":
+		return Bool(c >= 0), nil
+	default:
+		return Null, fmt.Errorf("expr: unknown comparison %q", n.op)
+	}
+}
+
+type arithNode struct {
+	op          string
+	left, right node
+}
+
+func (n *arithNode) eval(env Env) (Value, error) {
+	l, err := n.left.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return Null, err
+	}
+	// '+' on two strings (where neither parses as a number) concatenates.
+	if n.op == "+" {
+		_, lNum := l.AsNumber()
+		_, rNum := r.AsNumber()
+		if (l.Kind() == KindString && !lNum) || (r.Kind() == KindString && !rNum) {
+			return String(l.AsString() + r.AsString()), nil
+		}
+	}
+	a, okA := l.AsNumber()
+	b, okB := r.AsNumber()
+	if !okA || !okB {
+		if n.op == "+" {
+			return String(l.AsString() + r.AsString()), nil
+		}
+		return Null, fmt.Errorf("expr: %q needs numbers, got %s and %s", n.op, l.Kind(), r.Kind())
+	}
+	switch n.op {
+	case "+":
+		return Number(a + b), nil
+	case "-":
+		return Number(a - b), nil
+	case "*":
+		return Number(a * b), nil
+	case "/":
+		if b == 0 {
+			return Null, fmt.Errorf("expr: division by zero")
+		}
+		return Number(a / b), nil
+	case "%":
+		if b == 0 {
+			return Null, fmt.Errorf("expr: modulo by zero")
+		}
+		return Number(math.Mod(a, b)), nil
+	default:
+		return Null, fmt.Errorf("expr: unknown operator %q", n.op)
+	}
+}
+
+type callNode struct {
+	name string
+	fn   func(args []Value) (Value, error)
+	args []node
+}
+
+func (n *callNode) eval(env Env) (Value, error) {
+	vals := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return Null, err
+		}
+		vals[i] = v
+	}
+	v, err := n.fn(vals)
+	if err != nil {
+		return Null, fmt.Errorf("expr: %s: %w", n.name, err)
+	}
+	return v, nil
+}
+
+type builtin struct {
+	arity int // -1 means variadic
+	impl  func(args []Value) (Value, error)
+}
+
+// builtins are the function library available inside DGL conditions. They
+// cover the string/metadata probing that the paper's trigger and ILM
+// scenarios require (file name suffix checks, size thresholds, value
+// defaulting).
+var builtins = map[string]builtin{
+	"len": {1, func(a []Value) (Value, error) {
+		return Int(int64(len(a[0].AsString()))), nil
+	}},
+	"contains": {2, func(a []Value) (Value, error) {
+		return Bool(strings.Contains(a[0].AsString(), a[1].AsString())), nil
+	}},
+	"startsWith": {2, func(a []Value) (Value, error) {
+		return Bool(strings.HasPrefix(a[0].AsString(), a[1].AsString())), nil
+	}},
+	"endsWith": {2, func(a []Value) (Value, error) {
+		return Bool(strings.HasSuffix(a[0].AsString(), a[1].AsString())), nil
+	}},
+	"lower": {1, func(a []Value) (Value, error) {
+		return String(strings.ToLower(a[0].AsString())), nil
+	}},
+	"upper": {1, func(a []Value) (Value, error) {
+		return String(strings.ToUpper(a[0].AsString())), nil
+	}},
+	"trim": {1, func(a []Value) (Value, error) {
+		return String(strings.TrimSpace(a[0].AsString())), nil
+	}},
+	"num": {1, func(a []Value) (Value, error) {
+		f, ok := a[0].AsNumber()
+		if !ok {
+			return Null, fmt.Errorf("%q is not numeric", a[0].AsString())
+		}
+		return Number(f), nil
+	}},
+	"str": {1, func(a []Value) (Value, error) {
+		return String(a[0].AsString()), nil
+	}},
+	"min": {-1, func(a []Value) (Value, error) {
+		return fold(a, func(x, y float64) float64 { return math.Min(x, y) })
+	}},
+	"max": {-1, func(a []Value) (Value, error) {
+		return fold(a, func(x, y float64) float64 { return math.Max(x, y) })
+	}},
+	"abs": {1, func(a []Value) (Value, error) {
+		f, ok := a[0].AsNumber()
+		if !ok {
+			return Null, fmt.Errorf("%q is not numeric", a[0].AsString())
+		}
+		return Number(math.Abs(f)), nil
+	}},
+	"floor": {1, func(a []Value) (Value, error) {
+		f, ok := a[0].AsNumber()
+		if !ok {
+			return Null, fmt.Errorf("%q is not numeric", a[0].AsString())
+		}
+		return Number(math.Floor(f)), nil
+	}},
+	"ceil": {1, func(a []Value) (Value, error) {
+		f, ok := a[0].AsNumber()
+		if !ok {
+			return Null, fmt.Errorf("%q is not numeric", a[0].AsString())
+		}
+		return Number(math.Ceil(f)), nil
+	}},
+	// coalesce(a, b, ...) returns the first non-null argument; it gives
+	// flows a way to default unset variables.
+	"coalesce": {-1, func(a []Value) (Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null, nil
+	}},
+	// ext("/a/b/c.dat") == ".dat" — common in trigger conditions.
+	"ext": {1, func(a []Value) (Value, error) {
+		s := a[0].AsString()
+		if i := strings.LastIndexByte(s, '.'); i >= 0 && i > strings.LastIndexByte(s, '/') {
+			return String(s[i:]), nil
+		}
+		return String(""), nil
+	}},
+	// base("/a/b/c.dat") == "c.dat".
+	"base": {1, func(a []Value) (Value, error) {
+		s := a[0].AsString()
+		if i := strings.LastIndexByte(s, '/'); i >= 0 {
+			return String(s[i+1:]), nil
+		}
+		return String(s), nil
+	}},
+}
+
+func fold(a []Value, f func(x, y float64) float64) (Value, error) {
+	if len(a) == 0 {
+		return Null, fmt.Errorf("needs at least one argument")
+	}
+	acc, ok := a[0].AsNumber()
+	if !ok {
+		return Null, fmt.Errorf("%q is not numeric", a[0].AsString())
+	}
+	for _, v := range a[1:] {
+		n, ok := v.AsNumber()
+		if !ok {
+			return Null, fmt.Errorf("%q is not numeric", v.AsString())
+		}
+		acc = f(acc, n)
+	}
+	return Number(acc), nil
+}
+
+// EvalString parses and evaluates src in a single call. It is a
+// convenience for one-shot conditions; hot paths should Parse once.
+func EvalString(src string, env Env) (Value, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return Null, err
+	}
+	return e.Eval(env)
+}

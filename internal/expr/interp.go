@@ -1,0 +1,125 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interpolate substitutes $name and ${name} references in s with the
+// string form of their bound values. Unbound variables substitute to the
+// empty string. "$$" escapes a literal dollar sign.
+//
+// This is how DGL step parameters reference flow variables, e.g.
+// "/grid/scec/${run}/output.dat".
+func Interpolate(s string, env Env) (string, error) {
+	if !strings.ContainsRune(s, '$') {
+		return s, nil
+	}
+	if env == nil {
+		env = MapEnv(nil)
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '$' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		// c == '$'
+		if i+1 >= len(s) {
+			sb.WriteByte('$')
+			break
+		}
+		next := s[i+1]
+		switch {
+		case next == '$':
+			sb.WriteByte('$')
+			i += 2
+		case next == '{':
+			end := strings.IndexByte(s[i+2:], '}')
+			if end < 0 {
+				return "", fmt.Errorf("expr: unterminated ${...} in %q", s)
+			}
+			name := s[i+2 : i+2+end]
+			if name == "" {
+				return "", fmt.Errorf("expr: empty ${} in %q", s)
+			}
+			if v, ok := env.Lookup(name); ok {
+				sb.WriteString(v.AsString())
+			}
+			i += 2 + end + 1
+		case isIdentStart(rune(next)):
+			j := i + 1
+			for j < len(s) && isIdentChar(rune(s[j])) {
+				j++
+			}
+			name := s[i+1 : j]
+			if v, ok := env.Lookup(name); ok {
+				sb.WriteString(v.AsString())
+			}
+			i = j
+		default:
+			sb.WriteByte('$')
+			i++
+		}
+	}
+	return sb.String(), nil
+}
+
+// InterpolateAll applies Interpolate to every value of the map, returning
+// a new map. It is used to resolve a step's parameter block against the
+// current variable scope just before execution (the "late binding" the
+// paper calls for).
+func InterpolateAll(params map[string]string, env Env) (map[string]string, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(params))
+	for k, v := range params {
+		iv, err := Interpolate(v, env)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", k, err)
+		}
+		out[k] = iv
+	}
+	return out, nil
+}
+
+// Vars returns the set of variable names referenced by the expression, in
+// no particular order. Validation uses it to flag conditions that mention
+// variables a flow never declares.
+func (e *Expr) Vars() []string {
+	seen := map[string]bool{}
+	var walk func(n node)
+	walk = func(n node) {
+		switch t := n.(type) {
+		case *varNode:
+			seen[t.name] = true
+		case *notNode:
+			walk(t.inner)
+		case *negNode:
+			walk(t.inner)
+		case *logicalNode:
+			walk(t.left)
+			walk(t.right)
+		case *cmpNode:
+			walk(t.left)
+			walk(t.right)
+		case *arithNode:
+			walk(t.left)
+			walk(t.right)
+		case *callNode:
+			for _, a := range t.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	return out
+}

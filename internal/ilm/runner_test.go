@@ -1,0 +1,203 @@
+package ilm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/provenance"
+)
+
+// TestLifecycleOverSimulatedWeeks runs the full domain-value loop: data
+// is ingested hot, some of it keeps being read, the rest cools off, and
+// successive nightly ILM cycles move each object to the tier its value
+// earns — the paper's §2.1 scenario end to end.
+func TestLifecycleOverSimulatedWeeks(t *testing.T) {
+	g, e := ilmGrid(t, 6)
+	model := NewValueModel()
+	sub := TrackAccesses(g, model)
+	defer g.Bus().Unsubscribe(sub)
+
+	pol := Policy{
+		Name: "lifecycle", Owner: g.Admin(), Scope: "/grid/data",
+		Tiers: []Tier{
+			{MinValue: 60, Resource: "gpfs"},
+			{MinValue: 15, Resource: "disk"},
+			{MinValue: 0, Resource: "tape"},
+		},
+		Window: Window{StartHour: 20, EndHour: 6}, // nightly
+	}
+	runner := NewRunner(g, e, pol, ModelValuer{Model: model})
+	runner.Interval = 24 * time.Hour
+
+	// Users read f000..f002 every day; f003..f005 are never touched.
+	readHotFiles := func() {
+		for i := 0; i < 3; i++ {
+			if _, err := g.Get(g.Admin(), "", fmt.Sprintf("/grid/data/f%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var lastResults []CycleResult
+	for day := 0; day < 45; day++ {
+		readHotFiles()
+		res, err := runner.RunCycle()
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		lastResults = append(lastResults, res)
+		// Advance to the next day.
+		g.Clock().Sleep(24 * time.Hour)
+	}
+	// Every cycle ran inside the window.
+	for i, res := range lastResults {
+		h := res.StartedAt.Hour()
+		if !(h >= 20 || h < 6) {
+			t.Errorf("cycle %d ran at hour %d, outside the window", i, h)
+		}
+	}
+	// Hot files live on the fast tier; cold files sank to tape.
+	for i := 0; i < 6; i++ {
+		path := fmt.Sprintf("/grid/data/f%03d", i)
+		reps, err := g.Namespace().Replicas(path)
+		if err != nil || len(reps) != 1 {
+			t.Fatalf("%s replicas: %v, %v", path, reps, err)
+		}
+		if i < 3 && reps[0].Resource != "gpfs" {
+			t.Errorf("hot %s on %s, want gpfs", path, reps[0].Resource)
+		}
+		if i >= 3 && reps[0].Resource != "tape" {
+			t.Errorf("cold %s on %s, want tape", path, reps[0].Resource)
+		}
+	}
+	// Cycles are auditable.
+	if n := g.Provenance().Count(provenance.Filter{Action: "ilm.cycle"}); n != 45 {
+		t.Errorf("ilm.cycle records = %d", n)
+	}
+	// Once placement converges, cycles become no-ops (skipped outcome).
+	last := lastResults[len(lastResults)-1]
+	if len(last.Decisions) != 0 {
+		t.Errorf("final cycle still moving data: %+v", last.Decisions)
+	}
+}
+
+func TestRunnerRunCycles(t *testing.T) {
+	g, e := ilmGrid(t, 3)
+	for i := 0; i < 3; i++ {
+		if err := g.SetMeta(g.Admin(), fmt.Sprintf("/grid/data/f%03d", i), "value", "5"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pol := Policy{
+		Name: "batch", Owner: g.Admin(), Scope: "/grid/data",
+		Tiers: []Tier{{MinValue: 0, Resource: "tape"}},
+	}
+	runner := NewRunner(g, e, pol, MetaValuer{})
+	runner.Interval = 48 * time.Hour
+	results, err := runner.RunCycles(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// First cycle migrates everything; later cycles are no-ops.
+	if results[0].Stats.Migrates != 3 || results[0].ExecID == "" {
+		t.Errorf("cycle 0 = %+v", results[0])
+	}
+	if results[1].Stats.Migrates != 0 || results[1].ExecID != "" {
+		t.Errorf("cycle 1 = %+v", results[1])
+	}
+	// Interval honored: cycle starts are >= 48h apart.
+	gap := results[1].StartedAt.Sub(results[0].StartedAt)
+	if gap < 48*time.Hour {
+		t.Errorf("cycle gap = %v", gap)
+	}
+}
+
+func TestRunnerPlanError(t *testing.T) {
+	g, e := ilmGrid(t, 1)
+	pol := Policy{Name: "bad", Owner: g.Admin(), Scope: "/missing"}
+	runner := NewRunner(g, e, pol, MetaValuer{})
+	if _, err := runner.RunCycle(); err == nil {
+		t.Errorf("bad scope accepted")
+	}
+}
+
+func TestRunnerExecutionFailureSurfaces(t *testing.T) {
+	g, _ := ilmGrid(t, 1)
+	// An engine whose migrate handler is sabotaged still reports the
+	// cycle result (continue-policy steps swallow per-object errors, so
+	// force a flow-level failure by deleting the engine's target
+	// resource from under the policy). Simplest: policy targets a
+	// resource that exists at plan time but is offline at execution.
+	e := matrix.NewEngine(g)
+	if err := g.SetMeta(g.Admin(), "/grid/data/f000", "value", "90"); err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{
+		Name: "flaky", Owner: g.Admin(), Scope: "/grid/data",
+		Tiers: []Tier{{MinValue: 70, Resource: "gpfs"}, {MinValue: 0, Resource: "disk"}},
+	}
+	gpfs, _ := g.Resource("gpfs")
+	gpfs.SetOffline(true)
+	runner := NewRunner(g, e, pol, MetaValuer{})
+	res, err := runner.RunCycle()
+	// Steps use onError=continue, so the flow itself succeeds while the
+	// decision is recorded; the object must still be on disk.
+	if err != nil {
+		t.Fatalf("cycle error: %v", err)
+	}
+	if len(res.Decisions) != 1 {
+		t.Fatalf("decisions = %+v", res.Decisions)
+	}
+	reps, _ := g.Namespace().Replicas("/grid/data/f000")
+	if reps[0].Resource != "disk" {
+		t.Errorf("object moved despite offline target: %v", reps)
+	}
+	// The failed step is in the execution's status tree.
+	st, err := e.Status(res.ExecID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CountByState()["failed"] != 1 {
+		t.Errorf("failed steps = %v", st.CountByState())
+	}
+	gpfs.SetOffline(false)
+	// The next cycle completes the move.
+	res2, err := runner.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Decisions) != 1 {
+		t.Fatalf("recovery decisions = %+v", res2.Decisions)
+	}
+	reps, _ = g.Namespace().Replicas("/grid/data/f000")
+	if reps[0].Resource != "gpfs" {
+		t.Errorf("recovery did not complete the move: %v", reps)
+	}
+}
+
+func TestTrackAccesses(t *testing.T) {
+	g, _ := ilmGrid(t, 1)
+	model := NewValueModel()
+	sub := TrackAccesses(g, model)
+	path := "/grid/data/f000"
+	if _, err := g.Get(g.Admin(), "", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Get(g.Admin(), "", path); err != nil {
+		t.Fatal(err)
+	}
+	if mass := model.AccessMass(path, g.Clock().Now()); mass < 1.9 {
+		t.Errorf("access mass = %v, want ≈2", mass)
+	}
+	g.Bus().Unsubscribe(sub)
+	if _, err := g.Get(g.Admin(), "", path); err != nil {
+		t.Fatal(err)
+	}
+	if mass := model.AccessMass(path, g.Clock().Now()); mass > 2.1 {
+		t.Errorf("unsubscribed model still fed: %v", mass)
+	}
+}

@@ -1,0 +1,190 @@
+package ilm
+
+// xml.go gives ILM policies the interoperable XML form the paper
+// requires: "One major requirement is to provide an interoperable
+// description of the datagrid ILM processes. A standard format could be
+// used across all the related systems ... Such a standard based on an
+// XML Schema would allow programmatic interaction of all the systems."
+//
+// A policy document names its scope, tiers, deletion bound, valuer and
+// execution window; Parse validates it and Build instantiates the
+// runnable Policy plus the configured Valuer.
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInvalidPolicy wraps all policy-document validation failures.
+var ErrInvalidPolicy = errors.New("ilm: invalid policy document")
+
+// PolicyDoc is the XML form of an ILM policy.
+type PolicyDoc struct {
+	XMLName xml.Name `xml:"ilmPolicy"`
+	Name    string   `xml:"name,attr"`
+	Owner   string   `xml:"owner,attr"`
+	Scope   string   `xml:"scope,attr"`
+	// Valuer selects the scoring model: "domain-value" (access + freshness),
+	// "freshness" (HSM behaviour) or "metadata" (curator-assigned).
+	Valuer ValuerDoc `xml:"valuer"`
+	Tiers  []TierDoc `xml:"tier"`
+	// DeleteBelow removes objects scoring under the bound (0 = never).
+	DeleteBelow float64 `xml:"deleteBelow,omitempty"`
+	// KeepReplica replicates instead of migrating.
+	KeepReplica bool `xml:"keepReplica,omitempty"`
+	// Window bounds execution ("" fields = always open).
+	Window *WindowDoc `xml:"window,omitempty"`
+}
+
+// ValuerDoc configures the scoring model.
+type ValuerDoc struct {
+	Kind string `xml:"kind,attr"`
+	// Attr names the metadata attribute for kind="metadata".
+	Attr string `xml:"attr,attr,omitempty"`
+	// HalfLifeHours tunes the domain-value access decay (0 = default).
+	HalfLifeHours float64 `xml:"halfLifeHours,attr,omitempty"`
+	// FreshnessScaleHours tunes the freshness decay (0 = default).
+	FreshnessScaleHours float64 `xml:"freshnessScaleHours,attr,omitempty"`
+}
+
+// TierDoc is one value band.
+type TierDoc struct {
+	MinValue float64 `xml:"minValue,attr"`
+	Resource string  `xml:"resource,attr"`
+}
+
+// WindowDoc is the XML form of an execution window.
+type WindowDoc struct {
+	StartHour int `xml:"startHour,attr"`
+	EndHour   int `xml:"endHour,attr"`
+	// Days is a comma-free list of weekday elements ("Saturday", ...).
+	Days []string `xml:"day,omitempty"`
+}
+
+// Valuer kinds.
+const (
+	ValuerDomainValue = "domain-value"
+	ValuerFreshness   = "freshness"
+	ValuerMetadata    = "metadata"
+)
+
+// ParsePolicy decodes and validates a policy document.
+func ParsePolicy(data []byte) (*PolicyDoc, error) {
+	var doc PolicyDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("ilm: parse policy: %w", err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Marshal renders the document as indented XML.
+func (d *PolicyDoc) Marshal() ([]byte, error) {
+	b, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+var weekdays = map[string]time.Weekday{
+	"Sunday": time.Sunday, "Monday": time.Monday, "Tuesday": time.Tuesday,
+	"Wednesday": time.Wednesday, "Thursday": time.Thursday,
+	"Friday": time.Friday, "Saturday": time.Saturday,
+}
+
+// Validate checks the document's constraints.
+func (d *PolicyDoc) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("%w: name required", ErrInvalidPolicy)
+	}
+	if d.Owner == "" {
+		return fmt.Errorf("%w: owner required", ErrInvalidPolicy)
+	}
+	if d.Scope == "" {
+		return fmt.Errorf("%w: scope required", ErrInvalidPolicy)
+	}
+	switch d.Valuer.Kind {
+	case ValuerDomainValue, ValuerFreshness, ValuerMetadata:
+	case "":
+		return fmt.Errorf("%w: valuer kind required", ErrInvalidPolicy)
+	default:
+		return fmt.Errorf("%w: unknown valuer %q", ErrInvalidPolicy, d.Valuer.Kind)
+	}
+	if len(d.Tiers) == 0 && d.DeleteBelow <= 0 {
+		return fmt.Errorf("%w: policy has neither tiers nor a delete bound", ErrInvalidPolicy)
+	}
+	seen := map[float64]bool{}
+	for _, t := range d.Tiers {
+		if t.Resource == "" {
+			return fmt.Errorf("%w: tier without resource", ErrInvalidPolicy)
+		}
+		if t.MinValue < 0 || t.MinValue > 100 {
+			return fmt.Errorf("%w: tier minValue %v out of [0,100]", ErrInvalidPolicy, t.MinValue)
+		}
+		if seen[t.MinValue] {
+			return fmt.Errorf("%w: duplicate tier bound %v", ErrInvalidPolicy, t.MinValue)
+		}
+		seen[t.MinValue] = true
+	}
+	if d.DeleteBelow < 0 || d.DeleteBelow > 100 {
+		return fmt.Errorf("%w: deleteBelow out of [0,100]", ErrInvalidPolicy)
+	}
+	if d.Window != nil {
+		w := d.Window
+		if w.StartHour < 0 || w.StartHour > 23 || w.EndHour < 0 || w.EndHour > 23 {
+			return fmt.Errorf("%w: window hours out of range", ErrInvalidPolicy)
+		}
+		for _, day := range w.Days {
+			if _, ok := weekdays[day]; !ok {
+				return fmt.Errorf("%w: unknown weekday %q", ErrInvalidPolicy, day)
+			}
+		}
+	}
+	return nil
+}
+
+// Build instantiates the runnable Policy and its Valuer. For the
+// domain-value kind the returned model must be fed with accesses
+// (TrackAccesses); it is also returned so the caller can wire it up.
+func (d *PolicyDoc) Build() (Policy, Valuer, *ValueModel, error) {
+	if err := d.Validate(); err != nil {
+		return Policy{}, nil, nil, err
+	}
+	pol := Policy{
+		Name:        d.Name,
+		Owner:       d.Owner,
+		Scope:       d.Scope,
+		DeleteBelow: d.DeleteBelow,
+		KeepReplica: d.KeepReplica,
+	}
+	for _, t := range d.Tiers {
+		pol.Tiers = append(pol.Tiers, Tier{MinValue: t.MinValue, Resource: t.Resource})
+	}
+	if d.Window != nil {
+		pol.Window = Window{StartHour: d.Window.StartHour, EndHour: d.Window.EndHour}
+		for _, day := range d.Window.Days {
+			pol.Window.Days = append(pol.Window.Days, weekdays[day])
+		}
+	}
+	switch d.Valuer.Kind {
+	case ValuerFreshness:
+		scale := time.Duration(d.Valuer.FreshnessScaleHours * float64(time.Hour))
+		return pol, FreshnessValuer{Scale: scale}, nil, nil
+	case ValuerMetadata:
+		return pol, MetaValuer{Attr: d.Valuer.Attr}, nil, nil
+	default: // domain-value
+		model := NewValueModel()
+		if d.Valuer.HalfLifeHours > 0 {
+			model.HalfLife = time.Duration(d.Valuer.HalfLifeHours * float64(time.Hour))
+		}
+		if d.Valuer.FreshnessScaleHours > 0 {
+			model.FreshnessScale = time.Duration(d.Valuer.FreshnessScaleHours * float64(time.Hour))
+		}
+		return pol, ModelValuer{Model: model}, model, nil
+	}
+}

@@ -1,0 +1,186 @@
+package ilm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func samplePolicyXML() string {
+	return `<?xml version="1.0" encoding="UTF-8"?>
+<ilmPolicy name="hospital-archive" owner="archiver" scope="/grid/hospitals">
+  <valuer kind="domain-value" halfLifeHours="168" freshnessScaleHours="720"></valuer>
+  <tier minValue="60" resource="gpfs"></tier>
+  <tier minValue="15" resource="disk"></tier>
+  <tier minValue="0" resource="tape"></tier>
+  <deleteBelow>0</deleteBelow>
+  <window startHour="20" endHour="6">
+    <day>Saturday</day>
+    <day>Sunday</day>
+  </window>
+</ilmPolicy>`
+}
+
+func TestParsePolicy(t *testing.T) {
+	doc, err := ParsePolicy([]byte(samplePolicyXML()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "hospital-archive" || doc.Owner != "archiver" || len(doc.Tiers) != 3 {
+		t.Errorf("doc = %+v", doc)
+	}
+	pol, valuer, model, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("domain-value build should return the model")
+	}
+	if model.HalfLife != 168*time.Hour || model.FreshnessScale != 720*time.Hour {
+		t.Errorf("model tuning = %v, %v", model.HalfLife, model.FreshnessScale)
+	}
+	if _, ok := valuer.(ModelValuer); !ok {
+		t.Errorf("valuer = %T", valuer)
+	}
+	if len(pol.Tiers) != 3 || pol.Tiers[0].Resource != "gpfs" {
+		t.Errorf("tiers = %+v", pol.Tiers)
+	}
+	if pol.Window.StartHour != 20 || len(pol.Window.Days) != 2 || pol.Window.Days[0] != time.Saturday {
+		t.Errorf("window = %+v", pol.Window)
+	}
+	// Round trip.
+	out, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePolicy(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, doc) {
+		t.Errorf("round trip changed the document:\n%+v\n%+v", doc, back)
+	}
+	if !strings.Contains(string(out), `kind="domain-value"`) {
+		t.Errorf("marshal missing valuer:\n%s", out)
+	}
+}
+
+func TestParsePolicyOtherValuers(t *testing.T) {
+	fresh := `<ilmPolicy name="hsm" owner="admin" scope="/grid">
+  <valuer kind="freshness" freshnessScaleHours="24"></valuer>
+  <tier minValue="0" resource="tape"></tier>
+</ilmPolicy>`
+	doc, err := ParsePolicy([]byte(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valuer, model, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, ok := valuer.(FreshnessValuer)
+	if !ok || fv.Scale != 24*time.Hour || model != nil {
+		t.Errorf("freshness build = %T %+v %v", valuer, valuer, model)
+	}
+	meta := `<ilmPolicy name="curated" owner="admin" scope="/grid">
+  <valuer kind="metadata" attr="businessValue"></valuer>
+  <tier minValue="0" resource="tape"></tier>
+</ilmPolicy>`
+	doc, err = ParsePolicy([]byte(meta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valuer, _, err = doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, ok := valuer.(MetaValuer)
+	if !ok || mv.Attr != "businessValue" {
+		t.Errorf("metadata build = %T %+v", valuer, valuer)
+	}
+}
+
+func TestParsePolicyRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*PolicyDoc)
+	}{
+		{"no name", func(d *PolicyDoc) { d.Name = "" }},
+		{"no owner", func(d *PolicyDoc) { d.Owner = "" }},
+		{"no scope", func(d *PolicyDoc) { d.Scope = "" }},
+		{"no valuer", func(d *PolicyDoc) { d.Valuer.Kind = "" }},
+		{"bad valuer", func(d *PolicyDoc) { d.Valuer.Kind = "astrology" }},
+		{"no tiers or delete", func(d *PolicyDoc) { d.Tiers = nil; d.DeleteBelow = 0 }},
+		{"tier without resource", func(d *PolicyDoc) { d.Tiers[0].Resource = "" }},
+		{"tier out of range", func(d *PolicyDoc) { d.Tiers[0].MinValue = 150 }},
+		{"duplicate tier", func(d *PolicyDoc) { d.Tiers[1].MinValue = d.Tiers[0].MinValue }},
+		{"deleteBelow out of range", func(d *PolicyDoc) { d.DeleteBelow = 200 }},
+		{"bad window hour", func(d *PolicyDoc) { d.Window.StartHour = 25 }},
+		{"bad weekday", func(d *PolicyDoc) { d.Window.Days = []string{"Caturday"} }},
+	}
+	for _, tc := range mutations {
+		doc, err := ParsePolicy([]byte(samplePolicyXML()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mut(doc)
+		if err := doc.Validate(); !errors.Is(err, ErrInvalidPolicy) {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	if _, err := ParsePolicy([]byte("<not-xml")); err == nil {
+		t.Errorf("bad XML accepted")
+	}
+	// Delete-only policies (no tiers) are legal.
+	purge := `<ilmPolicy name="purge" owner="admin" scope="/grid">
+  <valuer kind="freshness"></valuer>
+  <deleteBelow>5</deleteBelow>
+</ilmPolicy>`
+	if _, err := ParsePolicy([]byte(purge)); err != nil {
+		t.Errorf("delete-only policy rejected: %v", err)
+	}
+}
+
+// TestPolicyDocEndToEnd runs a parsed policy document through the
+// runner: XML → Policy+Valuer → plan → DGL → execution.
+func TestPolicyDocEndToEnd(t *testing.T) {
+	g, e := ilmGrid(t, 4)
+	docXML := `<ilmPolicy name="from-xml" owner="` + g.Admin() + `" scope="/grid/data">
+  <valuer kind="metadata"></valuer>
+  <tier minValue="50" resource="gpfs"></tier>
+  <tier minValue="0" resource="tape"></tier>
+</ilmPolicy>`
+	doc, err := ParsePolicy([]byte(docXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, valuer, _, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		v := "90"
+		if i >= 2 {
+			v = "10"
+		}
+		if err := g.SetMeta(g.Admin(), fmt.Sprintf("/grid/data/f%03d", i), "value", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runner := NewRunner(g, e, pol, valuer)
+	res, err := runner.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Migrates != 4 {
+		t.Errorf("migrates = %d", res.Stats.Migrates)
+	}
+	gpfs, _ := g.Resource("gpfs")
+	tape, _ := g.Resource("tape")
+	if gpfs.Count() != 2 || tape.Count() != 2 {
+		t.Errorf("placement gpfs=%d tape=%d", gpfs.Count(), tape.Count())
+	}
+}

@@ -1,0 +1,247 @@
+// Package infra implements the Infrastructure Description Language the
+// paper's DfMS architecture names: an XML description of each domain's
+// storage and compute resources, inter-domain links and the SLAs the
+// domain is willing to support. System administrators own these
+// documents ("assuring them full autonomous control over what resources
+// are shared with other grid users and at what SLAs"); the scheduler
+// consumes them to convert abstract execution logic into
+// infrastructure-based execution logic.
+package infra
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"time"
+
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/vfs"
+)
+
+// ErrInvalid wraps all description validation failures.
+var ErrInvalid = errors.New("infra: invalid description")
+
+// Description is the root document: the infrastructure of one grid.
+type Description struct {
+	XMLName xml.Name `xml:"infrastructure"`
+	Name    string   `xml:"name,attr,omitempty"`
+	Domains []Domain `xml:"domain"`
+	Links   []Link   `xml:"link,omitempty"`
+}
+
+// Domain describes one administrative domain's shared resources.
+type Domain struct {
+	Name    string    `xml:"name,attr"`
+	Storage []Storage `xml:"storageResource,omitempty"`
+	Compute []Compute `xml:"computeResource,omitempty"`
+	SLAs    []SLA     `xml:"sla,omitempty"`
+}
+
+// Storage describes one storage resource a domain shares.
+type Storage struct {
+	Name string `xml:"name,attr"`
+	// Class is "memory", "parallel-fs", "disk" or "archive".
+	Class string `xml:"class,attr"`
+	// CapacityGB bounds the resource (0 = unlimited).
+	CapacityGB int64 `xml:"capacityGB,attr,omitempty"`
+}
+
+// Compute describes one compute resource (cluster or node pool).
+type Compute struct {
+	Name string `xml:"name,attr"`
+	// Nodes is the pool size; tasks occupy one node each.
+	Nodes int `xml:"nodes,attr"`
+	// Power scales CPU time: a task needing S cpu-seconds takes S/Power
+	// wall seconds on one node here. 1.0 is the reference machine.
+	Power float64 `xml:"power,attr"`
+}
+
+// SLA describes a service level the domain offers: which users it
+// prefers, which storage classes it exposes to them, and a scheduling
+// priority (higher = preferred by the broker when costs tie).
+type SLA struct {
+	Name     string   `xml:"name,attr"`
+	Users    []string `xml:"user,omitempty"`
+	Classes  []string `xml:"class,omitempty"`
+	Priority int      `xml:"priority,attr,omitempty"`
+}
+
+// Link describes a directed inter-domain network path.
+type Link struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	// BandwidthMBps is the sustained rate in MiB/s.
+	BandwidthMBps float64 `xml:"bandwidthMBps,attr"`
+	// LatencyMs is the per-transfer setup cost in milliseconds.
+	LatencyMs float64 `xml:"latencyMs,attr,omitempty"`
+	// Symmetric installs both directions.
+	Symmetric bool `xml:"symmetric,attr,omitempty"`
+}
+
+// Parse decodes and validates a description.
+func Parse(data []byte) (*Description, error) {
+	var d Description
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("infra: parse: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Marshal renders the description as indented XML.
+func (d *Description) Marshal() ([]byte, error) {
+	b, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+// classFromString maps a class name to the vfs storage class.
+func classFromString(s string) (vfs.Class, error) {
+	switch s {
+	case "memory":
+		return vfs.Memory, nil
+	case "parallel-fs":
+		return vfs.ParallelFS, nil
+	case "disk":
+		return vfs.Disk, nil
+	case "archive":
+		return vfs.Archive, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown storage class %q", ErrInvalid, s)
+	}
+}
+
+// Validate checks structural soundness: unique names, known classes,
+// positive node counts, links referencing declared domains.
+func (d *Description) Validate() error {
+	if len(d.Domains) == 0 {
+		return fmt.Errorf("%w: no domains", ErrInvalid)
+	}
+	domains := map[string]bool{}
+	resNames := map[string]bool{}
+	for _, dom := range d.Domains {
+		if dom.Name == "" {
+			return fmt.Errorf("%w: domain with empty name", ErrInvalid)
+		}
+		if domains[dom.Name] {
+			return fmt.Errorf("%w: duplicate domain %q", ErrInvalid, dom.Name)
+		}
+		domains[dom.Name] = true
+		for _, s := range dom.Storage {
+			if s.Name == "" {
+				return fmt.Errorf("%w: storage with empty name in %s", ErrInvalid, dom.Name)
+			}
+			if resNames[s.Name] {
+				return fmt.Errorf("%w: duplicate resource %q", ErrInvalid, s.Name)
+			}
+			resNames[s.Name] = true
+			if _, err := classFromString(s.Class); err != nil {
+				return err
+			}
+			if s.CapacityGB < 0 {
+				return fmt.Errorf("%w: negative capacity on %q", ErrInvalid, s.Name)
+			}
+		}
+		for _, c := range dom.Compute {
+			if c.Name == "" {
+				return fmt.Errorf("%w: compute with empty name in %s", ErrInvalid, dom.Name)
+			}
+			if resNames[c.Name] {
+				return fmt.Errorf("%w: duplicate resource %q", ErrInvalid, c.Name)
+			}
+			resNames[c.Name] = true
+			if c.Nodes <= 0 {
+				return fmt.Errorf("%w: compute %q needs nodes > 0", ErrInvalid, c.Name)
+			}
+			if c.Power <= 0 {
+				return fmt.Errorf("%w: compute %q needs power > 0", ErrInvalid, c.Name)
+			}
+		}
+	}
+	for _, l := range d.Links {
+		if !domains[l.From] || !domains[l.To] {
+			return fmt.Errorf("%w: link %s→%s references unknown domain", ErrInvalid, l.From, l.To)
+		}
+		if l.BandwidthMBps <= 0 {
+			return fmt.Errorf("%w: link %s→%s needs bandwidth > 0", ErrInvalid, l.From, l.To)
+		}
+	}
+	return nil
+}
+
+// Apply registers the described storage resources and network links on a
+// grid. It returns the compute inventory for the scheduler (the grid
+// itself only manages storage).
+func (d *Description) Apply(g *dgms.Grid) ([]ComputeNode, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var nodes []ComputeNode
+	for _, dom := range d.Domains {
+		for _, s := range dom.Storage {
+			class, err := classFromString(s.Class)
+			if err != nil {
+				return nil, err
+			}
+			res := vfs.New(s.Name, dom.Name, class, s.CapacityGB<<30)
+			if err := g.RegisterResource(res); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range dom.Compute {
+			nodes = append(nodes, ComputeNode{
+				Name: c.Name, Domain: dom.Name, Nodes: c.Nodes, Power: c.Power,
+			})
+		}
+	}
+	for _, l := range d.Links {
+		link := sim.Link{
+			Bandwidth: l.BandwidthMBps * (1 << 20),
+			Latency:   time.Duration(l.LatencyMs * float64(time.Millisecond)),
+		}
+		if l.Symmetric {
+			g.Network().SetSymmetric(l.From, l.To, link)
+		} else {
+			g.Network().SetLink(l.From, l.To, link)
+		}
+	}
+	return nodes, nil
+}
+
+// ComputeNode is the scheduler's view of one compute pool.
+type ComputeNode struct {
+	Name   string
+	Domain string
+	Nodes  int
+	Power  float64
+}
+
+// SLAFor returns the highest-priority SLA in the description that admits
+// the given user (an SLA with no Users admits everyone), and whether any
+// does.
+func (d *Description) SLAFor(domain, user string) (SLA, bool) {
+	var best SLA
+	found := false
+	for _, dom := range d.Domains {
+		if dom.Name != domain {
+			continue
+		}
+		for _, sla := range dom.SLAs {
+			admits := len(sla.Users) == 0
+			for _, u := range sla.Users {
+				if u == user {
+					admits = true
+				}
+			}
+			if admits && (!found || sla.Priority > best.Priority) {
+				best, found = sla, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,427 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/provenance"
+	"datagridflow/internal/sim"
+)
+
+// OpContext is handed to operation handlers: the resolved (interpolated)
+// parameters, the variable scope, identity and infrastructure handles.
+type OpContext struct {
+	// Engine executing the step.
+	Engine *Engine
+	// Grid is the DGMS the engine fronts.
+	Grid *dgms.Grid
+	// User is the submitting grid user (operations run as this user).
+	User string
+	// Params are the step's parameters after $variable interpolation.
+	Params map[string]string
+	// Raw holds the parameters before interpolation. Handlers that accept
+	// expression-valued parameters (setVariable's "expr") must read them
+	// here: the expression evaluator resolves $variables itself, and
+	// pre-interpolating would corrupt string-valued variables.
+	Raw map[string]string
+	// Scope is the live variable environment (handlers may Set results).
+	Scope *Scope
+	// ExecID and NodeID locate the step for provenance.
+	ExecID, NodeID string
+}
+
+// Param returns a required parameter or an error naming it.
+func (c *OpContext) Param(name string) (string, error) {
+	v, ok := c.Params[name]
+	if !ok || v == "" {
+		return "", fmt.Errorf("matrix: operation missing parameter %q", name)
+	}
+	return v, nil
+}
+
+// ParamOr returns an optional parameter with a default.
+func (c *OpContext) ParamOr(name, def string) string {
+	if v, ok := c.Params[name]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// OpHandler executes one operation type.
+type OpHandler func(*OpContext) error
+
+// Config tunes an Engine.
+type Config struct {
+	// MaxParallel bounds concurrently running children of parallel flows
+	// (per flow). Default 16.
+	MaxParallel int
+	// MaxLoopIterations guards against runaway while loops. Default 1e6.
+	MaxLoopIterations int
+	// IDPrefix is prepended to execution ids ("matrixA:dgf-000001"),
+	// letting peers in a datagridflow network route status queries to
+	// the server that owns an execution.
+	IDPrefix string
+}
+
+// Engine is the DfMS server core: it services DGL requests against one
+// grid, synchronously or asynchronously, and tracks every execution.
+type Engine struct {
+	grid *dgms.Grid
+	cfg  Config
+
+	nextExec atomic.Int64
+
+	mu       sync.RWMutex
+	execs    map[string]*Execution
+	handlers map[string]OpHandler
+	procs    map[string]Procedure
+}
+
+// NewEngine creates an engine over the grid with default configuration.
+func NewEngine(grid *dgms.Grid) *Engine {
+	return NewEngineConfig(grid, Config{})
+}
+
+// NewEngineConfig creates an engine with explicit configuration.
+func NewEngineConfig(grid *dgms.Grid, cfg Config) *Engine {
+	if cfg.MaxParallel <= 0 {
+		cfg.MaxParallel = 16
+	}
+	if cfg.MaxLoopIterations <= 0 {
+		cfg.MaxLoopIterations = 1_000_000
+	}
+	e := &Engine{
+		grid:     grid,
+		cfg:      cfg,
+		execs:    make(map[string]*Execution),
+		handlers: make(map[string]OpHandler),
+		procs:    make(map[string]Procedure),
+	}
+	e.registerBuiltins()
+	e.registerCallOp()
+	return e
+}
+
+// Grid returns the engine's DGMS.
+func (e *Engine) Grid() *dgms.Grid { return e.grid }
+
+// Clock returns the grid clock the engine stamps states with.
+func (e *Engine) Clock() sim.Clock { return e.grid.Clock() }
+
+// RegisterOp adds (or replaces) a handler for an operation type — the
+// extension point for domain-specific DGL operations.
+func (e *Engine) RegisterOp(typ string, h OpHandler) {
+	e.mu.Lock()
+	e.handlers[typ] = h
+	e.mu.Unlock()
+}
+
+// handler looks up the handler for an operation type.
+func (e *Engine) handler(typ string) (OpHandler, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	h, ok := e.handlers[typ]
+	return h, ok
+}
+
+// KnownOps returns the registered operation types as a validation set —
+// built-ins plus every RegisterOp extension. Components that validate DGL
+// documents destined for this engine (triggers, ILM policies, the wire
+// server) pass it to dgl.ValidateFlow.
+func (e *Engine) KnownOps() map[string]bool { return e.knownOps() }
+
+// knownOps returns the registered operation types as a validation set.
+func (e *Engine) knownOps() map[string]bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[string]bool, len(e.handlers))
+	for t := range e.handlers {
+		out[t] = true
+	}
+	return out
+}
+
+// Submit services a DGL request. Flow requests validate, then run either
+// synchronously (response carries the final status tree) or, when
+// req.Async is set, in the background (response carries an
+// acknowledgement with the execution id). FlowStatusQuery requests return
+// the current status of the identified flow, step or request.
+func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
+	if req.StatusQuery != nil {
+		if req.Flow != nil {
+			return nil, fmt.Errorf("%w: request has both flow and status query", dgl.ErrInvalid)
+		}
+		st, err := e.Status(req.StatusQuery.ID, req.StatusQuery.Detail)
+		if err != nil {
+			return &dgl.Response{Error: err.Error()}, nil
+		}
+		return &dgl.Response{Status: &st}, nil
+	}
+	if req.Flow == nil {
+		return nil, fmt.Errorf("%w: empty request", dgl.ErrInvalid)
+	}
+	if req.User.Name == "" {
+		return nil, fmt.Errorf("%w: gridUser.name required", dgl.ErrInvalid)
+	}
+	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
+		return nil, err
+	}
+	exec := e.newExecution(req, nil)
+	if req.Async {
+		go exec.run()
+		return &dgl.Response{Ack: &dgl.Ack{
+			ID:     exec.ID,
+			Status: string(StatePending),
+			Valid:  true,
+		}}, nil
+	}
+	exec.run()
+	st := exec.Status(true)
+	resp := &dgl.Response{Status: &st}
+	if err := exec.Err(); err != nil {
+		resp.Error = err.Error()
+	}
+	return resp, nil
+}
+
+// Start validates and launches a flow asynchronously, returning the
+// Execution handle. It is the programmatic twin of an async Submit.
+func (e *Engine) Start(user string, flow dgl.Flow) (*Execution, error) {
+	req := dgl.NewAsyncRequest(user, "", flow)
+	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
+		return nil, err
+	}
+	exec := e.newExecution(req, nil)
+	go exec.run()
+	return exec, nil
+}
+
+// Run validates and executes a flow synchronously, returning the
+// Execution after it reaches a terminal state.
+func (e *Engine) Run(user string, flow dgl.Flow) (*Execution, error) {
+	req := dgl.NewRequest(user, "", flow)
+	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
+		return nil, err
+	}
+	exec := e.newExecution(req, nil)
+	exec.run()
+	return exec, nil
+}
+
+// Restart re-runs a terminal (failed or cancelled) execution, skipping
+// every step that already succeeded — the paper's "started, stopped and
+// restarted at any time" requirement. It returns the new execution,
+// started asynchronously.
+func (e *Engine) Restart(execID string) (*Execution, error) {
+	e.mu.RLock()
+	prior, ok := e.execs[execID]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: execution %s", ErrNotFound, execID)
+	}
+	select {
+	case <-prior.done:
+	default:
+		return nil, fmt.Errorf("%w: %s still running", ErrNotRestartable, execID)
+	}
+	if prior.Err() == nil {
+		return nil, fmt.Errorf("%w: %s already succeeded", ErrNotRestartable, execID)
+	}
+	skip := make(map[string]bool)
+	prior.root.collectSucceeded(skip)
+	// Checkpoint ids are recorded relative to the prior execution id;
+	// rewrite them for the new execution in newExecution.
+	next := e.newExecution(prior.req, skip)
+	go next.run()
+	return next, nil
+}
+
+// RestartFromProvenance re-runs a request whose prior execution is known
+// only through the provenance store — the cross-process variant of
+// Restart. After a server crash or planned restart, a new engine (even
+// in a new process, with a file-backed provenance store) rebuilds the
+// checkpoint set from the prior execution's step.finish/step.skip
+// records and resumes, skipping completed steps. This is the paper's
+// "provenance information ... at any time even (years) after the
+// execution" put to operational use.
+//
+// The caller supplies the original request document (DGL documents are
+// durable artifacts; the engine deliberately does not persist them).
+func (e *Engine) RestartFromProvenance(priorExecID string, req *dgl.Request) (*Execution, error) {
+	if req == nil || req.Flow == nil {
+		return nil, fmt.Errorf("%w: request with a flow required", dgl.ErrInvalid)
+	}
+	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
+		return nil, err
+	}
+	skip := make(map[string]bool)
+	for _, rec := range e.grid.Provenance().Query(provenance.Filter{FlowID: priorExecID}) {
+		switch {
+		case rec.Action == "step.finish" && rec.Outcome == provenance.OutcomeOK:
+			skip[rec.StepID] = true
+		case rec.Action == "step.skip":
+			skip[rec.StepID] = true
+		}
+	}
+	if len(skip) == 0 {
+		// Nothing recorded: still a valid (full) re-run, but flag a
+		// missing prior id loudly since it usually means a typo.
+		if e.grid.Provenance().Count(provenance.Filter{FlowID: priorExecID}) == 0 {
+			return nil, fmt.Errorf("%w: no provenance for execution %s", ErrNotFound, priorExecID)
+		}
+	}
+	next := e.newExecution(req, skip)
+	go next.run()
+	return next, nil
+}
+
+// Execution returns a tracked execution by id.
+func (e *Engine) Execution(id string) (*Execution, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ex, ok := e.execs[id]
+	return ex, ok
+}
+
+// Executions lists tracked execution ids, sorted.
+func (e *Engine) Executions() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.execs))
+	for id := range e.execs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecutionSummary is one row of a server-side execution listing.
+type ExecutionSummary struct {
+	ID    string
+	Name  string
+	State State
+	User  string
+}
+
+// ListExecutions summarizes every tracked execution, sorted by id.
+func (e *Engine) ListExecutions() []ExecutionSummary {
+	e.mu.RLock()
+	execs := make([]*Execution, 0, len(e.execs))
+	for _, ex := range e.execs {
+		execs = append(execs, ex)
+	}
+	e.mu.RUnlock()
+	out := make([]ExecutionSummary, 0, len(execs))
+	for _, ex := range execs {
+		st := ex.Status(false)
+		out = append(out, ExecutionSummary{
+			ID: ex.ID, Name: ex.req.Flow.Name, State: State(st.State), User: ex.req.User.Name,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Prune forgets terminal executions, keeping at most `keep` of the most
+// recent ones (by id order, which is creation order). A long-running
+// DfMS server calls this periodically so completed flows do not
+// accumulate without bound — their durable record lives in provenance,
+// not in engine memory. It returns the number of executions dropped.
+// Running or paused executions are never pruned.
+func (e *Engine) Prune(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var terminal []string
+	for id, ex := range e.execs {
+		select {
+		case <-ex.done:
+			terminal = append(terminal, id)
+		default:
+		}
+	}
+	sort.Strings(terminal)
+	if len(terminal) <= keep {
+		return 0
+	}
+	drop := terminal[:len(terminal)-keep]
+	for _, id := range drop {
+		delete(e.execs, id)
+	}
+	return len(drop)
+}
+
+// Status resolves an id — an execution id or any node id within one — to
+// a status snapshot. This is the "query the status of any task in the
+// workflow at any level of granularity" API.
+func (e *Engine) Status(id string, detail bool) (dgl.FlowStatus, error) {
+	execID := id
+	if i := indexByte(id, '/'); i >= 0 {
+		execID = id[:i]
+	}
+	e.mu.RLock()
+	exec, ok := e.execs[execID]
+	e.mu.RUnlock()
+	if !ok {
+		return dgl.FlowStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if execID == id {
+		return exec.Status(detail), nil
+	}
+	return exec.StatusOf(id, detail)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// newExecution registers a fresh execution for req. skip carries
+// checkpoint ids from a prior run (already rebased to generic node
+// paths).
+func (e *Engine) newExecution(req *dgl.Request, skip map[string]bool) *Execution {
+	id := fmt.Sprintf("%sdgf-%06d", e.cfg.IDPrefix, e.nextExec.Add(1))
+	rebased := make(map[string]bool, len(skip))
+	for k := range skip {
+		// Stored ids look like "dgf-000001/root/step"; keep only the
+		// node path so they match the new execution's ids.
+		if i := indexByte(k, '/'); i >= 0 {
+			rebased[k[i:]] = true
+		}
+	}
+	exec := &Execution{
+		ID:     id,
+		engine: e,
+		req:    req,
+		ctrl:   newControl(),
+		scope:  NewScope(nil),
+		skip:   rebased,
+		done:   make(chan struct{}),
+	}
+	exec.root = &node{
+		id:    id + "/" + req.Flow.Name,
+		name:  req.Flow.Name,
+		kind:  "flow",
+		state: StatePending,
+	}
+	e.mu.Lock()
+	e.execs[id] = exec
+	e.mu.Unlock()
+	return exec
+}
+
+// record writes an engine provenance record.
+func (e *Engine) record(r provenance.Record) {
+	r.Time = e.grid.Clock().Now()
+	_, _ = e.grid.Provenance().Append(r)
+}

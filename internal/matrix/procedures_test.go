@@ -1,0 +1,185 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"datagridflow/internal/dgl"
+)
+
+// protectProcedure is the canonical stored procedure: replicate a path
+// to tape and verify both copies.
+func protectProcedure() Procedure {
+	return Procedure{
+		Name:   "protect",
+		Params: []string{"target"},
+		Flow: dgl.NewFlow("protect-body").
+			Step("replicate", dgl.Op(dgl.OpReplicate, map[string]string{
+				"path": "$target", "to": "tape",
+			})).
+			Step("verify", dgl.Op(dgl.OpVerify, map[string]string{
+				"path": "$target",
+			})).Flow(),
+	}
+}
+
+func TestStoredProcedureCall(t *testing.T) {
+	e := newTestEngine(t)
+	g := e.Grid()
+	if err := e.StoreProcedure(protectProcedure()); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Procedures(); len(got) != 1 || got[0] != "protect" {
+		t.Errorf("Procedures = %v", got)
+	}
+	if err := g.Ingest("user", "/grid/doc", 100, nil, "disk1"); err != nil {
+		t.Fatal(err)
+	}
+	// Direct call.
+	exec, err := e.CallProcedure("user", "protect", map[string]string{"target": "/grid/doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := g.Namespace().Replicas("/grid/doc")
+	if len(reps) != 2 {
+		t.Errorf("replicas = %d", len(reps))
+	}
+	// Call from within a flow via the "call" op, parameter interpolated
+	// from the calling scope, invocation id captured.
+	if err := g.Ingest("user", "/grid/doc2", 100, nil, "disk1"); err != nil {
+		t.Fatal(err)
+	}
+	flow := dgl.NewFlow("caller").
+		Var("f", "/grid/doc2").
+		Var("procExec", "").
+		Step("invoke", dgl.Op(dgl.OpCall, map[string]string{
+			"procedure": "protect", "target": "$f", "resultVar": "procExec",
+		})).Flow()
+	ex := mustRun(t, e, flow)
+	reps, _ = g.Namespace().Replicas("/grid/doc2")
+	if len(reps) != 2 {
+		t.Errorf("doc2 replicas = %d", len(reps))
+	}
+	// The invocation id resolves through the status API — stored
+	// procedures are first-class executions.
+	procID := ex.Vars()["procExec"]
+	if !strings.HasPrefix(procID, "dgf-") {
+		t.Fatalf("procExec = %q", procID)
+	}
+	st, err := e.Status(procID, true)
+	if err != nil || st.Name != "protect-body" || st.State != string(StateSucceeded) {
+		t.Errorf("procedure status = %+v, %v", st, err)
+	}
+}
+
+func TestStoredProcedureErrors(t *testing.T) {
+	e := newTestEngine(t)
+	// Validation.
+	if err := e.StoreProcedure(Procedure{Name: ""}); !errors.Is(err, dgl.ErrInvalid) {
+		t.Errorf("empty name: %v", err)
+	}
+	bad := Procedure{Name: "p", Flow: dgl.NewFlow("f").Step("s", dgl.Op("nosuch", nil)).Flow()}
+	if err := e.StoreProcedure(bad); !errors.Is(err, dgl.ErrInvalid) {
+		t.Errorf("invalid body: %v", err)
+	}
+	dupParam := protectProcedure()
+	dupParam.Params = []string{"a", "a"}
+	if err := e.StoreProcedure(dupParam); !errors.Is(err, dgl.ErrInvalid) {
+		t.Errorf("duplicate params: %v", err)
+	}
+	emptyParam := protectProcedure()
+	emptyParam.Params = []string{""}
+	if err := e.StoreProcedure(emptyParam); !errors.Is(err, dgl.ErrInvalid) {
+		t.Errorf("empty param: %v", err)
+	}
+	// Duplicates and drops.
+	if err := e.StoreProcedure(protectProcedure()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StoreProcedure(protectProcedure()); !errors.Is(err, ErrProcedureExists) {
+		t.Errorf("duplicate store: %v", err)
+	}
+	if err := e.DropProcedure("protect"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropProcedure("protect"); !errors.Is(err, ErrNoProcedure) {
+		t.Errorf("double drop: %v", err)
+	}
+	// Calls.
+	if _, err := e.CallProcedure("user", "nope", nil); !errors.Is(err, ErrNoProcedure) {
+		t.Errorf("unknown call: %v", err)
+	}
+	if err := e.StoreProcedure(protectProcedure()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CallProcedure("user", "protect", nil); err == nil {
+		t.Errorf("missing required argument accepted")
+	}
+	// A failing procedure body propagates to the calling step.
+	failProc := Procedure{
+		Name: "doomed",
+		Flow: dgl.NewFlow("body").Step("s", dgl.Op(dgl.OpFail, nil)).Flow(),
+	}
+	if err := e.StoreProcedure(failProc); err != nil {
+		t.Fatal(err)
+	}
+	flow := dgl.NewFlow("caller").
+		Step("invoke", dgl.Op(dgl.OpCall, map[string]string{"procedure": "doomed"})).Flow()
+	ex, err := e.Run("user", flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := ex.Wait(); werr == nil || !strings.Contains(werr.Error(), "doomed") {
+		t.Errorf("procedure failure not propagated: %v", werr)
+	}
+	// Extra call parameters pass through as variables.
+	echo := Procedure{
+		Name: "echo",
+		Flow: dgl.NewFlow("body").
+			Step("mk", dgl.Op(dgl.OpMakeCollection, map[string]string{"path": "/grid/$label"})).Flow(),
+	}
+	if err := e.StoreProcedure(echo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CallProcedure("user", "echo", map[string]string{"label": "from-proc"}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Grid().Namespace().Exists("/grid/from-proc") {
+		t.Errorf("pass-through parameter lost")
+	}
+}
+
+func TestStoredProcedureConcurrentCalls(t *testing.T) {
+	e := newTestEngine(t)
+	proc := Procedure{
+		Name:   "mk",
+		Params: []string{"n"},
+		Flow: dgl.NewFlow("body").
+			Step("mk", dgl.Op(dgl.OpMakeCollection, map[string]string{"path": "/grid/c$n"})).Flow(),
+	}
+	if err := e.StoreProcedure(proc); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			_, err := e.CallProcedure("user", "mk", map[string]string{"n": fmt.Sprint(i)})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if !e.Grid().Namespace().Exists(fmt.Sprintf("/grid/c%d", i)) {
+			t.Errorf("c%d missing", i)
+		}
+	}
+}

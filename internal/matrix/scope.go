@@ -1,0 +1,108 @@
+// Package matrix implements the DfMS server — the paper's SRB Matrix
+// analog and the core contribution of the reproduction. It executes DGL
+// flows against a DGMS grid with:
+//
+//   - the five control patterns (sequential, parallel, while, forEach,
+//     switch) interpreted recursively over nested flows;
+//   - per-flow variable scopes with shadowing;
+//   - user-defined ECA rules, including beforeEntry/afterExit hooks;
+//   - start / stop (cancel) / pause / resume / restart of long-run
+//     executions, with restart skipping already-succeeded steps;
+//   - unique, hierarchical status identifiers queryable at any
+//     granularity, synchronously or asynchronously;
+//   - provenance records for every flow and step transition; and
+//   - an extensible operation registry (domain-specific DGL extensions).
+package matrix
+
+import (
+	"sync"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/expr"
+)
+
+// Scope is one level of the DGL variable environment. Each flow (and each
+// loop iteration) pushes a scope; lookups walk outward, assignments bind
+// in the nearest scope that already declares the name, or the local scope
+// otherwise. Scopes are safe for the concurrent access parallel flows
+// perform.
+type Scope struct {
+	mu     sync.RWMutex
+	vars   map[string]expr.Value
+	parent *Scope
+}
+
+// NewScope returns a scope with the given parent (nil for a root scope).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{vars: make(map[string]expr.Value), parent: parent}
+}
+
+// Declare binds name in this scope, shadowing any outer binding.
+func (s *Scope) Declare(name string, v expr.Value) {
+	s.mu.Lock()
+	s.vars[name] = v
+	s.mu.Unlock()
+}
+
+// Lookup implements expr.Env by walking the scope chain.
+func (s *Scope) Lookup(name string) (expr.Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		cur.mu.RLock()
+		v, ok := cur.vars[name]
+		cur.mu.RUnlock()
+		if ok {
+			return v, true
+		}
+	}
+	return expr.Null, false
+}
+
+// Set assigns name in the nearest scope that declares it; if none does,
+// the name is declared locally. This gives while-loop counters the
+// natural semantics: the loop body updates the flow-level variable rather
+// than creating a fresh one per iteration.
+func (s *Scope) Set(name string, v expr.Value) {
+	for cur := s; cur != nil; cur = cur.parent {
+		cur.mu.Lock()
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			cur.mu.Unlock()
+			return
+		}
+		cur.mu.Unlock()
+	}
+	s.Declare(name, v)
+}
+
+// Snapshot returns a flat copy of the visible bindings (inner shadowing
+// outer), for status display and debugging.
+func (s *Scope) Snapshot() map[string]string {
+	out := make(map[string]string)
+	var chain []*Scope
+	for cur := s; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	// Outermost first so inner bindings overwrite.
+	for i := len(chain) - 1; i >= 0; i-- {
+		chain[i].mu.RLock()
+		for k, v := range chain[i].vars {
+			out[k] = v.AsString()
+		}
+		chain[i].mu.RUnlock()
+	}
+	return out
+}
+
+// declareAll declares a flow's variable block, interpolating each value
+// against the enclosing environment so declarations can reference outer
+// variables.
+func (s *Scope) declareAll(vars []dgl.Variable) error {
+	for _, v := range vars {
+		val, err := expr.Interpolate(v.Value, s)
+		if err != nil {
+			return err
+		}
+		s.Declare(v.Name, expr.String(val))
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datagridflow/internal/dgl"
+)
+
+// State is the lifecycle state of a flow or step node.
+type State string
+
+// Node states. Terminal states are Succeeded, Failed, Cancelled and
+// Skipped (skipped nodes count as successful for control flow — they are
+// produced by switch fall-through and by restart's checkpoint skipping).
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+	StateSkipped   State = "skipped"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateSucceeded, StateFailed, StateCancelled, StateSkipped:
+		return true
+	}
+	return false
+}
+
+// Control errors.
+var (
+	// ErrCancelled aborts a run when Cancel is called.
+	ErrCancelled = errors.New("matrix: execution cancelled")
+	// ErrNotFound reports an unknown execution or node id.
+	ErrNotFound = errors.New("matrix: id not found")
+	// ErrNotRestartable reports a Restart of a non-terminal execution.
+	ErrNotRestartable = errors.New("matrix: execution not restartable")
+)
+
+// node is one element of an execution's dynamic status tree. Loop
+// iterations add children at run time, so the tree can be much larger
+// than the static flow document.
+type node struct {
+	id       string
+	name     string
+	kind     string // "flow" or "step"
+	mu       sync.Mutex
+	state    State
+	err      string
+	started  time.Time
+	finished time.Time
+	children []*node
+}
+
+func (n *node) setState(s State, at time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state = s
+	switch s {
+	case StateRunning:
+		if n.started.IsZero() {
+			n.started = at
+		}
+	case StateSucceeded, StateFailed, StateCancelled, StateSkipped:
+		n.finished = at
+	}
+}
+
+func (n *node) setError(err error) {
+	n.mu.Lock()
+	n.err = err.Error()
+	n.mu.Unlock()
+}
+
+func (n *node) addChild(c *node) {
+	n.mu.Lock()
+	n.children = append(n.children, c)
+	n.mu.Unlock()
+}
+
+// find locates the node with the given id in the subtree.
+func (n *node) find(id string) (*node, bool) {
+	if n.id == id {
+		return n, true
+	}
+	n.mu.Lock()
+	kids := append([]*node(nil), n.children...)
+	n.mu.Unlock()
+	for _, c := range kids {
+		if found, ok := c.find(id); ok {
+			return found, true
+		}
+	}
+	return nil, false
+}
+
+// status snapshots the subtree as a DGL FlowStatus (detail=false trims
+// children).
+func (n *node) status(detail bool) dgl.FlowStatus {
+	n.mu.Lock()
+	out := dgl.FlowStatus{
+		ID:    n.id,
+		Name:  n.name,
+		Kind:  n.kind,
+		State: string(n.state),
+		Error: n.err,
+	}
+	if !n.started.IsZero() {
+		out.Started = n.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !n.finished.IsZero() {
+		out.Finished = n.finished.UTC().Format(time.RFC3339Nano)
+	}
+	kids := append([]*node(nil), n.children...)
+	n.mu.Unlock()
+	if detail {
+		for _, c := range kids {
+			out.Children = append(out.Children, c.status(true))
+		}
+	}
+	return out
+}
+
+// collectSucceeded gathers the ids of terminally successful step nodes —
+// the checkpoint set Restart consults.
+func (n *node) collectSucceeded(into map[string]bool) {
+	n.mu.Lock()
+	state := n.state
+	kind := n.kind
+	kids := append([]*node(nil), n.children...)
+	n.mu.Unlock()
+	if kind == "step" && (state == StateSucceeded || state == StateSkipped) {
+		into[n.id] = true
+	}
+	for _, c := range kids {
+		c.collectSucceeded(into)
+	}
+}
+
+// ctrlState is the run-control state of an execution.
+type ctrlState int
+
+const (
+	ctrlRunning ctrlState = iota
+	ctrlPaused
+	ctrlCancelled
+)
+
+// control coordinates pause/resume/cancel across the goroutines of one
+// execution. checkpoint() is called between units of work: it blocks
+// while paused and returns ErrCancelled once cancelled.
+type control struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state ctrlState
+}
+
+func newControl() *control {
+	c := &control{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *control) checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.state == ctrlPaused {
+		c.cond.Wait()
+	}
+	if c.state == ctrlCancelled {
+		return ErrCancelled
+	}
+	return nil
+}
+
+func (c *control) pause() {
+	c.mu.Lock()
+	if c.state == ctrlRunning {
+		c.state = ctrlPaused
+	}
+	c.mu.Unlock()
+}
+
+func (c *control) resume() {
+	c.mu.Lock()
+	if c.state == ctrlPaused {
+		c.state = ctrlRunning
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *control) cancel() {
+	c.mu.Lock()
+	c.state = ctrlCancelled
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *control) paused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state == ctrlPaused
+}
+
+// Execution is one run of a DGL request on the engine.
+type Execution struct {
+	// ID is the unique request identifier returned in acknowledgements.
+	ID string
+
+	engine *Engine
+	req    *dgl.Request
+	root   *node
+	ctrl   *control
+	scope  *Scope
+
+	// skip holds step ids that succeeded in a prior run (restart mode).
+	skip map[string]bool
+
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error // final error, nil on success
+}
+
+// Done returns a channel closed when the execution reaches a terminal
+// state.
+func (e *Execution) Done() <-chan struct{} { return e.done }
+
+// Wait blocks until the execution finishes and returns its final error.
+func (e *Execution) Wait() error {
+	<-e.done
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Err returns the final error if the execution has finished.
+func (e *Execution) Err() error {
+	select {
+	case <-e.done:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.err
+	default:
+		return nil
+	}
+}
+
+// Status snapshots the execution's status tree.
+func (e *Execution) Status(detail bool) dgl.FlowStatus {
+	return e.root.status(detail)
+}
+
+// StatusOf snapshots the subtree rooted at the given node id.
+func (e *Execution) StatusOf(id string, detail bool) (dgl.FlowStatus, error) {
+	n, ok := e.root.find(id)
+	if !ok {
+		return dgl.FlowStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return n.status(detail), nil
+}
+
+// Pause suspends the execution at the next checkpoint (between steps and
+// loop iterations). Pausing a terminal execution is a no-op.
+func (e *Execution) Pause() { e.ctrl.pause() }
+
+// Resume continues a paused execution.
+func (e *Execution) Resume() { e.ctrl.resume() }
+
+// Cancel stops the execution; in-flight steps finish, pending work is
+// abandoned, and Wait returns ErrCancelled.
+func (e *Execution) Cancel() { e.ctrl.cancel() }
+
+// Paused reports whether the execution is currently paused.
+func (e *Execution) Paused() bool { return e.ctrl.paused() }
+
+// Vars snapshots the root variable scope.
+func (e *Execution) Vars() map[string]string { return e.scope.Snapshot() }

@@ -1,0 +1,552 @@
+package namespace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Replica records one physical copy of a logical object: which logical
+// resource holds it and under which physical id, plus the fixity digest
+// recorded when it was written.
+type Replica struct {
+	// Resource is the logical resource name holding the copy.
+	Resource string
+	// PhysicalID is the object id within that resource's store.
+	PhysicalID string
+	// Checksum is the MD5 recorded at write time ("" if never computed).
+	Checksum string
+	// StoredAt is when the replica was created (simulated time).
+	StoredAt time.Time
+}
+
+// EntryKind distinguishes collections from data objects.
+type EntryKind int
+
+// Entry kinds.
+const (
+	KindCollection EntryKind = iota
+	KindObject
+)
+
+// String returns "collection" or "object".
+func (k EntryKind) String() string {
+	if k == KindCollection {
+		return "collection"
+	}
+	return "object"
+}
+
+// Entry is a read-only view of a namespace node, returned by lookups and
+// listings. Maps and slices are copies; mutating them does not affect the
+// namespace.
+type Entry struct {
+	Path     string
+	Kind     EntryKind
+	Owner    string
+	Domain   string // owning administrative domain
+	Size     int64  // objects only
+	Created  time.Time
+	Metadata map[string]string
+	Replicas []Replica // objects only
+}
+
+type node struct {
+	name     string
+	kind     EntryKind
+	owner    string
+	domain   string
+	size     int64
+	created  time.Time
+	meta     map[string]string
+	replicas []Replica
+	children map[string]*node // collections only
+	acl      map[string]Perm  // explicit grants; inherited from ancestors
+}
+
+func (n *node) entry(path string) Entry {
+	e := Entry{
+		Path:    path,
+		Kind:    n.kind,
+		Owner:   n.owner,
+		Domain:  n.domain,
+		Size:    n.size,
+		Created: n.created,
+	}
+	if len(n.meta) > 0 {
+		e.Metadata = make(map[string]string, len(n.meta))
+		for k, v := range n.meta {
+			e.Metadata[k] = v
+		}
+	}
+	if len(n.replicas) > 0 {
+		e.Replicas = append([]Replica(nil), n.replicas...)
+	}
+	return e
+}
+
+// Namespace is the thread-safe logical namespace tree.
+type Namespace struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// New returns a namespace containing only the root collection, owned by
+// the given administrator.
+func New(admin string) *Namespace {
+	return &Namespace{root: &node{
+		name:     "/",
+		kind:     KindCollection,
+		owner:    admin,
+		children: make(map[string]*node),
+		meta:     make(map[string]string),
+		acl:      map[string]Perm{admin: PermOwn},
+	}}
+}
+
+// resolve walks to the node at path. Caller must hold at least RLock.
+func (ns *Namespace) resolve(path string) (*node, []*node, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur := ns.root
+	ancestors := []*node{cur}
+	for _, part := range parts {
+		if cur.kind != KindCollection {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNotCollection, path)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		cur = next
+		ancestors = append(ancestors, cur)
+	}
+	return cur, ancestors, nil
+}
+
+// MkCollection creates a collection at path; the parent must exist.
+func (ns *Namespace) MkCollection(path, owner, domain string, now time.Time) error {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return fmt.Errorf("%w: /", ErrExists)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	parent, _, err := ns.resolve(Parent(clean))
+	if err != nil {
+		return err
+	}
+	if parent.kind != KindCollection {
+		return fmt.Errorf("%w: %s", ErrNotCollection, Parent(clean))
+	}
+	name := Base(clean)
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, clean)
+	}
+	parent.children[name] = &node{
+		name:     name,
+		kind:     KindCollection,
+		owner:    owner,
+		domain:   domain,
+		created:  now,
+		children: make(map[string]*node),
+		meta:     make(map[string]string),
+	}
+	return nil
+}
+
+// MkCollectionAll creates a collection and any missing ancestors, like
+// `mkdir -p`. Existing collections along the way are left untouched.
+func (ns *Namespace) MkCollectionAll(path, owner, domain string, now time.Time) error {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	cur := ns.root
+	for _, part := range parts {
+		if cur.kind != KindCollection {
+			return fmt.Errorf("%w: %s", ErrNotCollection, part)
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			next = &node{
+				name:     part,
+				kind:     KindCollection,
+				owner:    owner,
+				domain:   domain,
+				created:  now,
+				children: make(map[string]*node),
+				meta:     make(map[string]string),
+			}
+			cur.children[part] = next
+		}
+		cur = next
+	}
+	if cur.kind != KindCollection {
+		return fmt.Errorf("%w: %s", ErrNotCollection, path)
+	}
+	return nil
+}
+
+// CreateObject registers a logical data object. The parent collection must
+// exist. The object starts with no replicas; the DGMS adds one per
+// physical copy it writes.
+func (ns *Namespace) CreateObject(path, owner, domain string, size int64, now time.Time) error {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return fmt.Errorf("%w: cannot create object at /", ErrBadPath)
+	}
+	if size < 0 {
+		return fmt.Errorf("%w: negative size", ErrBadPath)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	parent, _, err := ns.resolve(Parent(clean))
+	if err != nil {
+		return err
+	}
+	if parent.kind != KindCollection {
+		return fmt.Errorf("%w: %s", ErrNotCollection, Parent(clean))
+	}
+	name := Base(clean)
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, clean)
+	}
+	parent.children[name] = &node{
+		name:    name,
+		kind:    KindObject,
+		owner:   owner,
+		domain:  domain,
+		size:    size,
+		created: now,
+		meta:    make(map[string]string),
+	}
+	return nil
+}
+
+// Lookup returns the entry at path.
+func (ns *Namespace) Lookup(path string) (Entry, error) {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return Entry{}, err
+	}
+	return n.entry(clean), nil
+}
+
+// Exists reports whether path names a collection or object.
+func (ns *Namespace) Exists(path string) bool {
+	_, err := ns.Lookup(path)
+	return err == nil
+}
+
+// List returns the entries directly inside the collection at path, sorted
+// by name.
+func (ns *Namespace) List(path string) ([]Entry, error) {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != KindCollection {
+		return nil, fmt.Errorf("%w: %s", ErrNotCollection, clean)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Entry, 0, len(names))
+	base := clean
+	if base == "/" {
+		base = ""
+	}
+	for _, name := range names {
+		out = append(out, n.children[name].entry(base+"/"+name))
+	}
+	return out, nil
+}
+
+// Walk visits every entry under root (depth-first, children in name
+// order), calling fn with each. Returning a non-nil error from fn aborts
+// the walk and is returned.
+func (ns *Namespace) Walk(root string, fn func(Entry) error) error {
+	clean, err := CleanPath(root)
+	if err != nil {
+		return err
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return err
+	}
+	return walkNode(n, clean, fn)
+}
+
+func walkNode(n *node, path string, fn func(Entry) error) error {
+	if err := fn(n.entry(path)); err != nil {
+		return err
+	}
+	if n.kind != KindCollection {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	base := path
+	if base == "/" {
+		base = ""
+	}
+	for _, name := range names {
+		if err := walkNode(n.children[name], base+"/"+name, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes the object at path. Collections need RemoveCollection.
+func (ns *Namespace) Remove(path string) error {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return err
+	}
+	if n.kind != KindObject {
+		return fmt.Errorf("%w: %s", ErrNotObject, clean)
+	}
+	parent, _, err := ns.resolve(Parent(clean))
+	if err != nil {
+		return err
+	}
+	delete(parent.children, Base(clean))
+	return nil
+}
+
+// RemoveCollection deletes the collection at path. Unless recursive is
+// set, the collection must be empty.
+func (ns *Namespace) RemoveCollection(path string, recursive bool) error {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return fmt.Errorf("%w: cannot remove /", ErrBadPath)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return err
+	}
+	if n.kind != KindCollection {
+		return fmt.Errorf("%w: %s", ErrNotCollection, clean)
+	}
+	if !recursive && len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, clean)
+	}
+	parent, _, err := ns.resolve(Parent(clean))
+	if err != nil {
+		return err
+	}
+	delete(parent.children, Base(clean))
+	return nil
+}
+
+// Move renames src to dst (both full paths). The destination parent must
+// exist and dst must not. Replicas, metadata and ACLs travel with the
+// node: this is the data-virtualization property — physical storage is
+// untouched by logical reorganization.
+func (ns *Namespace) Move(src, dst string) error {
+	cs, err := CleanPath(src)
+	if err != nil {
+		return err
+	}
+	cd, err := CleanPath(dst)
+	if err != nil {
+		return err
+	}
+	if cs == "/" || cd == "/" {
+		return fmt.Errorf("%w: cannot move the root", ErrBadPath)
+	}
+	if cd == cs || strings.HasPrefix(cd, cs+"/") {
+		return fmt.Errorf("%w: cannot move %s into itself", ErrBadPath, cs)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, _, err := ns.resolve(cs)
+	if err != nil {
+		return err
+	}
+	dstParent, _, err := ns.resolve(Parent(cd))
+	if err != nil {
+		return err
+	}
+	if dstParent.kind != KindCollection {
+		return fmt.Errorf("%w: %s", ErrNotCollection, Parent(cd))
+	}
+	if _, ok := dstParent.children[Base(cd)]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, cd)
+	}
+	srcParent, _, err := ns.resolve(Parent(cs))
+	if err != nil {
+		return err
+	}
+	delete(srcParent.children, Base(cs))
+	n.name = Base(cd)
+	dstParent.children[n.name] = n
+	return nil
+}
+
+// AddReplica appends a replica record to the object at path. Duplicate
+// (resource) entries are rejected: the grid keeps at most one replica of
+// an object per logical resource.
+func (ns *Namespace) AddReplica(path string, rep Replica) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, err := ns.objectNode(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range n.replicas {
+		if r.Resource == rep.Resource {
+			return fmt.Errorf("%w: replica of %s on %s", ErrExists, path, rep.Resource)
+		}
+	}
+	n.replicas = append(n.replicas, rep)
+	return nil
+}
+
+// RemoveReplica deletes the replica on the named resource.
+func (ns *Namespace) RemoveReplica(path, resource string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, err := ns.objectNode(path)
+	if err != nil {
+		return err
+	}
+	for i, r := range n.replicas {
+		if r.Resource == resource {
+			n.replicas = append(n.replicas[:i], n.replicas[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: replica of %s on %s", ErrNotFound, path, resource)
+}
+
+// Replicas returns the replica records of the object at path.
+func (ns *Namespace) Replicas(path string) ([]Replica, error) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	n, err := ns.objectNode(path)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Replica(nil), n.replicas...), nil
+}
+
+func (ns *Namespace) objectNode(path string) (*node, error) {
+	clean, err := CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	n, _, err := ns.resolve(clean)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != KindObject {
+		return nil, fmt.Errorf("%w: %s", ErrNotObject, clean)
+	}
+	return n, nil
+}
+
+// SetMeta sets one user-defined metadata attribute on the entry at path.
+func (ns *Namespace) SetMeta(path, attr, value string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, _, err := ns.resolve(path)
+	if err != nil {
+		return err
+	}
+	n.meta[attr] = value
+	return nil
+}
+
+// DeleteMeta removes a metadata attribute; removing a missing attribute
+// is a no-op.
+func (ns *Namespace) DeleteMeta(path, attr string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	n, _, err := ns.resolve(path)
+	if err != nil {
+		return err
+	}
+	delete(n.meta, attr)
+	return nil
+}
+
+// GetMeta returns one metadata attribute and whether it is set.
+func (ns *Namespace) GetMeta(path, attr string) (string, bool, error) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	n, _, err := ns.resolve(path)
+	if err != nil {
+		return "", false, err
+	}
+	v, ok := n.meta[attr]
+	return v, ok, nil
+}
+
+// Stats summarizes the namespace.
+type Stats struct {
+	Collections int
+	Objects     int
+	TotalBytes  int64
+	Replicas    int
+}
+
+// Stats walks the whole tree and returns aggregate counts.
+func (ns *Namespace) Stats() Stats {
+	var s Stats
+	_ = ns.Walk("/", func(e Entry) error {
+		if e.Kind == KindCollection {
+			s.Collections++
+		} else {
+			s.Objects++
+			s.TotalBytes += e.Size
+			s.Replicas += len(e.Replicas)
+		}
+		return nil
+	})
+	return s
+}

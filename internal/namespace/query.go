@@ -1,0 +1,149 @@
+package namespace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// QueryOp is a comparison operator in a metadata query condition.
+type QueryOp string
+
+// Supported operators. Numeric comparisons apply when both sides parse as
+// numbers; otherwise lexical string comparison is used.
+const (
+	OpEq       QueryOp = "="
+	OpNe       QueryOp = "!="
+	OpLt       QueryOp = "<"
+	OpLe       QueryOp = "<="
+	OpGt       QueryOp = ">"
+	OpGe       QueryOp = ">="
+	OpContains QueryOp = "contains"
+	OpPrefix   QueryOp = "prefix"
+	OpSuffix   QueryOp = "suffix"
+	OpExists   QueryOp = "exists"
+)
+
+// Condition is one predicate over an entry. Attr may be a user-defined
+// metadata attribute or one of the built-in pseudo-attributes:
+// "name" (base name), "path", "owner", "domain", "size", "kind".
+type Condition struct {
+	Attr  string
+	Op    QueryOp
+	Value string
+}
+
+// Query is a conjunction of conditions, optionally restricted to a kind.
+type Query struct {
+	// Scope restricts the search to entries under this collection
+	// (default "/").
+	Scope string
+	// Conditions must all hold (AND semantics, like SRB metadata queries).
+	Conditions []Condition
+	// ObjectsOnly skips collections when set.
+	ObjectsOnly bool
+	// Limit bounds the number of results (0 = unlimited).
+	Limit int
+}
+
+func (c Condition) matches(e Entry) (bool, error) {
+	var have string
+	var ok bool
+	switch c.Attr {
+	case "name":
+		have, ok = Base(e.Path), true
+	case "path":
+		have, ok = e.Path, true
+	case "owner":
+		have, ok = e.Owner, true
+	case "domain":
+		have, ok = e.Domain, true
+	case "kind":
+		have, ok = e.Kind.String(), true
+	case "size":
+		have, ok = strconv.FormatInt(e.Size, 10), true
+	default:
+		have, ok = e.Metadata[c.Attr]
+	}
+	if c.Op == OpExists {
+		return ok, nil
+	}
+	if !ok {
+		return false, nil
+	}
+	switch c.Op {
+	case OpEq:
+		return compareVals(have, c.Value) == 0, nil
+	case OpNe:
+		return compareVals(have, c.Value) != 0, nil
+	case OpLt:
+		return compareVals(have, c.Value) < 0, nil
+	case OpLe:
+		return compareVals(have, c.Value) <= 0, nil
+	case OpGt:
+		return compareVals(have, c.Value) > 0, nil
+	case OpGe:
+		return compareVals(have, c.Value) >= 0, nil
+	case OpContains:
+		return strings.Contains(have, c.Value), nil
+	case OpPrefix:
+		return strings.HasPrefix(have, c.Value), nil
+	case OpSuffix:
+		return strings.HasSuffix(have, c.Value), nil
+	default:
+		return false, fmt.Errorf("namespace: unknown query operator %q", c.Op)
+	}
+}
+
+func compareVals(a, b string) int {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// Search evaluates q and returns matching entries in walk (name) order.
+// This is the namespace analog of an SRB metadata query — the primitive
+// that datagrid triggers and ILM policies select their working sets with.
+func (ns *Namespace) Search(q Query) ([]Entry, error) {
+	scope := q.Scope
+	if scope == "" {
+		scope = "/"
+	}
+	var out []Entry
+	err := ns.Walk(scope, func(e Entry) error {
+		if q.ObjectsOnly && e.Kind != KindObject {
+			return nil
+		}
+		for _, c := range q.Conditions {
+			ok, err := c.matches(e)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		out = append(out, e)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			return errStopWalk
+		}
+		return nil
+	})
+	if err != nil && err != errStopWalk {
+		return nil, err
+	}
+	return out, nil
+}
+
+// errStopWalk is a sentinel for early termination of Walk from Search.
+var errStopWalk = fmt.Errorf("namespace: stop walk")

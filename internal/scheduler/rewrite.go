@@ -1,0 +1,146 @@
+package scheduler
+
+import (
+	"fmt"
+	"strconv"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/vfs"
+)
+
+// Rewrite converts abstract execution logic into infrastructure-based
+// execution logic — the paper's analogy to "query re-writing or
+// optimization of SQL before a final query plan is generated". The input
+// flow may use abstract resource references that only name a storage
+// class; Rewrite binds them to concrete resources and binds exec steps to
+// concrete compute lanes, using the broker's cost model. The original
+// flow is not modified.
+//
+// Abstract references recognized in step parameters:
+//
+//   - resource/to = "class:disk" | "class:archive" | "class:parallel-fs"
+//     | "class:memory", optionally scoped to a domain with
+//     "class:disk@sdsc": bound to the matching resource with the most
+//     free space.
+//   - exec steps without a "lane": bound to the cheapest compute node for
+//     the step's cpuSeconds (and the step gains cpuSeconds scaled by the
+//     node's power).
+//
+// This is late binding at its latest safe point: Rewrite is typically
+// called per loop section just before submission, so each iteration can
+// land on different infrastructure (paper §2.3).
+func (b *Broker) Rewrite(flow dgl.Flow) (dgl.Flow, error) {
+	out := flow
+	// Deep-copy children so the caller's document stays abstract.
+	out.Flows = append([]dgl.Flow(nil), flow.Flows...)
+	out.Steps = append([]dgl.Step(nil), flow.Steps...)
+	for i := range out.Flows {
+		rw, err := b.Rewrite(out.Flows[i])
+		if err != nil {
+			return dgl.Flow{}, err
+		}
+		out.Flows[i] = rw
+	}
+	for i := range out.Steps {
+		st, err := b.rewriteStep(out.Steps[i])
+		if err != nil {
+			return dgl.Flow{}, err
+		}
+		out.Steps[i] = st
+	}
+	return out, nil
+}
+
+func (b *Broker) rewriteStep(st dgl.Step) (dgl.Step, error) {
+	st.Operation.Params = append([]dgl.Param(nil), st.Operation.Params...)
+	for pi, p := range st.Operation.Params {
+		switch p.Name {
+		case "resource", "to", "from":
+			concrete, err := b.resolveResourceRef(p.Value)
+			if err != nil {
+				return st, fmt.Errorf("step %s: %w", st.Name, err)
+			}
+			st.Operation.Params[pi].Value = concrete
+		}
+	}
+	if st.Operation.Type == dgl.OpExec {
+		if _, ok := st.Operation.Param("lane"); !ok {
+			cpu := 1.0
+			if s, ok := st.Operation.Param("cpuSeconds"); ok {
+				if f, err := strconv.ParseFloat(s, 64); err == nil {
+					cpu = f
+				}
+			}
+			task := Task{Name: st.Name, CPUSeconds: cpu}
+			chosen, _, err := b.Plan(&task, CostBased)
+			if err != nil {
+				return st, fmt.Errorf("step %s: %w", st.Name, err)
+			}
+			scaled := cpu / chosen.Node.Power
+			st.Operation.Params = append(st.Operation.Params,
+				dgl.Param{Name: "lane", Value: chosen.Node.Name},
+			)
+			setParam(&st.Operation, "cpuSeconds", strconv.FormatFloat(scaled, 'f', -1, 64))
+		}
+	}
+	return st, nil
+}
+
+func setParam(op *dgl.Operation, name, value string) {
+	for i := range op.Params {
+		if op.Params[i].Name == name {
+			op.Params[i].Value = value
+			return
+		}
+	}
+	op.Params = append(op.Params, dgl.Param{Name: name, Value: value})
+}
+
+// resolveResourceRef binds "class:<class>[@domain]" references to the
+// matching resource with the most free space; concrete names pass
+// through untouched.
+func (b *Broker) resolveResourceRef(ref string) (string, error) {
+	const prefix = "class:"
+	if len(ref) < len(prefix) || ref[:len(prefix)] != prefix {
+		return ref, nil
+	}
+	spec := ref[len(prefix):]
+	domain := ""
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == '@' {
+			domain = spec[i+1:]
+			spec = spec[:i]
+			break
+		}
+	}
+	var want vfs.Class
+	switch spec {
+	case "memory":
+		want = vfs.Memory
+	case "parallel-fs":
+		want = vfs.ParallelFS
+	case "disk":
+		want = vfs.Disk
+	case "archive":
+		want = vfs.Archive
+	default:
+		return "", fmt.Errorf("scheduler: unknown class reference %q", ref)
+	}
+	best := ""
+	var bestFree int64 = -1
+	for _, r := range b.grid.Resources() {
+		if r.Class() != want || r.Offline() {
+			continue
+		}
+		if domain != "" && r.Domain() != domain {
+			continue
+		}
+		if r.Free() > bestFree {
+			best, bestFree = r.Name(), r.Free()
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("scheduler: no online resource satisfies %q", ref)
+	}
+	return best, nil
+}

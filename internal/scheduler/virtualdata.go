@@ -1,0 +1,81 @@
+package scheduler
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog is the virtual-data catalog (the GriPhyN Chimera analog): it
+// records which transformation, applied to which inputs, derived which
+// output. A recorded derivation whose output still exists lets the
+// broker skip recomputation — "If the required output data is already
+// available (virtual data), it need not be derived again."
+type Catalog struct {
+	mu sync.RWMutex
+	// byKey maps derivation keys to output paths.
+	byKey map[string]string
+	// byOutput maps output paths to their derivation keys (for
+	// invalidation when data is deleted).
+	byOutput map[string]string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byKey: make(map[string]string), byOutput: make(map[string]string)}
+}
+
+// key derives the catalog key for (transformation, inputs). Input order
+// is irrelevant: the same data through the same code is the same
+// derivation.
+func key(transformation string, inputs []string) string {
+	sorted := append([]string(nil), inputs...)
+	sort.Strings(sorted)
+	h := sha256.Sum256([]byte(transformation + "\x00" + strings.Join(sorted, "\x00")))
+	return hex.EncodeToString(h[:16])
+}
+
+// Record notes that output was derived from inputs by transformation.
+func (c *Catalog) Record(transformation string, inputs []string, output string) {
+	k := key(transformation, inputs)
+	c.mu.Lock()
+	c.byKey[k] = output
+	c.byOutput[output] = k
+	c.mu.Unlock()
+}
+
+// Lookup returns the output previously derived for (transformation,
+// inputs), if recorded.
+func (c *Catalog) Lookup(transformation string, inputs []string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out, ok := c.byKey[key(transformation, inputs)]
+	return out, ok
+}
+
+// Has reports whether the exact derivation (including the output path) is
+// recorded.
+func (c *Catalog) Has(transformation string, inputs []string, output string) bool {
+	got, ok := c.Lookup(transformation, inputs)
+	return ok && got == output
+}
+
+// Invalidate removes the derivation that produced output (call when the
+// output is deleted from the grid).
+func (c *Catalog) Invalidate(output string) {
+	c.mu.Lock()
+	if k, ok := c.byOutput[output]; ok {
+		delete(c.byKey, k)
+		delete(c.byOutput, output)
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of recorded derivations.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byKey)
+}

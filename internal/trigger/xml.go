@@ -1,0 +1,130 @@
+package trigger
+
+// xml.go gives trigger definitions an interoperable XML form, matching
+// the paper's call for a language describing "triggers with respect to
+// files, the metadata that are associated with those files, data
+// collections, data storage resources" — the same DGL operation and
+// parameter vocabulary is reused for trigger actions, so one document
+// format covers both flows and triggers.
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/dgms"
+)
+
+// ErrInvalidDoc wraps trigger-document validation failures.
+var ErrInvalidDoc = errors.New("trigger: invalid definition document")
+
+// Definitions is a document holding any number of trigger definitions.
+type Definitions struct {
+	XMLName  xml.Name     `xml:"datagridTriggers"`
+	Triggers []TriggerDoc `xml:"trigger"`
+}
+
+// TriggerDoc is the XML form of one trigger.
+type TriggerDoc struct {
+	Name  string `xml:"name,attr"`
+	Owner string `xml:"owner,attr"`
+	// Phase is "before" or "after" (default "after").
+	Phase string `xml:"phase,attr,omitempty"`
+	// Events lists the event types to match (empty = all).
+	Events []string `xml:"event,omitempty"`
+	// Condition is the tCondition over the event environment.
+	Condition string `xml:"condition,omitempty"`
+	// Veto (before phase only) rejects matching operations.
+	Veto        bool   `xml:"veto,omitempty"`
+	VetoMessage string `xml:"vetoMessage,omitempty"`
+	// Actions are DGL operations executed on match (after phase).
+	Actions []dgl.Operation `xml:"operation,omitempty"`
+	// Flow, if present, is launched as a full DGL flow on match.
+	Flow *dgl.Flow `xml:"flow,omitempty"`
+}
+
+// ParseDefinitions decodes a trigger-definition document.
+func ParseDefinitions(data []byte) (*Definitions, error) {
+	var doc Definitions
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trigger: parse definitions: %w", err)
+	}
+	if len(doc.Triggers) == 0 {
+		return nil, fmt.Errorf("%w: no triggers", ErrInvalidDoc)
+	}
+	return &doc, nil
+}
+
+// Marshal renders the definitions as indented XML.
+func (d *Definitions) Marshal() ([]byte, error) {
+	b, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+// knownEvents validates event names in documents.
+var knownEvents = map[string]dgms.EventType{
+	string(dgms.EventIngest):     dgms.EventIngest,
+	string(dgms.EventReplicate):  dgms.EventReplicate,
+	string(dgms.EventMigrate):    dgms.EventMigrate,
+	string(dgms.EventTrim):       dgms.EventTrim,
+	string(dgms.EventDelete):     dgms.EventDelete,
+	string(dgms.EventCollection): dgms.EventCollection,
+	string(dgms.EventMetaSet):    dgms.EventMetaSet,
+	string(dgms.EventMove):       dgms.EventMove,
+	string(dgms.EventAccess):     dgms.EventAccess,
+}
+
+// Build converts the document form into a Trigger ready for
+// Manager.Define (which performs the full semantic validation).
+func (d *TriggerDoc) Build() (Trigger, error) {
+	t := Trigger{
+		Name:        d.Name,
+		Owner:       d.Owner,
+		Condition:   d.Condition,
+		Veto:        d.Veto,
+		VetoMessage: d.VetoMessage,
+		Operations:  d.Actions,
+		Flow:        d.Flow,
+	}
+	switch d.Phase {
+	case "", "after":
+		t.Phase = dgms.After
+	case "before":
+		t.Phase = dgms.Before
+	default:
+		return Trigger{}, fmt.Errorf("%w: trigger %q: unknown phase %q", ErrInvalidDoc, d.Name, d.Phase)
+	}
+	for _, ev := range d.Events {
+		typ, ok := knownEvents[ev]
+		if !ok {
+			return Trigger{}, fmt.Errorf("%w: trigger %q: unknown event %q", ErrInvalidDoc, d.Name, ev)
+		}
+		t.Events = append(t.Events, typ)
+	}
+	return t, nil
+}
+
+// DefineAll builds and registers every trigger in the document,
+// returning the names defined. On the first error, previously defined
+// triggers from this document are removed again (all-or-nothing).
+func (m *Manager) DefineAll(doc *Definitions) ([]string, error) {
+	var defined []string
+	for i := range doc.Triggers {
+		t, err := doc.Triggers[i].Build()
+		if err == nil {
+			err = m.Define(t)
+		}
+		if err != nil {
+			for _, name := range defined {
+				_ = m.Remove(name)
+			}
+			return nil, err
+		}
+		defined = append(defined, t.Name)
+	}
+	return defined, nil
+}

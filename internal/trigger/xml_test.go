@@ -1,0 +1,115 @@
+package trigger
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"datagridflow/internal/dgms"
+)
+
+func sampleTriggersXML() string {
+	return `<?xml version="1.0" encoding="UTF-8"?>
+<datagridTriggers>
+  <trigger name="tag-waveforms" owner="robot" phase="after">
+    <event>ingest</event>
+    <condition>endsWith($path, '.dat')</condition>
+    <operation type="setMeta">
+      <param name="path">$path</param>
+      <param name="attr">kind</param>
+      <param name="value">waveform</param>
+    </operation>
+  </trigger>
+  <trigger name="retention" owner="robot" phase="before">
+    <event>delete</event>
+    <condition>contains($path, '/archive-')</condition>
+    <veto>true</veto>
+    <vetoMessage>archived data is immutable</vetoMessage>
+  </trigger>
+</datagridTriggers>`
+}
+
+func TestParseDefinitionsAndDefineAll(t *testing.T) {
+	g, _, m := setup(t)
+	doc, err := ParseDefinitions([]byte(sampleTriggersXML()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Triggers) != 2 {
+		t.Fatalf("triggers = %d", len(doc.Triggers))
+	}
+	names, err := m.DefineAll(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "tag-waveforms" {
+		t.Errorf("names = %v", names)
+	}
+	// The after trigger fires from a real ingest.
+	if err := g.Ingest("user", "/grid/in/w.dat", 10, nil, "disk1"); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	v, ok, _ := g.Namespace().GetMeta("/grid/in/w.dat", "kind")
+	if !ok || v != "waveform" {
+		t.Errorf("xml-defined trigger did not fire: %q %v", v, ok)
+	}
+	// The before trigger vetoes.
+	if err := g.Ingest("user", "/grid/in/archive-a", 10, nil, "disk1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Delete("user", "/grid/in/archive-a"); !errors.Is(err, dgms.ErrVetoed) {
+		t.Errorf("xml veto: %v", err)
+	}
+	// Round trip.
+	out, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDefinitions(out)
+	if err != nil || len(back.Triggers) != 2 {
+		t.Errorf("round trip: %v, %v", back, err)
+	}
+	if !strings.Contains(string(out), `name="retention"`) {
+		t.Errorf("marshal output:\n%s", out)
+	}
+}
+
+func TestDefinitionsErrors(t *testing.T) {
+	if _, err := ParseDefinitions([]byte("<bad")); err == nil {
+		t.Errorf("bad XML accepted")
+	}
+	if _, err := ParseDefinitions([]byte("<datagridTriggers></datagridTriggers>")); !errors.Is(err, ErrInvalidDoc) {
+		t.Errorf("empty doc: %v", err)
+	}
+	// Unknown phase.
+	bad := TriggerDoc{Name: "x", Owner: "u", Phase: "during"}
+	if _, err := bad.Build(); !errors.Is(err, ErrInvalidDoc) {
+		t.Errorf("bad phase: %v", err)
+	}
+	// Unknown event.
+	bad = TriggerDoc{Name: "x", Owner: "u", Events: []string{"teleport"}}
+	if _, err := bad.Build(); !errors.Is(err, ErrInvalidDoc) {
+		t.Errorf("bad event: %v", err)
+	}
+	// Default phase is after.
+	ok := TriggerDoc{Name: "x", Owner: "u", Events: []string{"access"}}
+	tr, err := ok.Build()
+	if err != nil || tr.Phase != dgms.After || tr.Events[0] != dgms.EventAccess {
+		t.Errorf("default phase build = %+v, %v", tr, err)
+	}
+}
+
+func TestDefineAllRollsBack(t *testing.T) {
+	_, _, m := setup(t)
+	doc := &Definitions{Triggers: []TriggerDoc{
+		{Name: "good", Owner: "robot", Events: []string{"ingest"}},
+		{Name: "bad", Owner: "robot", Events: []string{"nope"}},
+	}}
+	if _, err := m.DefineAll(doc); err == nil {
+		t.Fatal("bad document accepted")
+	}
+	if len(m.Names()) != 0 {
+		t.Errorf("partial definitions left behind: %v", m.Names())
+	}
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"datagridflow/internal/dgl"
+)
+
+// Client is a connection to one matrix server. It serializes requests
+// (one in flight at a time), matching the request-response protocol.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a matrix server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Submit sends a DGL request and returns the server's response.
+func (c *Client) Submit(req *dgl.Request) (*dgl.Response, error) {
+	data, err := dgl.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, KindDGL, data); err != nil {
+		return nil, err
+	}
+	kind, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindDGL {
+		return nil, errors.New("wire: unexpected frame kind in response")
+	}
+	return dgl.ParseResponse(payload)
+}
+
+// SubmitFlow submits a flow synchronously and returns the final status.
+func (c *Client) SubmitFlow(user string, flow dgl.Flow) (*dgl.Response, error) {
+	return c.Submit(dgl.NewRequest(user, "", flow))
+}
+
+// SubmitAsync submits a flow asynchronously and returns the execution id
+// from the acknowledgement.
+func (c *Client) SubmitAsync(user string, flow dgl.Flow) (string, error) {
+	resp, err := c.Submit(dgl.NewAsyncRequest(user, "", flow))
+	if err != nil {
+		return "", err
+	}
+	if resp.Error != "" {
+		return "", errors.New(resp.Error)
+	}
+	if resp.Ack == nil || !resp.Ack.Valid {
+		return "", errors.New("wire: missing acknowledgement")
+	}
+	return resp.Ack.ID, nil
+}
+
+// Status queries the status of an execution, flow or step id.
+func (c *Client) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
+	resp, err := c.Submit(dgl.NewStatusRequest(user, id, detail))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	if resp.Status == nil {
+		return nil, errors.New("wire: empty status response")
+	}
+	return resp.Status, nil
+}
+
+// control sends one control verb.
+func (c *Client) control(op, id string) (ControlResult, error) {
+	data, err := json.Marshal(Control{Op: op, ID: id})
+	if err != nil {
+		return ControlResult{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, KindControl, data); err != nil {
+		return ControlResult{}, err
+	}
+	kind, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return ControlResult{}, err
+	}
+	if kind != KindControl {
+		return ControlResult{}, errors.New("wire: unexpected frame kind in response")
+	}
+	var res ControlResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return ControlResult{}, err
+	}
+	if !res.OK && res.Error != "" {
+		return res, errors.New(res.Error)
+	}
+	return res, nil
+}
+
+// Pause suspends an execution on the server.
+func (c *Client) Pause(id string) error {
+	_, err := c.control("pause", id)
+	return err
+}
+
+// Resume continues a paused execution.
+func (c *Client) Resume(id string) error {
+	_, err := c.control("resume", id)
+	return err
+}
+
+// Cancel stops an execution.
+func (c *Client) Cancel(id string) error {
+	_, err := c.control("cancel", id)
+	return err
+}
+
+// Restart re-runs a terminal execution, returning the new execution id.
+func (c *Client) Restart(id string) (string, error) {
+	res, err := c.control("restart", id)
+	if err != nil {
+		return "", err
+	}
+	return res.ID, nil
+}
+
+// List returns the server's tracked executions.
+func (c *Client) List() ([]ExecutionInfo, error) {
+	res, err := c.control("list", "")
+	if err != nil {
+		return nil, err
+	}
+	return res.Executions, nil
+}

@@ -1,0 +1,94 @@
+// Package wire implements the network layer of the DfMS: a framed TCP
+// protocol carrying DGL documents between clients and matrix servers,
+// plus the peer-to-peer datagridflow network with lookup servers the
+// paper describes ("Multiple DfMS servers can form a peer-to-peer
+// datagridflow network with one or more lookup servers").
+//
+// Frames are a 1-byte kind, a 4-byte big-endian length, and the payload:
+//
+//   - KindDGL carries a dataGridRequest or dataGridResponse XML document
+//     (the request-response model of the paper's Appendix A);
+//   - KindControl carries a small JSON control verb (pause, resume,
+//     cancel, restart) — a pragmatic extension for the long-run process
+//     management the paper requires but DGL itself does not encode.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds.
+const (
+	// KindDGL frames carry XML DGL documents.
+	KindDGL byte = 1
+	// KindControl frames carry JSON control verbs.
+	KindControl byte = 2
+)
+
+// MaxFrame bounds a frame payload (16 MiB): a defense against corrupt
+// length prefixes, far above any real DGL document.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame too large")
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Control is the JSON payload of a KindControl frame.
+type Control struct {
+	// Op is "pause", "resume", "cancel", "restart" or "list".
+	Op string `json:"op"`
+	// ID is the execution id the verb applies to ("list" ignores it).
+	ID string `json:"id,omitempty"`
+}
+
+// ControlResult is the JSON reply to a control frame.
+type ControlResult struct {
+	OK bool `json:"ok"`
+	// ID echoes the execution id (the new id for restart).
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Executions carries the listing for the "list" verb.
+	Executions []ExecutionInfo `json:"executions,omitempty"`
+}
+
+// ExecutionInfo is one row of a "list" reply.
+type ExecutionInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	User  string `json:"user"`
+}

@@ -1,0 +1,330 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/matrix"
+)
+
+// lookupMsg is the JSON protocol of the lookup server: newline-delimited
+// request/response pairs.
+type lookupMsg struct {
+	Op    string            `json:"op"` // "register", "resolve", "list"
+	Name  string            `json:"name,omitempty"`
+	Addr  string            `json:"addr,omitempty"`
+	OK    bool              `json:"ok,omitempty"`
+	Error string            `json:"error,omitempty"`
+	Peers map[string]string `json:"peers,omitempty"`
+}
+
+// LookupServer is the registry peers use to find one another: matrix
+// servers register name→address, and peers resolve names when routing
+// status queries for executions they do not own.
+type LookupServer struct {
+	mu       sync.Mutex
+	peers    map[string]string
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewLookupServer returns an empty registry.
+func NewLookupServer() *LookupServer {
+	return &LookupServer{peers: make(map[string]string), conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds the registry to addr and returns the bound address.
+func (s *LookupServer) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = true
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serve(conn)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+func (s *LookupServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var msg lookupMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		var reply lookupMsg
+		switch msg.Op {
+		case "register":
+			if msg.Name == "" || msg.Addr == "" {
+				reply = lookupMsg{Error: "register needs name and addr"}
+				break
+			}
+			s.mu.Lock()
+			s.peers[msg.Name] = msg.Addr
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true}
+		case "resolve":
+			s.mu.Lock()
+			addr, ok := s.peers[msg.Name]
+			s.mu.Unlock()
+			if !ok {
+				reply = lookupMsg{Error: "unknown peer " + msg.Name}
+			} else {
+				reply = lookupMsg{OK: true, Addr: addr}
+			}
+		case "list":
+			s.mu.Lock()
+			peers := make(map[string]string, len(s.peers))
+			for k, v := range s.peers {
+				peers[k] = v
+			}
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true, Peers: peers}
+		default:
+			reply = lookupMsg{Error: "unknown op " + msg.Op}
+		}
+		if err := enc.Encode(reply); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the registry: the listener and every live connection.
+func (s *LookupServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// LookupClient talks to a lookup server.
+type LookupClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// DialLookup connects to a lookup server.
+func DialLookup(addr string) (*LookupClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial lookup %s: %w", addr, err)
+	}
+	return &LookupClient{conn: conn, dec: json.NewDecoder(bufio.NewReader(conn)), enc: json.NewEncoder(conn)}, nil
+}
+
+func (c *LookupClient) call(msg lookupMsg) (lookupMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(msg); err != nil {
+		return lookupMsg{}, err
+	}
+	var reply lookupMsg
+	if err := c.dec.Decode(&reply); err != nil {
+		return lookupMsg{}, err
+	}
+	if reply.Error != "" {
+		return reply, errors.New(reply.Error)
+	}
+	return reply, nil
+}
+
+// Register announces a peer.
+func (c *LookupClient) Register(name, addr string) error {
+	_, err := c.call(lookupMsg{Op: "register", Name: name, Addr: addr})
+	return err
+}
+
+// Resolve returns the address of a named peer.
+func (c *LookupClient) Resolve(name string) (string, error) {
+	reply, err := c.call(lookupMsg{Op: "resolve", Name: name})
+	return reply.Addr, err
+}
+
+// List returns every registered peer.
+func (c *LookupClient) List() (map[string]string, error) {
+	reply, err := c.call(lookupMsg{Op: "list"})
+	return reply.Peers, err
+}
+
+// Close closes the connection.
+func (c *LookupClient) Close() error { return c.conn.Close() }
+
+// Peer is one node of the datagridflow network: a named matrix server
+// registered with a lookup service. Status queries for executions owned
+// by other peers (recognizable by their "name:" id prefix) are resolved
+// through the lookup service and forwarded — the shared-identifier
+// property of the paper ("The identifier for any particular task or flow
+// can be shared with all other processes").
+type Peer struct {
+	Name   string
+	server *Server
+	lookup *LookupClient
+
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// NewPeer creates a peer over an engine. The engine should have been
+// built with matrix.Config{IDPrefix: name + ":"} so its execution ids
+// route back to this peer.
+func NewPeer(name string, engine *matrix.Engine) *Peer {
+	return &Peer{Name: name, server: NewServer(engine), clients: make(map[string]*Client)}
+}
+
+// Start listens on addr and registers with the lookup server at
+// lookupAddr. It returns the peer's bound address.
+func (p *Peer) Start(addr, lookupAddr string) (string, error) {
+	bound, err := p.server.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	lc, err := DialLookup(lookupAddr)
+	if err != nil {
+		p.server.Close()
+		return "", err
+	}
+	p.lookup = lc
+	if err := lc.Register(p.Name, bound); err != nil {
+		p.server.Close()
+		return "", err
+	}
+	return bound, nil
+}
+
+// OwnerOf extracts the peer name from an execution or node id
+// ("matrixA:dgf-000001/flow/step" → "matrixA"); ids without a prefix
+// belong to the local peer.
+func OwnerOf(id string) string {
+	exec := id
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		exec = id[:i]
+	}
+	if i := strings.IndexByte(exec, ':'); i >= 0 {
+		return exec[:i]
+	}
+	return ""
+}
+
+// Status resolves a status query anywhere in the network: locally when
+// the id belongs to this peer, otherwise by forwarding to the owning
+// peer via the lookup service.
+func (p *Peer) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
+	owner := OwnerOf(id)
+	if owner == "" || owner == p.Name {
+		st, err := p.server.Engine().Status(id, detail)
+		if err != nil {
+			return nil, err
+		}
+		return &st, nil
+	}
+	client, err := p.clientFor(owner)
+	if err != nil {
+		return nil, err
+	}
+	return client.Status(user, id, detail)
+}
+
+// SubmitTo submits a flow to a named peer (itself included).
+func (p *Peer) SubmitTo(peerName, user string, flow dgl.Flow) (*dgl.Response, error) {
+	if peerName == p.Name {
+		return p.server.Engine().Submit(dgl.NewAsyncRequest(user, "", flow))
+	}
+	client, err := p.clientFor(peerName)
+	if err != nil {
+		return nil, err
+	}
+	return client.Submit(dgl.NewAsyncRequest(user, "", flow))
+}
+
+// Engine returns the peer's local engine.
+func (p *Peer) Engine() *matrix.Engine { return p.server.Engine() }
+
+func (p *Peer) clientFor(name string) (*Client, error) {
+	p.mu.Lock()
+	if c, ok := p.clients[name]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	if p.lookup == nil {
+		return nil, errors.New("wire: peer not connected to a lookup server")
+	}
+	addr, err := p.lookup.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.clients[name]; ok {
+		c.Close()
+		return prev, nil
+	}
+	p.clients[name] = c
+	return c, nil
+}
+
+// Close shuts the peer down: server, lookup connection and peer clients.
+func (p *Peer) Close() {
+	p.server.Close()
+	if p.lookup != nil {
+		p.lookup.Close()
+	}
+	p.mu.Lock()
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = map[string]*Client{}
+	p.mu.Unlock()
+}

@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/matrix"
+)
+
+// Server exposes a matrix engine over the framed TCP protocol. Each
+// connection may carry any number of requests; responses are written in
+// request order.
+type Server struct {
+	engine *matrix.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps an engine.
+func NewServer(engine *matrix.Engine) *Server {
+	return &Server{engine: engine, conns: make(map[net.Conn]bool)}
+}
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() *matrix.Engine { return s.engine }
+
+// Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address. Serving happens on background
+// goroutines; call Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", errors.New("wire: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		kind, payload, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		switch kind {
+		case KindDGL:
+			resp := s.handleDGL(payload)
+			data, err := dgl.Marshal(resp)
+			if err != nil {
+				return
+			}
+			if err := WriteFrame(conn, KindDGL, data); err != nil {
+				return
+			}
+		case KindControl:
+			res := s.handleControl(payload)
+			data, err := json.Marshal(res)
+			if err != nil {
+				return
+			}
+			if err := WriteFrame(conn, KindControl, data); err != nil {
+				return
+			}
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// handleDGL parses and services one DGL request. Errors become error
+// responses rather than dropped connections — clients always get an
+// answer per request.
+func (s *Server) handleDGL(payload []byte) *dgl.Response {
+	req, err := dgl.DecodeRequest(payload)
+	if err != nil {
+		return &dgl.Response{Error: err.Error()}
+	}
+	resp, err := s.engine.Submit(req)
+	if err != nil {
+		return &dgl.Response{Error: err.Error()}
+	}
+	return resp
+}
+
+func (s *Server) handleControl(payload []byte) ControlResult {
+	var c Control
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return ControlResult{Error: "bad control frame: " + err.Error()}
+	}
+	exec, ok := s.engine.Execution(c.ID)
+	switch c.Op {
+	case "pause":
+		if !ok {
+			return ControlResult{Error: "unknown execution " + c.ID}
+		}
+		exec.Pause()
+		return ControlResult{OK: true, ID: c.ID}
+	case "resume":
+		if !ok {
+			return ControlResult{Error: "unknown execution " + c.ID}
+		}
+		exec.Resume()
+		return ControlResult{OK: true, ID: c.ID}
+	case "cancel":
+		if !ok {
+			return ControlResult{Error: "unknown execution " + c.ID}
+		}
+		exec.Cancel()
+		return ControlResult{OK: true, ID: c.ID}
+	case "restart":
+		next, err := s.engine.Restart(c.ID)
+		if err != nil {
+			return ControlResult{Error: err.Error()}
+		}
+		return ControlResult{OK: true, ID: next.ID}
+	case "list":
+		var rows []ExecutionInfo
+		for _, sum := range s.engine.ListExecutions() {
+			rows = append(rows, ExecutionInfo{
+				ID: sum.ID, Name: sum.Name, State: string(sum.State), User: sum.User,
+			})
+		}
+		return ControlResult{OK: true, Executions: rows}
+	default:
+		return ControlResult{Error: "unknown control op " + c.Op}
+	}
+}
+
+// Close stops the listener and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

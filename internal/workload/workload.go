@@ -1,0 +1,125 @@
+// Package workload synthesizes the datasets of the paper's production
+// scenarios. We do not have the real SCEC waveforms, BBSRC hospital
+// records, CMS event data or UCSD library holdings; these generators
+// produce collections with the same *shape* — counts, size
+// distributions, metadata — from deterministic seeds, so every
+// experiment that consumed the real data in the paper's deployments
+// exercises the same code paths here.
+package workload
+
+import (
+	"fmt"
+
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/namespace"
+	"datagridflow/internal/sim"
+)
+
+// FileSpec describes one synthetic logical file.
+type FileSpec struct {
+	Path string
+	Size int64
+	Meta map[string]string
+}
+
+// SCEC generates n earthquake-simulation waveform files under
+// /grid/scec/<run>/: log-normal sizes with a 64 MiB median (TeraShake-
+// style outputs), tagged with run and station metadata.
+func SCEC(r *sim.Rand, runs, filesPerRun int) []FileSpec {
+	var out []FileSpec
+	for run := 0; run < runs; run++ {
+		for i := 0; i < filesPerRun; i++ {
+			out = append(out, FileSpec{
+				Path: fmt.Sprintf("/grid/scec/run%03d/wave_%04d.dat", run, i),
+				Size: r.FileSize(64<<20, 0.8),
+				Meta: map[string]string{
+					"experiment": "TeraShake",
+					"run":        fmt.Sprintf("run%03d", run),
+					"station":    fmt.Sprintf("st%04d", i),
+					"stage":      "raw",
+				},
+			})
+		}
+	}
+	return out
+}
+
+// Hospitals generates the BBSRC-CCLRC pattern: k hospital domains, each
+// producing records under /grid/hospitals/<name>/, destined for the
+// archiver site. Sizes are small-to-medium (median 4 MiB scans).
+func Hospitals(r *sim.Rand, hospitals, perHospital int) map[string][]FileSpec {
+	out := make(map[string][]FileSpec, hospitals)
+	for h := 0; h < hospitals; h++ {
+		domain := fmt.Sprintf("hospital%02d", h)
+		var specs []FileSpec
+		for i := 0; i < perHospital; i++ {
+			specs = append(specs, FileSpec{
+				Path: fmt.Sprintf("/grid/hospitals/%s/record_%05d", domain, i),
+				Size: r.FileSize(4<<20, 1.0),
+				Meta: map[string]string{"source": domain, "kind": "patient-scan"},
+			})
+		}
+		out[domain] = specs
+	}
+	return out
+}
+
+// CMSRuns generates CERN CMS-style event data under /grid/cms/: large
+// files (median 1 GiB) produced at the tier-0 site and destined for
+// staged replication down the tiers.
+func CMSRuns(r *sim.Rand, n int) []FileSpec {
+	var out []FileSpec
+	for i := 0; i < n; i++ {
+		out = append(out, FileSpec{
+			Path: fmt.Sprintf("/grid/cms/run_%05d.root", i),
+			Size: r.FileSize(1<<30, 0.5),
+			Meta: map[string]string{"detector": "CMS", "tier": "0"},
+		})
+	}
+	return out
+}
+
+// LibraryDocs generates UCSD-library-style holdings: many small
+// documents (median 512 KiB) whose integrity is verified by MD5 flows.
+func LibraryDocs(r *sim.Rand, n int) []FileSpec {
+	var out []FileSpec
+	for i := 0; i < n; i++ {
+		out = append(out, FileSpec{
+			Path: fmt.Sprintf("/grid/library/doc_%05d.pdf", i),
+			Size: r.FileSize(512<<10, 1.2),
+			Meta: map[string]string{"collection": "ucsd-libraries", "format": "pdf"},
+		})
+	}
+	return out
+}
+
+// TotalBytes sums the sizes of a spec list.
+func TotalBytes(specs []FileSpec) int64 {
+	var sum int64
+	for _, s := range specs {
+		sum += s.Size
+	}
+	return sum
+}
+
+// Ingest loads the specs into the grid as user onto the named resource,
+// creating parent collections as needed and attaching metadata.
+func Ingest(g *dgms.Grid, user, resource string, specs []FileSpec) error {
+	for _, s := range specs {
+		parent := namespace.Parent(s.Path)
+		if !g.Namespace().Exists(parent) {
+			if err := g.CreateCollectionAll(user, parent); err != nil {
+				return err
+			}
+		}
+		if err := g.Ingest(user, s.Path, s.Size, nil, resource); err != nil {
+			return err
+		}
+		for k, v := range s.Meta {
+			if err := g.SetMeta(user, s.Path, k, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
