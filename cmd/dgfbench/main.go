@@ -8,9 +8,16 @@
 //	dgfbench              # run everything at full scale
 //	dgfbench -exp E6,E7   # run a subset
 //	dgfbench -small       # quick pass (CI-sized)
+//	dgfbench -metrics=false   # suppress the engine metrics snapshot
+//
+// After the experiment tables, dgfbench emits the process-wide engine
+// metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
+// can carry engine-level counters (flows run, steps executed, bytes
+// tiered, placements evaluated) alongside the wall-clock numbers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +25,13 @@ import (
 	"time"
 
 	"datagridflow/internal/experiments"
+	"datagridflow/internal/obs"
 )
 
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
+	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -49,6 +58,14 @@ func main() {
 		}
 		fmt.Println(report.String())
 		fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if *metrics {
+		// Experiment grids emit into obs.Default(), so this snapshot
+		// aggregates engine counters across every experiment just run.
+		data, err := json.Marshal(obs.Default().Snapshot())
+		if err == nil {
+			fmt.Printf("== engine metrics snapshot (docs/METRICS.md) ==\n%s\n", data)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

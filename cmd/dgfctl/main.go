@@ -9,6 +9,7 @@
 //	dgfctl -addr host:7401 status <id> [-detail]
 //	dgfctl -addr host:7401 pause|resume|cancel <id>
 //	dgfctl -addr host:7401 restart <id>
+//	dgfctl -addr host:7401 metrics
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"datagridflow/internal/dgl"
+	"datagridflow/internal/obs"
 	"datagridflow/internal/wire"
 )
 
@@ -34,6 +38,9 @@ commands:
   restart <id>                 re-run a failed execution, skipping
                                already-succeeded steps
   list                         list the server's executions
+  metrics                      fetch the server's metrics snapshot
+                               (docs/METRICS.md) over the control
+                               extension
   render [-dot] <file.xml>     render a DGL document as a tree (or DOT)
 `)
 	os.Exit(2)
@@ -172,9 +179,59 @@ func main() {
 		for _, row := range rows {
 			fmt.Printf("%-24s %-20s %-10s %s\n", row.ID, row.Name, row.State, row.User)
 		}
+	case "metrics":
+		snap, err := client.Metrics()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		printMetrics(snap)
 	default:
 		usage()
 	}
+}
+
+// printMetrics renders a snapshot as aligned name{labels} value rows.
+func printMetrics(snap *obs.Snapshot) {
+	fmt.Printf("at %s\n", snap.At.UTC().Format(time.RFC3339))
+	if len(snap.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		for _, p := range snap.Counters {
+			fmt.Printf("  %-48s %d\n", series(p.Name, p.Labels), p.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("\ngauges:")
+		for _, p := range snap.Gauges {
+			fmt.Printf("  %-48s %d\n", series(p.Name, p.Labels), p.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("\nhistograms:")
+		for _, h := range snap.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("  %-48s count=%d mean=%.6g min=%.6g max=%.6g\n",
+				series(h.Name, h.Labels), h.Count, mean, h.Min, h.Max)
+		}
+	}
+}
+
+func series(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
 }
 
 func printStatus(st *dgl.FlowStatus, depth int) {

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lookupd -addr :7400
+//	lookupd -addr :7400 -metrics-addr :7480   # JSON metrics + pprof
 package main
 
 import (
@@ -17,14 +18,24 @@ import (
 	"os/signal"
 	"syscall"
 
+	"datagridflow/internal/obs"
 	"datagridflow/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics and pprof on this address (empty disables)")
 	flag.Parse()
 
 	srv := wire.NewLookupServer()
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			log.Fatalf("lookupd: metrics: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("lookupd: serving metrics on http://%s/metrics\n", maddr)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("lookupd: %v", err)

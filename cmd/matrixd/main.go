@@ -10,6 +10,11 @@
 //	matrixd -addr :7401 -infra grid.xml          # described grid
 //	matrixd -name matrixA -lookup host:7400      # join a peer network
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
+//	matrixd -metrics-addr :7481                  # JSON metrics + pprof
+//
+// With -metrics-addr the server exposes the observability surface
+// documented in docs/METRICS.md: /metrics (JSON snapshot), /trace
+// (recent trace events) and /debug/pprof/.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"datagridflow/internal/infra"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/namespace"
+	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/trigger"
@@ -40,6 +46,7 @@ func main() {
 	provPath := flag.String("prov", "", "provenance log file (default: in-memory)")
 	admin := flag.String("admin", "admin", "grid administrator user")
 	openWrite := flag.Bool("open", true, "grant every user write access under /grid (demo mode)")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics, trace events and pprof on this address (\":0\" for ephemeral; empty disables)")
 	flag.Parse()
 
 	var prov *provenance.Store
@@ -95,6 +102,15 @@ func main() {
 		cfg.IDPrefix = *name + ":"
 	}
 	engine := matrix.NewEngineConfig(grid, cfg)
+
+	if *metricsAddr != "" {
+		msrv, maddr, err := obs.Serve(*metricsAddr, grid.Obs())
+		if err != nil {
+			log.Fatalf("matrixd: metrics: %v", err)
+		}
+		defer msrv.Close()
+		fmt.Printf("matrixd: serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", maddr)
+	}
 
 	if *triggerPath != "" {
 		data, err := os.ReadFile(*triggerPath)

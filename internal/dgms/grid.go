@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"datagridflow/internal/namespace"
+	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/vfs"
@@ -38,6 +39,11 @@ type Options struct {
 	// replica (costs a simulated read). Default true — fixity on ingest
 	// is the UCSD library scenario.
 	ChecksumOnIngest *bool
+	// Obs receives metrics and trace events from every component built
+	// on this grid (engine, wire, triggers, ILM, scheduler). Default:
+	// the process-wide obs.Default() registry. Tests that assert on
+	// metric values should inject a fresh registry here.
+	Obs *obs.Registry
 }
 
 // Grid is the Data Grid Management System: a single logical namespace
@@ -50,6 +56,7 @@ type Grid struct {
 	ns    *namespace.Namespace
 	prov  *provenance.Store
 	bus   *Bus
+	obs   *obs.Registry
 
 	checksumOnIngest bool
 
@@ -76,6 +83,9 @@ func New(opts Options) *Grid {
 	if opts.ChecksumOnIngest != nil {
 		cs = *opts.ChecksumOnIngest
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.Default()
+	}
 	return &Grid{
 		admin:            opts.Admin,
 		clock:            opts.Clock,
@@ -84,6 +94,7 @@ func New(opts Options) *Grid {
 		ns:               namespace.New(opts.Admin),
 		prov:             opts.Provenance,
 		bus:              NewBus(),
+		obs:              opts.Obs,
 		checksumOnIngest: cs,
 		resources:        make(map[string]*vfs.Resource),
 	}
@@ -111,6 +122,10 @@ func (g *Grid) Provenance() *provenance.Store { return g.prov }
 
 // Bus returns the namespace event bus.
 func (g *Grid) Bus() *Bus { return g.bus }
+
+// Obs returns the observability registry every component built on this
+// grid emits metrics and trace events into.
+func (g *Grid) Obs() *obs.Registry { return g.obs }
 
 // RegisterResource maps a physical storage system into the grid's logical
 // resource namespace — the paper's "each SRB storage server ... maps that

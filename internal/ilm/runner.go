@@ -68,6 +68,13 @@ func (r *Runner) RunCycle() (CycleResult, error) {
 	if err != nil {
 		return CycleResult{}, err
 	}
+	o := r.grid.Obs()
+	o.Counter("ilm_cycles_total", "policy", r.Policy.Name).Inc()
+	o.Counter("ilm_objects_examined_total").Add(int64(stats.Examined))
+	o.Counter("ilm_migrations_total").Add(int64(stats.Migrates))
+	o.Counter("ilm_replications_total").Add(int64(stats.Replicas))
+	o.Counter("ilm_deletions_total").Add(int64(stats.Deletes))
+	o.Counter("ilm_bytes_tiered_total").Add(stats.BytesToMove)
 	res := CycleResult{StartedAt: now, Stats: stats, Decisions: decisions}
 	if len(decisions) == 0 {
 		_, _ = r.grid.Provenance().Append(provenance.Record{

@@ -8,6 +8,7 @@ import (
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/dgms"
+	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/sim"
 )
@@ -111,6 +112,10 @@ func (e *Engine) Grid() *dgms.Grid { return e.grid }
 
 // Clock returns the grid clock the engine stamps states with.
 func (e *Engine) Clock() sim.Clock { return e.grid.Clock() }
+
+// Obs returns the grid's observability registry — the sink for the
+// engine's metrics and trace spans (see docs/METRICS.md).
+func (e *Engine) Obs() *obs.Registry { return e.grid.Obs() }
 
 // RegisterOp adds (or replaces) a handler for an operation type — the
 // extension point for domain-specific DGL operations.
@@ -236,6 +241,7 @@ func (e *Engine) Restart(execID string) (*Execution, error) {
 	// Checkpoint ids are recorded relative to the prior execution id;
 	// rewrite them for the new execution in newExecution.
 	next := e.newExecution(prior.req, skip)
+	e.Obs().Counter("matrix_flows_restarted_total").Inc()
 	go next.run()
 	return next, nil
 }
@@ -275,6 +281,7 @@ func (e *Engine) RestartFromProvenance(priorExecID string, req *dgl.Request) (*E
 		}
 	}
 	next := e.newExecution(req, skip)
+	e.Obs().Counter("matrix_flows_restarted_total").Inc()
 	go next.run()
 	return next, nil
 }

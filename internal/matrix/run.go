@@ -17,6 +17,10 @@ import (
 // for asynchronous ones.
 func (ex *Execution) run() {
 	defer close(ex.done)
+	o := ex.engine.Obs()
+	o.Counter("matrix_flows_started_total").Inc()
+	o.Gauge("matrix_executions_running").Add(1)
+	defer o.Gauge("matrix_executions_running").Add(-1)
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "flow.submit",
 		FlowID: ex.ID, Target: ex.req.Flow.Name,
@@ -27,7 +31,14 @@ func (ex *Execution) run() {
 	ex.mu.Unlock()
 	outcome := provenance.OutcomeOK
 	errText := ""
-	if err != nil {
+	switch {
+	case err == nil:
+		o.Counter("matrix_flows_succeeded_total").Inc()
+	case errors.Is(err, ErrCancelled):
+		o.Counter("matrix_flows_cancelled_total").Inc()
+		outcome, errText = provenance.OutcomeError, err.Error()
+	default:
+		o.Counter("matrix_flows_failed_total").Inc()
 		outcome, errText = provenance.OutcomeError, err.Error()
 	}
 	ex.engine.record(provenance.Record{
@@ -65,17 +76,21 @@ func (ex *Execution) runFlowScoped(f *dgl.Flow, n *node, scope *Scope) error {
 		return err
 	}
 	n.setState(StateRunning, ex.now())
+	o := ex.engine.Obs()
+	o.HistogramBuckets("matrix_scope_depth", scopeDepthBuckets).Observe(float64(scope.Depth()))
+	o.StartSpan("flow", f.Name, n.id, map[string]string{"control": string(f.Logic.Control)})
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "flow.start",
 		FlowID: ex.ID, StepID: n.id, Target: f.Name,
 	})
 	fail := func(err error) error {
 		n.setError(err)
+		state := StateFailed
 		if errors.Is(err, ErrCancelled) {
-			n.setState(StateCancelled, ex.now())
-		} else {
-			n.setState(StateFailed, ex.now())
+			state = StateCancelled
 		}
+		n.setState(state, ex.now())
+		o.EndSpan("flow", f.Name, n.id, map[string]string{"state": string(state)})
 		return err
 	}
 	if err := ex.fireRule(f.Logic.Rules, dgl.RuleBeforeEntry, scope, n.id); err != nil {
@@ -103,12 +118,17 @@ func (ex *Execution) runFlowScoped(f *dgl.Flow, n *node, scope *Scope) error {
 		return fail(err)
 	}
 	n.setState(StateSucceeded, ex.now())
+	o.EndSpan("flow", f.Name, n.id, map[string]string{"state": string(StateSucceeded)})
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "flow.finish",
 		FlowID: ex.ID, StepID: n.id, Target: f.Name,
 	})
 	return nil
 }
+
+// scopeDepthBuckets bound the matrix_scope_depth histogram in scope
+// levels (not seconds): deeply nested flow documents surface here.
+var scopeDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // childNode allocates a status node for a child under parent.
 func childNode(parent *node, name, kind string) *node {
@@ -376,10 +396,12 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 		n.setState(StateCancelled, ex.now())
 		return err
 	}
+	o := ex.engine.Obs()
 	// Restart checkpointing: steps that succeeded in the prior run are
 	// skipped wholesale.
 	if ex.skip[ex.relID(n.id)] {
 		n.setState(StateSkipped, ex.now())
+		o.Counter("matrix_checkpoint_skips_total").Inc()
 		ex.engine.record(provenance.Record{
 			Actor: ex.req.User.Name, Action: "step.skip",
 			FlowID: ex.ID, StepID: n.id, Target: st.Name,
@@ -399,7 +421,16 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			return err
 		}
 	}
-	n.setState(StateRunning, ex.now())
+	op := st.Operation.Type
+	started := ex.now()
+	n.setState(StateRunning, started)
+	o.Counter("matrix_steps_total", "op", op).Inc()
+	o.StartSpan("step", st.Name, n.id, map[string]string{"op": op})
+	finish := func(state State) {
+		now := ex.now()
+		o.Histogram("matrix_step_seconds", "op", op).Observe(now.Sub(started).Seconds())
+		o.EndSpan("step", st.Name, n.id, map[string]string{"op": op, "state": string(state)})
+	}
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "step.start",
 		FlowID: ex.ID, StepID: n.id, Target: st.Name,
@@ -407,6 +438,8 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 	fail := func(err error) error {
 		n.setError(err)
 		n.setState(StateFailed, ex.now())
+		o.Counter("matrix_step_failures_total", "op", op).Inc()
+		finish(StateFailed)
 		ex.engine.record(provenance.Record{
 			Actor: ex.req.User.Name, Action: "step.finish",
 			FlowID: ex.ID, StepID: n.id, Target: st.Name,
@@ -424,6 +457,7 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 	var opErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			o.Counter("matrix_step_retries_total", "op", op).Inc()
 			ex.engine.record(provenance.Record{
 				Actor: ex.req.User.Name, Action: "step.retry",
 				FlowID: ex.ID, StepID: n.id, Target: st.Name,
@@ -435,6 +469,7 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 		}
 		if err := ex.ctrl.checkpoint(); err != nil {
 			n.setState(StateCancelled, ex.now())
+			finish(StateCancelled)
 			return err
 		}
 	}
@@ -443,6 +478,8 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			// Record the failure but do not propagate: the flow carries on.
 			n.setError(opErr)
 			n.setState(StateFailed, ex.now())
+			o.Counter("matrix_step_failures_total", "op", op).Inc()
+			finish(StateFailed)
 			ex.engine.record(provenance.Record{
 				Actor: ex.req.User.Name, Action: "step.finish",
 				FlowID: ex.ID, StepID: n.id, Target: st.Name,
@@ -457,6 +494,7 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 		return fail(err)
 	}
 	n.setState(StateSucceeded, ex.now())
+	finish(StateSucceeded)
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "step.finish",
 		FlowID: ex.ID, StepID: n.id, Target: st.Name,

@@ -74,6 +74,16 @@ func (s *Scope) Set(name string, v expr.Value) {
 	s.Declare(name, v)
 }
 
+// Depth returns how many scopes the chain holds, this one included —
+// the nesting level of the flow (or loop iteration) that owns it.
+func (s *Scope) Depth() int {
+	d := 0
+	for cur := s; cur != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}
+
 // Snapshot returns a flat copy of the visible bindings (inner shadowing
 // outer), for status display and debugging.
 func (s *Scope) Snapshot() map[string]string {

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	GET /metrics        the JSON metrics Snapshot
+//	GET /trace          the buffered trace events (oldest first)
+//	GET /debug/pprof/*  the standard net/http/pprof endpoints
+//
+// This is the -metrics-addr surface of matrixd and lookupd.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Trace().Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("datagridflow observability\n\n/metrics\n/trace\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve binds addr (":0" for ephemeral) and serves Handler(r) on a
+// background goroutine. It returns the server (Close to stop) and the
+// bound address.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

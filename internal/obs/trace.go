@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCap is the default trace ring-buffer capacity.
+const DefaultTraceCap = 4096
+
+// Trace event types.
+const (
+	// EventStart opens a span (a flow node entering running, a wire
+	// request beginning).
+	EventStart = "start"
+	// EventEnd closes a span; Attrs carry the outcome.
+	EventEnd = "end"
+	// EventPoint is an instantaneous event with no duration.
+	EventPoint = "point"
+)
+
+// Event is one structured trace event. Span pairs share Scope and ID:
+// an EventStart followed (eventually) by an EventEnd with the same
+// (Scope, ID) brackets one lifecycle.
+type Event struct {
+	// Seq is a monotonically increasing sequence number, assigned at
+	// emission; subscribers use it to detect gaps after drops.
+	Seq uint64 `json:"seq"`
+	// Time is the emission instant on the emitting component's clock
+	// (virtual under simulation).
+	Time time.Time `json:"time"`
+	// Type is EventStart, EventEnd or EventPoint.
+	Type string `json:"type"`
+	// Scope names the lifecycle kind: "flow", "step" or "request".
+	Scope string `json:"scope"`
+	// Name is the human name (flow name, step name, request kind).
+	Name string `json:"name"`
+	// ID is the hierarchical identifier (execution/node id, connection
+	// address) correlating start and end.
+	ID string `json:"id"`
+	// Attrs carry scope-specific details (operation type, outcome state).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceBuffer is a fixed-capacity ring of recent events with a
+// non-blocking subscriber fan-out. Emission never blocks: the ring
+// overwrites its oldest event when full, and a subscriber whose channel
+// is full loses the event (counted in Dropped). This keeps the
+// observability path incapable of stalling the engine it observes.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	ring    []Event
+	start   int // index of oldest event
+	n       int // events currently in ring
+	seq     uint64
+	subs    map[int]chan Event
+	nextSub int
+	dropped atomic.Uint64
+}
+
+// NewTraceBuffer returns a ring holding the last `capacity` events
+// (minimum 1).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceBuffer{ring: make([]Event, capacity), subs: make(map[int]chan Event)}
+}
+
+// Emit appends the event, assigning its sequence number (and stamping
+// Time with the wall clock only if the caller left it zero). The
+// completed event is returned.
+func (b *TraceBuffer) Emit(ev Event) Event {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	b.mu.Lock()
+	b.seq++
+	ev.Seq = b.seq
+	if b.n < len(b.ring) {
+		b.ring[(b.start+b.n)%len(b.ring)] = ev
+		b.n++
+	} else {
+		b.ring[b.start] = ev
+		b.start = (b.start + 1) % len(b.ring)
+	}
+	subs := make([]chan Event, 0, len(b.subs))
+	for _, ch := range b.subs {
+		subs = append(subs, ch)
+	}
+	b.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+	return ev
+}
+
+// Events snapshots the buffered events, oldest first.
+func (b *TraceBuffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		out = append(out, b.ring[(b.start+i)%len(b.ring)])
+	}
+	return out
+}
+
+// Len returns how many events the ring currently holds.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Subscribe registers a live event channel with the given buffer size
+// (minimum 1). The returned cancel function unregisters and closes the
+// channel; events emitted while the channel is full are dropped, never
+// blocked on.
+func (b *TraceBuffer) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	id := b.nextSub
+	b.nextSub++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Dropped returns how many events were lost to full subscriber channels.
+func (b *TraceBuffer) Dropped() uint64 { return b.dropped.Load() }
+
+// StartSpan emits an EventStart stamped with the registry's clock.
+func (r *Registry) StartSpan(scope, name, id string, attrs map[string]string) {
+	r.trace.Emit(Event{Time: r.Now(), Type: EventStart, Scope: scope, Name: name, ID: id, Attrs: attrs})
+}
+
+// EndSpan emits an EventEnd stamped with the registry's clock.
+func (r *Registry) EndSpan(scope, name, id string, attrs map[string]string) {
+	r.trace.Emit(Event{Time: r.Now(), Type: EventEnd, Scope: scope, Name: name, ID: id, Attrs: attrs})
+}
+
+// Point emits an instantaneous event stamped with the registry's clock.
+func (r *Registry) Point(scope, name, id string, attrs map[string]string) {
+	r.trace.Emit(Event{Time: r.Now(), Type: EventPoint, Scope: scope, Name: name, ID: id, Attrs: attrs})
+}

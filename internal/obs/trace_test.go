@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"datagridflow/internal/sim"
+)
+
+func TestTraceRingWraps(t *testing.T) {
+	tb := NewTraceBuffer(4)
+	for i := 0; i < 10; i++ {
+		tb.Emit(Event{Type: EventPoint, Scope: "flow", Name: "n", ID: "x"})
+	}
+	evs := tb.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Len = %d, want 4", len(evs))
+	}
+	// Oldest-first, holding the last 4 of 10 emissions (seqs 7..10).
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", tb.Len())
+	}
+}
+
+func TestTraceSubscribe(t *testing.T) {
+	tb := NewTraceBuffer(16)
+	ch, cancel := tb.Subscribe(8)
+	defer cancel()
+	tb.Emit(Event{Type: EventStart, Scope: "flow", Name: "f", ID: "1"})
+	tb.Emit(Event{Type: EventEnd, Scope: "flow", Name: "f", ID: "1"})
+	for _, want := range []string{EventStart, EventEnd} {
+		select {
+		case ev := <-ch:
+			if ev.Type != want {
+				t.Fatalf("got %q, want %q", ev.Type, want)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("timed out waiting for subscribed event")
+		}
+	}
+	cancel()
+	// After cancel, emissions must not panic or block.
+	tb.Emit(Event{Type: EventPoint, Scope: "flow", Name: "f", ID: "1"})
+}
+
+func TestTraceSlowSubscriberDrops(t *testing.T) {
+	tb := NewTraceBuffer(64)
+	_, cancel := tb.Subscribe(1) // nobody reading
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		tb.Emit(Event{Type: EventPoint, Scope: "flow", Name: "n", ID: "x"})
+	}
+	// Buffer of 1 absorbs one event; the rest are dropped, never blocking.
+	if got := tb.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	if tb.Len() != 5 {
+		t.Fatalf("ring Len = %d, want 5 (drops only affect subscribers)", tb.Len())
+	}
+}
+
+func TestRegistrySpansStampVirtualTime(t *testing.T) {
+	clock := sim.NewVirtualClock(sim.Epoch)
+	r := NewRegistry()
+	r.SetNow(clock.Now)
+	r.StartSpan("flow", "f", "id-1", map[string]string{"control": "sequential"})
+	clock.Advance(2 * time.Hour)
+	r.EndSpan("flow", "f", "id-1", map[string]string{"state": "succeeded"})
+	evs := r.Trace().Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if !evs[0].Time.Equal(sim.Epoch) {
+		t.Fatalf("start time = %v, want %v", evs[0].Time, sim.Epoch)
+	}
+	if got := evs[1].Time.Sub(evs[0].Time); got != 2*time.Hour {
+		t.Fatalf("span duration = %v, want 2h", got)
+	}
+	if evs[0].Type != EventStart || evs[1].Type != EventEnd {
+		t.Fatalf("types = %q/%q, want start/end", evs[0].Type, evs[1].Type)
+	}
+	if evs[1].Attrs["state"] != "succeeded" {
+		t.Fatalf("end attrs = %v", evs[1].Attrs)
+	}
+}

@@ -293,6 +293,9 @@ func (b *Broker) Plan(task *Task, strategy Strategy) (Placement, []Placement, er
 	if len(candidates) == 0 {
 		return Placement{}, nil, fmt.Errorf("%w: no SLA admits user %q", ErrNoNodes, b.user)
 	}
+	// Each candidate carried one matchmaking cost evaluation.
+	b.grid.Obs().Counter("scheduler_placements_evaluated_total").Add(int64(len(candidates)))
+	b.grid.Obs().Counter("scheduler_plans_total", "strategy", strategy.String()).Inc()
 	sort.Slice(candidates, func(i, j int) bool {
 		ci, cj := candidates[i].Estimate.Total(), candidates[j].Estimate.Total()
 		if ci != cj {
@@ -345,6 +348,7 @@ func (b *Broker) Execute(task *Task, strategy Strategy, outputResource string) (
 			b.mu.Lock()
 			b.skipped++
 			b.mu.Unlock()
+			b.grid.Obs().Counter("scheduler_virtual_data_hits_total").Inc()
 			_, _ = b.grid.Provenance().Append(provenance.Record{
 				Time: b.grid.Clock().Now(), Actor: "broker", Action: "task.virtual-data-hit",
 				Target: task.Output, Outcome: provenance.OutcomeSkipped,
@@ -395,6 +399,7 @@ func (b *Broker) Execute(task *Task, strategy Strategy, outputResource string) (
 	slots[idx] = end
 	b.executed++
 	b.mu.Unlock()
+	b.grid.Obs().Counter("scheduler_tasks_executed_total").Inc()
 	b.grid.Meter().Charge(chosen.Node.Name, compute, 0)
 	// Register the output.
 	if task.Output != "" {

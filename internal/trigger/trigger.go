@@ -273,11 +273,13 @@ func (m *Manager) dispatch(reg *registered, ev dgms.Event) error {
 		return nil
 	}
 	reg.fired++
+	m.grid.Obs().Counter("trigger_firings_total", "trigger", reg.def.Name).Inc()
 	if reg.def.Phase == dgms.Before {
 		firing := Firing{Trigger: reg.def.Name, Event: ev, At: m.grid.Clock().Now(), Vetoed: reg.def.Veto}
 		m.firings = append(m.firings, firing)
 		m.mu.Unlock()
 		if reg.def.Veto {
+			m.grid.Obs().Counter("trigger_vetoes_total", "trigger", reg.def.Name).Inc()
 			msg := reg.def.VetoMessage
 			if msg == "" {
 				msg = "operation vetoed by trigger " + reg.def.Name
@@ -292,6 +294,7 @@ func (m *Manager) dispatch(reg *registered, ev dgms.Event) error {
 	case m.queue <- work{trig: reg, ev: ev}:
 		return nil
 	default:
+		m.grid.Obs().Counter("trigger_queue_drops_total").Inc()
 		m.mu.Lock()
 		m.pend--
 		m.firings = append(m.firings, Firing{
@@ -307,6 +310,9 @@ func (m *Manager) worker() {
 	defer m.wg.Done()
 	for w := range m.queue {
 		err := m.runActions(w.trig, w.ev)
+		if err != nil {
+			m.grid.Obs().Counter("trigger_action_errors_total", "trigger", w.trig.def.Name).Inc()
+		}
 		m.mu.Lock()
 		m.firings = append(m.firings, Firing{
 			Trigger: w.trig.def.Name, Event: w.ev,

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"datagridflow/internal/dgl"
+	"datagridflow/internal/obs"
 )
 
 // Client is a connection to one matrix server. It serializes requests
@@ -152,4 +153,21 @@ func (c *Client) List() ([]ExecutionInfo, error) {
 		return nil, err
 	}
 	return res.Executions, nil
+}
+
+// Metrics retrieves the server engine's metrics snapshot over the
+// control extension — the wire twin of the -metrics-addr HTTP endpoint.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	res, err := c.control("metrics", "")
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Metrics) == 0 {
+		return nil, errors.New("wire: empty metrics reply")
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(res.Metrics, &snap); err != nil {
+		return nil, fmt.Errorf("wire: bad metrics reply: %w", err)
+	}
+	return &snap, nil
 }

@@ -9,12 +9,19 @@
 //   - KindDGL carries a dataGridRequest or dataGridResponse XML document
 //     (the request-response model of the paper's Appendix A);
 //   - KindControl carries a small JSON control verb (pause, resume,
-//     cancel, restart) — a pragmatic extension for the long-run process
-//     management the paper requires but DGL itself does not encode.
+//     cancel, restart, list, metrics) — a pragmatic extension for the
+//     long-run process management the paper requires but DGL itself
+//     does not encode.
+//
+// The full protocol — frame layout, request/response semantics, control
+// opcodes, the lookup protocol and peer routing of execution ids — is
+// specified in docs/WIRE.md; the metrics the layer emits are documented
+// in docs/METRICS.md.
 package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -69,9 +76,11 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 
 // Control is the JSON payload of a KindControl frame.
 type Control struct {
-	// Op is "pause", "resume", "cancel", "restart" or "list".
+	// Op is "pause", "resume", "cancel", "restart", "list" or
+	// "metrics".
 	Op string `json:"op"`
-	// ID is the execution id the verb applies to ("list" ignores it).
+	// ID is the execution id the verb applies to ("list" and "metrics"
+	// ignore it).
 	ID string `json:"id,omitempty"`
 }
 
@@ -83,6 +92,9 @@ type ControlResult struct {
 	Error string `json:"error,omitempty"`
 	// Executions carries the listing for the "list" verb.
 	Executions []ExecutionInfo `json:"executions,omitempty"`
+	// Metrics carries the engine's obs.Snapshot (JSON) for the
+	// "metrics" verb.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // ExecutionInfo is one row of a "list" reply.

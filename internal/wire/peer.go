@@ -11,6 +11,7 @@ import (
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/matrix"
+	"datagridflow/internal/obs"
 )
 
 // lookupMsg is the JSON protocol of the lookup server: newline-delimited
@@ -28,6 +29,7 @@ type lookupMsg struct {
 // servers register name→address, and peers resolve names when routing
 // status queries for executions they do not own.
 type LookupServer struct {
+	obs      *obs.Registry
 	mu       sync.Mutex
 	peers    map[string]string
 	listener net.Listener
@@ -36,10 +38,18 @@ type LookupServer struct {
 	wg       sync.WaitGroup
 }
 
-// NewLookupServer returns an empty registry.
+// NewLookupServer returns an empty registry emitting metrics into
+// obs.Default() (override with SetObs before Listen).
 func NewLookupServer() *LookupServer {
-	return &LookupServer{peers: make(map[string]string), conns: make(map[net.Conn]bool)}
+	return &LookupServer{
+		obs:   obs.Default(),
+		peers: make(map[string]string),
+		conns: make(map[net.Conn]bool),
+	}
 }
+
+// SetObs redirects the lookup server's metrics to r.
+func (s *LookupServer) SetObs(r *obs.Registry) { s.obs = r }
 
 // Listen binds the registry to addr and returns the bound address.
 func (s *LookupServer) Listen(addr string) (string, error) {
@@ -89,6 +99,12 @@ func (s *LookupServer) serve(conn net.Conn) {
 			return
 		}
 		var reply lookupMsg
+		switch msg.Op {
+		case "register", "resolve", "list":
+			s.obs.Counter("lookup_requests_total", "op", msg.Op).Inc()
+		default:
+			s.obs.Counter("lookup_requests_total", "op", "unknown").Inc()
+		}
 		switch msg.Op {
 		case "register":
 			if msg.Name == "" || msg.Addr == "" {
@@ -222,6 +238,10 @@ func NewPeer(name string, engine *matrix.Engine) *Peer {
 // Start listens on addr and registers with the lookup server at
 // lookupAddr. It returns the peer's bound address.
 func (p *Peer) Start(addr, lookupAddr string) (string, error) {
+	// Route incoming wire status queries through the peer network, so a
+	// client of any peer can resolve any execution id (README's two-peer
+	// session and docs/WIRE.md §3).
+	p.server.statusRouter = p.Status
 	bound, err := p.server.Listen(addr)
 	if err != nil {
 		return "", err
@@ -257,14 +277,18 @@ func OwnerOf(id string) string {
 // the id belongs to this peer, otherwise by forwarding to the owning
 // peer via the lookup service.
 func (p *Peer) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
+	o := p.server.Engine().Obs()
 	owner := OwnerOf(id)
 	if owner == "" || owner == p.Name {
+		o.Counter("wire_peer_status_local_total").Inc()
 		st, err := p.server.Engine().Status(id, detail)
 		if err != nil {
 			return nil, err
 		}
 		return &st, nil
 	}
+	// Each forward is one routing hop through the datagridflow network.
+	o.Counter("wire_peer_forwards_total", "peer", owner).Inc()
 	client, err := p.clientFor(owner)
 	if err != nil {
 		return nil, err

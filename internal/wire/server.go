@@ -11,11 +11,31 @@ import (
 	"datagridflow/internal/matrix"
 )
 
+// frameHeaderLen is the fixed per-frame overhead counted by the byte
+// metrics (1-byte kind + 4-byte length).
+const frameHeaderLen = 5
+
+// kindName labels metrics by frame kind.
+func kindName(kind byte) string {
+	switch kind {
+	case KindDGL:
+		return "dgl"
+	case KindControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
 // Server exposes a matrix engine over the framed TCP protocol. Each
 // connection may carry any number of requests; responses are written in
 // request order.
 type Server struct {
 	engine *matrix.Engine
+	// statusRouter, when set (by a Peer, before Listen), answers DGL
+	// status queries — routing ids owned by other peers across the
+	// network. Plain servers leave it nil and answer from the engine.
+	statusRouter func(user, id string, detail bool) (*dgl.FlowStatus, error)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -75,39 +95,50 @@ func (s *Server) acceptLoop(l net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	o := s.engine.Obs()
+	o.Counter("wire_connections_total").Inc()
+	o.Gauge("wire_connections_open").Add(1)
 	defer func() {
 		conn.Close()
+		o.Gauge("wire_connections_open").Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	remote := conn.RemoteAddr().String()
 	for {
 		kind, payload, err := ReadFrame(conn)
 		if err != nil {
 			return // EOF or broken connection
 		}
+		k := kindName(kind)
+		o.Counter("wire_frames_in_total", "kind", k).Inc()
+		o.Counter("wire_bytes_in_total").Add(int64(len(payload)) + frameHeaderLen)
+		started := s.engine.Clock().Now()
+		o.StartSpan("request", k, remote, nil)
+		var data []byte
 		switch kind {
 		case KindDGL:
 			resp := s.handleDGL(payload)
-			data, err := dgl.Marshal(resp)
-			if err != nil {
-				return
-			}
-			if err := WriteFrame(conn, KindDGL, data); err != nil {
-				return
-			}
+			data, err = dgl.Marshal(resp)
 		case KindControl:
 			res := s.handleControl(payload)
-			data, err := json.Marshal(res)
-			if err != nil {
-				return
-			}
-			if err := WriteFrame(conn, KindControl, data); err != nil {
-				return
-			}
+			data, err = json.Marshal(res)
 		default:
+			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation
 		}
+		if err != nil {
+			o.EndSpan("request", k, remote, map[string]string{"outcome": "encode-error"})
+			return
+		}
+		o.Histogram("wire_request_seconds", "type", k).Observe(s.engine.Clock().Now().Sub(started).Seconds())
+		o.EndSpan("request", k, remote, map[string]string{"outcome": "ok"})
+		if err := WriteFrame(conn, kind, data); err != nil {
+			return
+		}
+		o.Counter("wire_frames_out_total", "kind", k).Inc()
+		o.Counter("wire_bytes_out_total").Add(int64(len(data)) + frameHeaderLen)
 	}
 }
 
@@ -118,6 +149,13 @@ func (s *Server) handleDGL(payload []byte) *dgl.Response {
 	req, err := dgl.DecodeRequest(payload)
 	if err != nil {
 		return &dgl.Response{Error: err.Error()}
+	}
+	if q := req.StatusQuery; q != nil && req.Flow == nil && s.statusRouter != nil {
+		st, err := s.statusRouter(req.User.Name, q.ID, q.Detail)
+		if err != nil {
+			return &dgl.Response{Error: err.Error()}
+		}
+		return &dgl.Response{Status: st}
 	}
 	resp, err := s.engine.Submit(req)
 	if err != nil {
@@ -165,6 +203,12 @@ func (s *Server) handleControl(payload []byte) ControlResult {
 			})
 		}
 		return ControlResult{OK: true, Executions: rows}
+	case "metrics":
+		raw, err := json.Marshal(s.engine.Obs().Snapshot())
+		if err != nil {
+			return ControlResult{Error: "snapshot: " + err.Error()}
+		}
+		return ControlResult{OK: true, Metrics: raw}
 	default:
 		return ControlResult{Error: "unknown control op " + c.Op}
 	}
