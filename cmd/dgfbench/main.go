@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E11):
+// Command dgfbench regenerates the reproduction's experiments (E1–E12):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E11) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
 	flag.Parse()

@@ -11,6 +11,8 @@
 //	matrixd -name matrixA -lookup host:7400      # join a peer network
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
+//	matrixd -journal /var/lib/matrix.journal     # crash recovery
+//	matrixd -fault plan.json                     # fault injection
 //
 // With -metrics-addr the server exposes the observability surface
 // documented in docs/METRICS.md: /metrics (JSON snapshot), /trace
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +28,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgms"
+	"datagridflow/internal/fault"
 	"datagridflow/internal/infra"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/namespace"
@@ -47,6 +52,8 @@ func main() {
 	admin := flag.String("admin", "admin", "grid administrator user")
 	openWrite := flag.Bool("open", true, "grant every user write access under /grid (demo mode)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics, trace events and pprof on this address (\":0\" for ephemeral; empty disables)")
+	journalPath := flag.String("journal", "", "execution journal file: crashed runs are recovered on startup (docs/FAULTS.md)")
+	faultPath := flag.String("fault", "", "fault-injection plan (JSON) applied to the grid and server (docs/FAULTS.md)")
 	flag.Parse()
 
 	var prov *provenance.Store
@@ -97,11 +104,45 @@ func main() {
 		}
 	}
 
+	var injector *fault.Injector
+	if *faultPath != "" {
+		data, err := os.ReadFile(*faultPath)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		plan, err := fault.ParsePlan(data)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		injector, err = fault.NewInjector(grid.Clock(), *plan)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		grid.SetFault(injector)
+		log.Printf("matrixd: fault plan %s armed (%d events, seed %d)", *faultPath, len(plan.Events), plan.Seed)
+	}
+
 	cfg := matrix.Config{}
 	if *name != "" {
 		cfg.IDPrefix = *name + ":"
 	}
 	engine := matrix.NewEngineConfig(grid, cfg)
+
+	if *journalPath != "" {
+		recovered, err := engine.RecoverFromJournal(*journalPath)
+		if err != nil && !errors.Is(err, dgferr.ErrNotFound) {
+			log.Fatalf("matrixd: %v", err)
+		}
+		for _, ex := range recovered {
+			log.Printf("matrixd: recovered execution %s from journal", ex.ID)
+		}
+		journal, err := matrix.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		defer journal.Close()
+		engine.SetJournal(journal)
+	}
 
 	if *metricsAddr != "" {
 		msrv, maddr, err := obs.Serve(*metricsAddr, grid.Obs())
@@ -146,6 +187,13 @@ func main() {
 		log.Printf("matrixd: peer %q registered with %s", *name, *lookup)
 	} else {
 		srv := wire.NewServer(engine)
+		if injector != nil {
+			target := *name
+			if target == "" {
+				target = "matrixd"
+			}
+			srv.SetFault(injector, target)
+		}
 		var err error
 		bound, err = srv.Listen(*addr)
 		if err != nil {

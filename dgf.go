@@ -37,8 +37,12 @@
 package datagridflow
 
 import (
+	"context"
+
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/dgms"
+	"datagridflow/internal/fault"
 	"datagridflow/internal/ilm"
 	"datagridflow/internal/infra"
 	"datagridflow/internal/matrix"
@@ -158,6 +162,15 @@ const (
 	OpNoop           = dgl.OpNoop
 )
 
+// Step fault policies (Step.OnError). Under OnErrorRetry the step's
+// Retries/Backoff/MaxBackoff attributes govern re-attempts; only
+// retryable classes (see Retryable) burn the budget.
+const (
+	OnErrorAbort    = dgl.OnErrorAbort
+	OnErrorContinue = dgl.OnErrorContinue
+	OnErrorRetry    = dgl.OnErrorRetry
+)
+
 // RenderTree renders a flow as an indented ASCII tree.
 func RenderTree(f *Flow) string { return dgl.Tree(f) }
 
@@ -201,6 +214,75 @@ func NewEngine(g *Grid) *Engine { return matrix.NewEngine(g) }
 
 // NewEngineConfig creates an engine with explicit configuration.
 func NewEngineConfig(g *Grid, cfg EngineConfig) *Engine { return matrix.NewEngineConfig(g, cfg) }
+
+// Error taxonomy. Every failure the DGMS, engine and wire layer report
+// carries one of these classes; match with errors.Is. The classes
+// survive the wire protocol (a server encodes the class, the client
+// rebuilds it), so errors.Is(err, datagridflow.ErrRetryExhausted) holds
+// whether the engine ran in-process or across the network.
+var (
+	// ErrNotFound: an unknown path, resource, execution or journal.
+	ErrNotFound = dgferr.ErrNotFound
+	// ErrExists: the entry (object, collection, replica) already exists.
+	ErrExists = dgferr.ErrExists
+	// ErrPermission: an ACL denial or a vetoed operation.
+	ErrPermission = dgferr.ErrPermission
+	// ErrInvalid: a malformed document, plan or argument.
+	ErrInvalid = dgferr.ErrInvalid
+	// ErrCapacity: a resource is out of space.
+	ErrCapacity = dgferr.ErrCapacity
+	// ErrCancelled: the execution, context or request was cancelled.
+	ErrCancelled = dgferr.ErrCancelled
+	// ErrTimeout: a step attempt overran its budget (retryable).
+	ErrTimeout = dgferr.ErrTimeout
+	// ErrResourceDown: a resource is offline or failing (retryable).
+	ErrResourceDown = dgferr.ErrResourceDown
+	// ErrRetryExhausted: a step burned its whole retry budget on
+	// transient errors.
+	ErrRetryExhausted = dgferr.ErrRetryExhausted
+	// ErrProtocol: a wire version mismatch (the "hello" handshake).
+	ErrProtocol = dgferr.ErrProtocol
+)
+
+// Retryable reports whether the error is transient under the taxonomy:
+// resource-down and timeout classes retry; permission, validation and
+// exhaustion failures do not; unclassified errors default to retryable.
+func Retryable(err error) bool { return dgferr.Retryable(err) }
+
+// Fault injection (docs/FAULTS.md).
+type (
+	// FaultPlan is a seeded, reproducible schedule of fault events.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled fault window.
+	FaultEvent = fault.Event
+	// FaultInjector evaluates a plan against the sim clock.
+	FaultInjector = fault.Injector
+	// ExecutionJournal is the engine's crash-recovery log.
+	ExecutionJournal = matrix.Journal
+)
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	FaultResourceDown  = fault.ResourceDown
+	FaultResourceFlaky = fault.ResourceFlaky
+	FaultPeerCrash     = fault.PeerCrash
+	FaultConnDrop      = fault.ConnDrop
+	FaultLatency       = fault.Latency
+)
+
+// NewFaultInjector builds an injector for the plan with the clock's
+// current time as the schedule epoch.
+func NewFaultInjector(clock Clock, plan FaultPlan) (*FaultInjector, error) {
+	return fault.NewInjector(clock, plan)
+}
+
+// ParseFaultPlan decodes and validates a JSON fault-plan document.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.ParsePlan(data) }
+
+// OpenJournal opens (creating if needed) an execution journal; attach
+// it with Engine.SetJournal and recover crashed runs with
+// Engine.RecoverFromJournal.
+func OpenJournal(path string) (*ExecutionJournal, error) { return matrix.OpenJournal(path) }
 
 // Triggers.
 type (
@@ -275,6 +357,12 @@ func NewMatrixServer(e *Engine) *MatrixServer { return wire.NewServer(e) }
 
 // DialMatrix connects to a matrix server.
 func DialMatrix(addr string) (*MatrixClient, error) { return wire.Dial(addr) }
+
+// DialMatrixContext connects to a matrix server honouring the context's
+// deadline and cancellation.
+func DialMatrixContext(ctx context.Context, addr string) (*MatrixClient, error) {
+	return wire.DialContext(ctx, addr)
+}
 
 // Namespace and provenance views.
 type (

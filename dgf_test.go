@@ -1,6 +1,8 @@
 package datagridflow
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -160,6 +162,67 @@ func TestFacadeSurface(t *testing.T) {
 	// Event/phase constants resolve.
 	if EventIngest != "ingest" || PhaseBefore == PhaseAfter {
 		t.Errorf("event constants wrong")
+	}
+}
+
+// TestFacadeFaultRecovery drives the fault/retry/typed-error surface
+// through the public API alone: a parsed fault plan takes a resource
+// down, a declared retry policy burns out, and the failure is
+// recognisable with errors.Is against the package sentinels; a journaled
+// run survives into a WaitContext.
+func TestFacadeFaultRecovery(t *testing.T) {
+	grid := NewGrid(GridOptions{})
+	if err := grid.RegisterResource(NewResource("disk1", "sdsc", Disk, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.CreateCollectionAll(grid.Admin(), "/grid"); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaultPlan([]byte(`{"seed": 1, "events": [
+		{"target": "disk1", "kind": "resource-down"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector, err := NewFaultInjector(grid.Clock(), *plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.SetFault(injector)
+
+	engine := NewEngine(grid)
+	journal, err := OpenJournal(t.TempDir() + "/exec.journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+	engine.SetJournal(journal)
+
+	st := Step{
+		Name: "ingest", OnError: OnErrorRetry, Retries: 2, Backoff: "1s",
+		Operation: Op(OpIngest, map[string]string{
+			"path": "/grid/f.dat", "size": "100", "resource": "disk1",
+		}),
+	}
+	exec, err := engine.RunContext(context.Background(), grid.Admin(),
+		NewFlow("doomed").StepWith(st).Flow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := exec.WaitContext(context.Background())
+	if !errors.Is(runErr, ErrRetryExhausted) || !errors.Is(runErr, ErrResourceDown) {
+		t.Errorf("errors.Is against facade sentinels failed: %v", runErr)
+	}
+	if Retryable(runErr) {
+		t.Errorf("exhausted error marked retryable")
+	}
+	if !injector.Down("disk1") {
+		t.Errorf("injector introspection: disk1 should be down")
+	}
+	// A run the journal saw end is not recoverable — the fence held.
+	e2 := NewEngine(NewGrid(GridOptions{}))
+	if recovered, err := e2.RecoverFromJournal(journal.Path()); err != nil || len(recovered) != 0 {
+		t.Errorf("recovery after clean end = %d execs, %v", len(recovered), err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/dgms"
 	"datagridflow/internal/expr"
@@ -300,17 +301,8 @@ func (c *ClientEngine) runStep(st *dgl.Step, env *ScopeEnv, path string) error {
 }
 
 func isAlreadyDone(err error) bool {
-	// namespace.ErrExists wraps duplicate ingests/collections/replicas.
-	return err != nil && (containsStr(err.Error(), "already exists"))
-}
-
-func containsStr(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
+	// Duplicate ingests/collections/replicas all carry the Exists class.
+	return errors.Is(err, dgferr.ErrExists)
 }
 
 func (c *ClientEngine) execOp(typ string, p map[string]string, env *ScopeEnv) error {

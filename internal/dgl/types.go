@@ -183,6 +183,16 @@ type Step struct {
 	OnError string `xml:"onError,attr,omitempty"`
 	// Retries bounds retry attempts when OnError is "retry".
 	Retries int `xml:"retries,attr,omitempty"`
+	// Backoff is the base delay between retry attempts, growing
+	// exponentially (base, 2*base, 4*base, ... with deterministic
+	// jitter), charged to the virtual clock. Go duration syntax
+	// ("500ms", "30s"). Empty means retry immediately.
+	Backoff string `xml:"backoff,attr,omitempty"`
+	// MaxBackoff caps the exponential growth of Backoff.
+	MaxBackoff string `xml:"maxBackoff,attr,omitempty"`
+	// Timeout bounds one attempt's virtual-clock duration; an attempt
+	// that exceeds it fails with the timeout class (retryable).
+	Timeout string `xml:"timeout,attr,omitempty"`
 	// Variables declared in the step's scope.
 	Variables []Variable `xml:"variables>variable,omitempty"`
 	// Rules fire around the step like a flow's (beforeEntry/afterExit).

@@ -1,14 +1,16 @@
 package dgl
 
 import (
-	"errors"
 	"fmt"
+	"time"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/expr"
 )
 
-// ErrInvalid wraps all validation failures.
-var ErrInvalid = errors.New("dgl: invalid document")
+// ErrInvalid wraps all validation failures. It carries the
+// dgferr.ErrInvalid class for the public taxonomy.
+var ErrInvalid = dgferr.Mark(dgferr.ErrInvalid, "dgl: invalid document")
 
 func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
@@ -153,6 +155,26 @@ func validateStep(s *Step, path string, extraOps map[string]bool) error {
 	if s.OnError != OnErrorRetry && s.Retries > 0 {
 		return invalidf("step %s: retries set but onError is %q", path, s.OnError)
 	}
+	if s.OnError != OnErrorRetry && (s.Backoff != "" || s.MaxBackoff != "") {
+		return invalidf("step %s: backoff set but onError is %q", path, s.OnError)
+	}
+	if s.MaxBackoff != "" && s.Backoff == "" {
+		return invalidf("step %s: maxBackoff without backoff", path)
+	}
+	for _, a := range []struct{ name, val string }{
+		{"backoff", s.Backoff}, {"maxBackoff", s.MaxBackoff}, {"timeout", s.Timeout},
+	} {
+		if a.val == "" {
+			continue
+		}
+		d, err := time.ParseDuration(a.val)
+		if err != nil {
+			return invalidf("step %s: bad %s %q: %v", path, a.name, a.val, err)
+		}
+		if d < 0 {
+			return invalidf("step %s: negative %s", path, a.name)
+		}
+	}
 	if err := validateVariables(s.Variables, path); err != nil {
 		return err
 	}
@@ -160,6 +182,36 @@ func validateStep(s *Step, path string, extraOps map[string]bool) error {
 		return err
 	}
 	return validateOperation(&s.Operation, path, extraOps)
+}
+
+// RetryTiming is a Step's parsed retry-timing attributes.
+type RetryTiming struct {
+	// Backoff is the base retry delay; zero retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps exponential growth; zero means uncapped.
+	MaxBackoff time.Duration
+	// Timeout bounds one attempt; zero means unbounded.
+	Timeout time.Duration
+}
+
+// Timing parses the step's duration attributes. Unset — or, on an
+// unvalidated document, malformed — attributes come back zero.
+func (s *Step) Timing() RetryTiming {
+	parse := func(v string) time.Duration {
+		if v == "" {
+			return 0
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return 0
+		}
+		return d
+	}
+	return RetryTiming{
+		Backoff:    parse(s.Backoff),
+		MaxBackoff: parse(s.MaxBackoff),
+		Timeout:    parse(s.Timeout),
+	}
 }
 
 func validateVariables(vars []Variable, path string) error {

@@ -1,11 +1,12 @@
 package dgms
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/fault"
 	"datagridflow/internal/namespace"
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
@@ -13,16 +14,18 @@ import (
 	"datagridflow/internal/vfs"
 )
 
-// Sentinel errors for grid operations.
+// Sentinel errors for grid operations. Each wraps its dgferr class so
+// callers can match against the public taxonomy.
 var (
 	// ErrNoResource reports an unknown logical resource name.
-	ErrNoResource = errors.New("dgms: unknown resource")
-	// ErrNoReplica reports that no usable replica of an object exists.
-	ErrNoReplica = errors.New("dgms: no usable replica")
+	ErrNoResource = dgferr.Mark(dgferr.ErrNotFound, "dgms: unknown resource")
+	// ErrNoReplica reports that no usable replica of an object exists —
+	// typically every holder is offline, so it classifies as transient.
+	ErrNoReplica = dgferr.Mark(dgferr.ErrResourceDown, "dgms: no usable replica")
 	// ErrLastReplica reports a trim that would drop the only replica.
-	ErrLastReplica = errors.New("dgms: refusing to trim last replica")
+	ErrLastReplica = dgferr.Mark(dgferr.ErrInvalid, "dgms: refusing to trim last replica")
 	// ErrVetoed reports an operation vetoed by a Before trigger.
-	ErrVetoed = errors.New("dgms: operation vetoed")
+	ErrVetoed = dgferr.Mark(dgferr.ErrPermission, "dgms: operation vetoed")
 )
 
 // Options configure a Grid.
@@ -44,6 +47,9 @@ type Options struct {
 	// the process-wide obs.Default() registry. Tests that assert on
 	// metric values should inject a fresh registry here.
 	Obs *obs.Registry
+	// Fault is an optional fault-injection plan evaluated on every
+	// storage operation. Default nil: no faults.
+	Fault *fault.Injector
 }
 
 // Grid is the Data Grid Management System: a single logical namespace
@@ -62,6 +68,7 @@ type Grid struct {
 
 	mu        sync.RWMutex
 	resources map[string]*vfs.Resource
+	fault     *fault.Injector
 }
 
 // New creates a grid. The zero Options value gives a fully in-memory,
@@ -86,6 +93,9 @@ func New(opts Options) *Grid {
 	if opts.Obs == nil {
 		opts.Obs = obs.Default()
 	}
+	if opts.Fault != nil {
+		opts.Fault.SetObs(opts.Obs)
+	}
 	return &Grid{
 		admin:            opts.Admin,
 		clock:            opts.Clock,
@@ -97,6 +107,7 @@ func New(opts Options) *Grid {
 		obs:              opts.Obs,
 		checksumOnIngest: cs,
 		resources:        make(map[string]*vfs.Resource),
+		fault:            opts.Fault,
 	}
 }
 
@@ -126,6 +137,30 @@ func (g *Grid) Bus() *Bus { return g.bus }
 // Obs returns the observability registry every component built on this
 // grid emits metrics and trace events into.
 func (g *Grid) Obs() *obs.Registry { return g.obs }
+
+// SetFault attaches (or, with nil, detaches) a fault-injection plan.
+// The injector's metrics are routed into the grid registry.
+func (g *Grid) SetFault(in *fault.Injector) {
+	if in != nil {
+		in.SetObs(g.obs)
+	}
+	g.mu.Lock()
+	g.fault = in
+	g.mu.Unlock()
+}
+
+// Fault returns the attached fault injector, or nil.
+func (g *Grid) Fault() *fault.Injector {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.fault
+}
+
+// faultCheck consults the fault plan before a storage operation against
+// the named resource.
+func (g *Grid) faultCheck(resource string) error {
+	return g.Fault().CheckOp(resource)
+}
 
 // RegisterResource maps a physical storage system into the grid's logical
 // resource namespace — the paper's "each SRB storage server ... maps that

@@ -79,6 +79,10 @@ func (g *Grid) Ingest(user, path string, size int64, data []byte, resource strin
 		g.recordErr(user, "ingest", path, err)
 		return err
 	}
+	if err := g.faultCheck(resource); err != nil {
+		g.recordErr(user, "ingest", path, err)
+		return err
+	}
 	detail := map[string]string{"resource": resource, "size": strconv.FormatInt(size, 10)}
 	err = g.publish2(Event{Type: EventIngest, Path: path, User: user, Detail: detail}, func() error {
 		if err := g.ns.CreateObject(path, user, res.Domain(), size, g.clock.Now()); err != nil {
@@ -161,6 +165,12 @@ func (g *Grid) ReplicateFrom(user, path, fromResource, toResource string) error 
 	err = g.publish2(Event{Type: EventReplicate, Path: path, User: user, Detail: detail}, func() error {
 		srcRep, src, err := g.sourceReplica(path, fromResource)
 		if err != nil {
+			return err
+		}
+		if err := g.faultCheck(srcRep.Resource); err != nil {
+			return err
+		}
+		if err := g.faultCheck(toResource); err != nil {
 			return err
 		}
 		detail["from"] = srcRep.Resource
@@ -249,6 +259,9 @@ func (g *Grid) Trim(user, path, resource string, force bool) error {
 		if len(reps) <= 1 && !force {
 			return fmt.Errorf("%w: %s on %s", ErrLastReplica, path, resource)
 		}
+		if err := g.faultCheck(resource); err != nil {
+			return err
+		}
 		res, err := g.Resource(resource)
 		if err != nil {
 			return err
@@ -325,6 +338,10 @@ func (g *Grid) RegisterInPlace(user, path, resource, physID string) error {
 	info, ok := res.Stat(physID)
 	if !ok {
 		err := fmt.Errorf("%w: physical object %q on %s", ErrNoReplica, physID, resource)
+		g.recordErr(user, "register", path, err)
+		return err
+	}
+	if err := g.faultCheck(resource); err != nil {
 		g.recordErr(user, "register", path, err)
 		return err
 	}
@@ -413,6 +430,10 @@ func (g *Grid) Get(user, fromDomain, path string) ([]byte, error) {
 		g.recordErr(user, "get", path, err)
 		return nil, err
 	}
+	if err := g.faultCheck(rep.Resource); err != nil {
+		g.recordErr(user, "get", path, err)
+		return nil, err
+	}
 	data, rd, err := res.Get(rep.PhysicalID)
 	if err != nil {
 		g.recordErr(user, "get", path, err)
@@ -462,6 +483,10 @@ func (g *Grid) Verify(user, path string) ([]VerifyResult, error) {
 	for _, rep := range reps {
 		res, err := g.Resource(rep.Resource)
 		if err != nil {
+			return nil, err
+		}
+		if err := g.faultCheck(rep.Resource); err != nil {
+			g.recordErr(user, "verify", path, err)
 			return nil, err
 		}
 		sum, d, err := res.Checksum(rep.PhysicalID)

@@ -103,6 +103,7 @@ func All() []struct {
 		{"E9", E9Planner},
 		{"E10", E10LongRun},
 		{"E11", E11HSMvsILM},
+		{"E12", E12FaultSweep},
 	}
 }
 

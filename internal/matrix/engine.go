@@ -1,11 +1,13 @@
 package matrix
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/dgms"
 	"datagridflow/internal/obs"
@@ -80,6 +82,7 @@ type Engine struct {
 	execs    map[string]*Execution
 	handlers map[string]OpHandler
 	procs    map[string]Procedure
+	journal  *Journal
 }
 
 // NewEngine creates an engine over the grid with default configuration.
@@ -162,7 +165,7 @@ func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
 		}
 		st, err := e.Status(req.StatusQuery.ID, req.StatusQuery.Detail)
 		if err != nil {
-			return &dgl.Response{Error: err.Error()}, nil
+			return &dgl.Response{Error: dgferr.Encode(err)}, nil
 		}
 		return &dgl.Response{Status: &st}, nil
 	}
@@ -188,7 +191,9 @@ func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
 	st := exec.Status(true)
 	resp := &dgl.Response{Status: &st}
 	if err := exec.Err(); err != nil {
-		resp.Error = err.Error()
+		// Encode the error class so wire clients rebuild a typed error
+		// (docs/WIRE.md, "Typed errors").
+		resp.Error = dgferr.Encode(err)
 	}
 	return resp, nil
 }
@@ -208,12 +213,27 @@ func (e *Engine) Start(user string, flow dgl.Flow) (*Execution, error) {
 // Run validates and executes a flow synchronously, returning the
 // Execution after it reaches a terminal state.
 func (e *Engine) Run(user string, flow dgl.Flow) (*Execution, error) {
+	return e.RunContext(context.Background(), user, flow)
+}
+
+// RunContext is Run under a context: when ctx is done before the flow
+// finishes, the execution is cancelled (it stops at its next
+// checkpoint, like Execution.Cancel) and RunContext returns it once
+// terminal, with Err reporting ErrCancelled. Validation errors are
+// returned directly.
+func (e *Engine) RunContext(ctx context.Context, user string, flow dgl.Flow) (*Execution, error) {
 	req := dgl.NewRequest(user, "", flow)
 	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
 		return nil, err
 	}
 	exec := e.newExecution(req, nil)
-	exec.run()
+	go exec.run()
+	select {
+	case <-exec.done:
+	case <-ctx.Done():
+		exec.Cancel()
+		<-exec.done
+	}
 	return exec, nil
 }
 

@@ -1,0 +1,190 @@
+package matrix
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/provenance"
+)
+
+// Journal is the engine's crash-recovery log: an append-only JSONL file
+// recording, for every execution, its request document at start
+// (exec.start), each step that completed (step.done, by restart-stable
+// node path) and its terminal state (exec.end). An engine process that
+// dies mid-run leaves executions with no exec.end record; a fresh engine
+// pointed at the same file resumes exactly those with
+// RecoverFromJournal, skipping the steps the journal proves are done.
+//
+// The journal complements provenance: provenance is the durable audit
+// trail (it does not store request documents, and
+// RestartFromProvenance therefore needs the caller to resupply them);
+// the journal is operational state that makes recovery self-contained.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// journalRecord is one JSONL line.
+type journalRecord struct {
+	Type string    `json:"type"` // exec.start | step.done | exec.end
+	ID   string    `json:"id"`   // execution id
+	Time time.Time `json:"time"`
+	// Request holds the marshaled DGL request document (exec.start).
+	Request string `json:"request,omitempty"`
+	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
+	// (step.done).
+	Node string `json:"node,omitempty"`
+	// Err is the final error text, empty on success (exec.end).
+	Err string `json:"err,omitempty"`
+}
+
+// Journal record types.
+const (
+	journalExecStart = "exec.start"
+	journalStepDone  = "step.done"
+	journalExecEnd   = "exec.end"
+)
+
+// OpenJournal opens (creating if needed) an append-mode journal file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Path returns the journal's file path — pass it to RecoverFromJournal
+// after a restart.
+func (j *Journal) Path() string { return j.f.Name() }
+
+// append writes one record and syncs it to disk — a crashed process must
+// not lose acknowledged step completions.
+func (j *Journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// SetJournal attaches (or, with nil, detaches) the engine's execution
+// journal. Every execution started afterwards records its lifecycle.
+func (e *Engine) SetJournal(j *Journal) {
+	e.mu.Lock()
+	e.journal = j
+	e.mu.Unlock()
+}
+
+// Journal returns the attached journal, or nil.
+func (e *Engine) Journal() *Journal {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.journal
+}
+
+// journalAppend best-effort writes a journal record (no-op when no
+// journal is attached).
+func (e *Engine) journalAppend(rec journalRecord) {
+	j := e.Journal()
+	if j == nil {
+		return
+	}
+	rec.Time = e.Clock().Now()
+	if err := j.append(rec); err == nil {
+		e.Obs().Counter("matrix_journal_records_total", "type", rec.Type).Inc()
+	}
+}
+
+// RecoverFromJournal replays a journal file and resumes every execution
+// it proves incomplete — those with an exec.start but no exec.end, i.e.
+// runs a crashed engine process abandoned mid-flight. Each is restarted
+// asynchronously on this engine under a fresh id, skipping the steps
+// whose step.done records survive; the returned executions are in
+// journal order. Terminally failed executions are not recovered (their
+// exec.end is on record) — use Restart or RestartFromProvenance for
+// those.
+func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: journal %s: %v", dgferr.ErrNotFound, path, err)
+	}
+	defer f.Close()
+	type pending struct {
+		req  *dgl.Request
+		skip map[string]bool
+	}
+	open := map[string]*pending{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%w: journal %s line %d: %v", dgferr.ErrInvalid, path, line, err)
+		}
+		switch rec.Type {
+		case journalExecStart:
+			// Decode only: validation runs below against this engine's
+			// full operation registry, not the built-ins alone.
+			req, err := dgl.DecodeRequest([]byte(rec.Request))
+			if err != nil {
+				return nil, fmt.Errorf("%w: journal %s line %d: %v", dgferr.ErrInvalid, path, line, err)
+			}
+			open[rec.ID] = &pending{req: req, skip: map[string]bool{}}
+			order = append(order, rec.ID)
+		case journalStepDone:
+			if p := open[rec.ID]; p != nil {
+				p.skip[rec.Node] = true
+			}
+		case journalExecEnd:
+			delete(open, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrix: journal %s: %w", path, err)
+	}
+	var out []*Execution
+	for _, id := range order {
+		p, ok := open[id]
+		if !ok {
+			continue
+		}
+		if err := dgl.ValidateFlow(p.req.Flow, e.knownOps()); err != nil {
+			return out, fmt.Errorf("matrix: journal %s: execution %s: %w", path, id, err)
+		}
+		next := e.newExecution(p.req, p.skip)
+		e.Obs().Counter("matrix_recoveries_total").Inc()
+		e.record(provenance.Record{
+			Actor: p.req.User.Name, Action: "flow.recover",
+			FlowID: next.ID, Target: p.req.Flow.Name,
+			Detail: map[string]string{"prior": id, "steps-done": fmt.Sprint(len(p.skip))},
+		})
+		go next.run()
+		out = append(out, next)
+	}
+	return out, nil
+}

@@ -3,9 +3,11 @@ package matrix
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"time"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/expr"
 	"datagridflow/internal/namespace"
@@ -25,6 +27,11 @@ func (ex *Execution) run() {
 		Actor: ex.req.User.Name, Action: "flow.submit",
 		FlowID: ex.ID, Target: ex.req.Flow.Name,
 	})
+	if doc, merr := dgl.Marshal(ex.req); merr == nil {
+		ex.engine.journalAppend(journalRecord{
+			Type: journalExecStart, ID: ex.ID, Request: string(doc),
+		})
+	}
 	err := ex.runFlowScoped(ex.req.Flow, ex.root, ex.scope)
 	ex.mu.Lock()
 	ex.err = err
@@ -45,6 +52,9 @@ func (ex *Execution) run() {
 		Actor: ex.req.User.Name, Action: "flow.complete",
 		FlowID: ex.ID, Target: ex.req.Flow.Name,
 		Outcome: outcome, Err: errText,
+	})
+	ex.engine.journalAppend(journalRecord{
+		Type: journalExecEnd, ID: ex.ID, Err: errText,
 	})
 }
 
@@ -407,6 +417,9 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			FlowID: ex.ID, StepID: n.id, Target: st.Name,
 			Outcome: provenance.OutcomeSkipped,
 		})
+		ex.engine.journalAppend(journalRecord{
+			Type: journalStepDone, ID: ex.ID, Node: ex.relID(n.id),
+		})
 		return nil
 	}
 	// Steps without their own variable block execute directly in the
@@ -454,9 +467,14 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 	if st.OnError == dgl.OnErrorRetry {
 		attempts = st.Retries + 1
 	}
+	timing := st.Timing()
 	var opErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if d := retryDelay(timing, n.id, attempt); d > 0 {
+				o.Histogram("retry_backoff_seconds", "op", op).Observe(d.Seconds())
+				ex.engine.Clock().Sleep(d)
+			}
 			o.Counter("matrix_step_retries_total", "op", op).Inc()
 			ex.engine.record(provenance.Record{
 				Actor: ex.req.User.Name, Action: "step.retry",
@@ -464,7 +482,23 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 				Detail: map[string]string{"attempt": fmt.Sprint(attempt + 1)},
 			})
 		}
-		if opErr = ex.execOperation(&st.Operation, scope, n.id); opErr == nil {
+		attemptStart := ex.now()
+		opErr = ex.execOperation(&st.Operation, scope, n.id)
+		if timing.Timeout > 0 {
+			// Under the virtual clock an operation cannot be interrupted
+			// mid-flight; the budget is checked against the virtual time
+			// the attempt consumed, and overruns fail with the (retryable)
+			// timeout class even if the operation eventually returned.
+			if el := ex.now().Sub(attemptStart); el > timing.Timeout {
+				o.Counter("matrix_step_timeouts_total", "op", op).Inc()
+				opErr = fmt.Errorf("%w: step %s attempt %d took %v (budget %v)",
+					dgferr.ErrTimeout, st.Name, attempt+1, el, timing.Timeout)
+			}
+		}
+		if opErr == nil {
+			break
+		}
+		if !dgferr.Retryable(opErr) {
 			break
 		}
 		if err := ex.ctrl.checkpoint(); err != nil {
@@ -472,6 +506,11 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			finish(StateCancelled)
 			return err
 		}
+	}
+	if opErr != nil && st.OnError == dgl.OnErrorRetry && dgferr.Retryable(opErr) {
+		o.Counter("retry_exhausted_total", "op", op).Inc()
+		opErr = fmt.Errorf("%w: step %s after %d attempts: %w",
+			dgferr.ErrRetryExhausted, st.Name, attempts, opErr)
 	}
 	if opErr != nil {
 		if st.OnError == dgl.OnErrorContinue {
@@ -499,7 +538,32 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 		Actor: ex.req.User.Name, Action: "step.finish",
 		FlowID: ex.ID, StepID: n.id, Target: st.Name,
 	})
+	ex.engine.journalAppend(journalRecord{
+		Type: journalStepDone, ID: ex.ID, Node: ex.relID(n.id),
+	})
 	return nil
+}
+
+// retryDelay computes the virtual-clock pause before retry attempt
+// (1-based): exponential growth from the base backoff, capped by
+// MaxBackoff, plus deterministic jitter of up to 25% hashed from the
+// node id and attempt number — so a seeded simulation replays its
+// backoff schedule identically.
+func retryDelay(t dgl.RetryTiming, nodeID string, attempt int) time.Duration {
+	if t.Backoff <= 0 {
+		return 0
+	}
+	d := t.Backoff
+	for i := 1; i < attempt && d < 24*time.Hour; i++ {
+		d *= 2
+	}
+	if t.MaxBackoff > 0 && d > t.MaxBackoff {
+		d = t.MaxBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", nodeID, attempt)
+	frac := float64(h.Sum64()%1024) / 4096 // [0, 0.25)
+	return d + time.Duration(float64(d)*frac)
 }
 
 // fireRule evaluates the named rule (if declared): the condition's string

@@ -1,11 +1,12 @@
 package matrix
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 )
 
@@ -33,14 +34,15 @@ func (s State) Terminal() bool {
 	return false
 }
 
-// Control errors.
+// Control errors. Each wraps its dgferr class so callers can match
+// against the public taxonomy.
 var (
 	// ErrCancelled aborts a run when Cancel is called.
-	ErrCancelled = errors.New("matrix: execution cancelled")
+	ErrCancelled = dgferr.Mark(dgferr.ErrCancelled, "matrix: execution cancelled")
 	// ErrNotFound reports an unknown execution or node id.
-	ErrNotFound = errors.New("matrix: id not found")
+	ErrNotFound = dgferr.Mark(dgferr.ErrNotFound, "matrix: id not found")
 	// ErrNotRestartable reports a Restart of a non-terminal execution.
-	ErrNotRestartable = errors.New("matrix: execution not restartable")
+	ErrNotRestartable = dgferr.Mark(dgferr.ErrInvalid, "matrix: execution not restartable")
 )
 
 // node is one element of an execution's dynamic status tree. Loop
@@ -239,6 +241,21 @@ func (e *Execution) Wait() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.err
+}
+
+// WaitContext blocks until the execution finishes or the context is
+// done. On cancellation it returns promptly with the context's error
+// (wrapped with dgferr.ErrCancelled); the execution itself keeps
+// running — call Cancel to stop it too.
+func (e *Execution) WaitContext(ctx context.Context) error {
+	select {
+	case <-e.done:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.err
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", dgferr.ErrCancelled, ctx.Err())
+	}
 }
 
 // Err returns the final error if the execution has finished.

@@ -9,27 +9,30 @@
 package namespace
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"datagridflow/internal/dgferr"
 )
 
-// Sentinel errors for namespace operations.
+// Sentinel errors for namespace operations. Each wraps its dgferr class,
+// so errors.Is works against both the package sentinel and the public
+// taxonomy (datagridflow.ErrNotFound, ...).
 var (
 	// ErrNotFound reports a missing path.
-	ErrNotFound = errors.New("namespace: not found")
+	ErrNotFound = dgferr.Mark(dgferr.ErrNotFound, "namespace: not found")
 	// ErrExists reports a name collision.
-	ErrExists = errors.New("namespace: already exists")
+	ErrExists = dgferr.Mark(dgferr.ErrExists, "namespace: already exists")
 	// ErrNotCollection reports an object used where a collection is needed.
-	ErrNotCollection = errors.New("namespace: not a collection")
+	ErrNotCollection = dgferr.Mark(dgferr.ErrInvalid, "namespace: not a collection")
 	// ErrNotObject reports a collection used where an object is needed.
-	ErrNotObject = errors.New("namespace: not a data object")
+	ErrNotObject = dgferr.Mark(dgferr.ErrInvalid, "namespace: not a data object")
 	// ErrNotEmpty reports a non-recursive remove of a non-empty collection.
-	ErrNotEmpty = errors.New("namespace: collection not empty")
+	ErrNotEmpty = dgferr.Mark(dgferr.ErrInvalid, "namespace: collection not empty")
 	// ErrBadPath reports a malformed logical path.
-	ErrBadPath = errors.New("namespace: bad path")
+	ErrBadPath = dgferr.Mark(dgferr.ErrInvalid, "namespace: bad path")
 	// ErrDenied reports an access-control rejection.
-	ErrDenied = errors.New("namespace: permission denied")
+	ErrDenied = dgferr.Mark(dgferr.ErrPermission, "namespace: permission denied")
 )
 
 // CleanPath normalizes a logical path: it must be absolute, components are

@@ -13,11 +13,12 @@ import (
 	"crypto/md5"
 	"encoding/binary"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"datagridflow/internal/dgferr"
 )
 
 // Class identifies the kind of physical storage system a resource models.
@@ -79,16 +80,18 @@ func DefaultProfile(c Class) Profile {
 	}
 }
 
-// Sentinel errors returned by Resource operations.
+// Sentinel errors returned by Resource operations. Each wraps its dgferr
+// class so callers can match against the public taxonomy.
 var (
 	// ErrNotFound reports a missing object.
-	ErrNotFound = errors.New("vfs: object not found")
+	ErrNotFound = dgferr.Mark(dgferr.ErrNotFound, "vfs: object not found")
 	// ErrExists reports an id collision on Put.
-	ErrExists = errors.New("vfs: object already exists")
+	ErrExists = dgferr.Mark(dgferr.ErrExists, "vfs: object already exists")
 	// ErrCapacity reports that the resource is full.
-	ErrCapacity = errors.New("vfs: resource capacity exceeded")
+	ErrCapacity = dgferr.Mark(dgferr.ErrCapacity, "vfs: resource capacity exceeded")
 	// ErrOffline reports an operation against a resource taken offline.
-	ErrOffline = errors.New("vfs: resource offline")
+	// Transient (dgferr.ErrResourceDown): retry policies wait it out.
+	ErrOffline = dgferr.Mark(dgferr.ErrResourceDown, "vfs: resource offline")
 )
 
 // ObjectInfo describes a stored object.

@@ -1,30 +1,55 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
 )
 
 // Client is a connection to one matrix server. It serializes requests
 // (one in flight at a time), matching the request-response protocol.
+// Server-reported failures come back as typed errors: the server
+// encodes its error class on the wire (docs/WIRE.md, "Typed errors")
+// and the client rebuilds it, so errors.Is against the datagridflow
+// sentinels (ErrNotFound, ErrRetryExhausted, ...) works across the
+// network.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
 // Dial connects to a matrix server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a matrix server honouring the context's
+// deadline and cancellation.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	return &Client{conn: conn}, nil
+}
+
+// SetTimeout bounds every subsequent request (write + read) by d on the
+// wall clock; zero restores unbounded requests. Per-request contexts
+// (SubmitContext) compose with it — whichever limit is tighter wins.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Close closes the connection.
@@ -34,18 +59,69 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// roundTrip performs one framed request-response under the client lock,
+// applying the context's deadline/cancellation and the client timeout to
+// the connection for the duration of the exchange.
+func (c *Client) roundTrip(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Time{}
+	if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	_ = c.conn.SetDeadline(deadline) // zero clears
+	stop := context.AfterFunc(ctx, func() {
+		// Cancellation interrupts in-flight I/O by expiring the deadline.
+		_ = c.conn.SetDeadline(time.Now())
+	})
+	defer stop()
+	if err := WriteFrame(c.conn, kind, payload); err != nil {
+		return 0, nil, c.ctxErr(ctx, err)
+	}
+	k, resp, err := ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, c.ctxErr(ctx, err)
+	}
+	return k, resp, nil
+}
+
+// ctxErr maps an I/O error caused by context cancellation back to the
+// context's error, wrapped in the cancelled class.
+func (c *Client) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() == nil {
+		// The connection deadline derived from the context can fire a
+		// beat before the context's own timer; if the context is at its
+		// deadline, wait for it to notice so the caller sees the
+		// cancellation class rather than a raw i/o timeout.
+		if d, ok := ctx.Deadline(); ok && time.Until(d) < time.Millisecond {
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", dgferr.ErrCancelled, ctx.Err())
+	}
+	return err
+}
+
 // Submit sends a DGL request and returns the server's response.
 func (c *Client) Submit(req *dgl.Request) (*dgl.Response, error) {
+	return c.SubmitContext(context.Background(), req)
+}
+
+// SubmitContext is Submit under a context: the deadline bounds the
+// round trip and cancellation interrupts in-flight I/O.
+func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
 	data, err := dgl.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, KindDGL, data); err != nil {
-		return nil, err
-	}
-	kind, payload, err := ReadFrame(c.conn)
+	kind, payload, err := c.roundTrip(ctx, KindDGL, data)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +136,24 @@ func (c *Client) SubmitFlow(user string, flow dgl.Flow) (*dgl.Response, error) {
 	return c.Submit(dgl.NewRequest(user, "", flow))
 }
 
+// RunFlow submits a flow synchronously and returns its final status
+// tree, decoding a server-side failure into a typed error — the
+// convenience entry point for "run this and tell me, typed, why it
+// failed".
+func (c *Client) RunFlow(ctx context.Context, user string, flow dgl.Flow) (*dgl.FlowStatus, error) {
+	resp, err := c.SubmitContext(ctx, dgl.NewRequest(user, "", flow))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return resp.Status, dgferr.Decode(resp.Error)
+	}
+	if resp.Status == nil {
+		return nil, errors.New("wire: empty response")
+	}
+	return resp.Status, nil
+}
+
 // SubmitAsync submits a flow asynchronously and returns the execution id
 // from the acknowledgement.
 func (c *Client) SubmitAsync(user string, flow dgl.Flow) (string, error) {
@@ -68,7 +162,7 @@ func (c *Client) SubmitAsync(user string, flow dgl.Flow) (string, error) {
 		return "", err
 	}
 	if resp.Error != "" {
-		return "", errors.New(resp.Error)
+		return "", dgferr.Decode(resp.Error)
 	}
 	if resp.Ack == nil || !resp.Ack.Valid {
 		return "", errors.New("wire: missing acknowledgement")
@@ -83,7 +177,7 @@ func (c *Client) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
 		return nil, err
 	}
 	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
+		return nil, dgferr.Decode(resp.Error)
 	}
 	if resp.Status == nil {
 		return nil, errors.New("wire: empty status response")
@@ -93,16 +187,15 @@ func (c *Client) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
 
 // control sends one control verb.
 func (c *Client) control(op, id string) (ControlResult, error) {
-	data, err := json.Marshal(Control{Op: op, ID: id})
+	return c.controlMsg(context.Background(), Control{Op: op, ID: id})
+}
+
+func (c *Client) controlMsg(ctx context.Context, msg Control) (ControlResult, error) {
+	data, err := json.Marshal(msg)
 	if err != nil {
 		return ControlResult{}, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, KindControl, data); err != nil {
-		return ControlResult{}, err
-	}
-	kind, payload, err := ReadFrame(c.conn)
+	kind, payload, err := c.roundTrip(ctx, KindControl, data)
 	if err != nil {
 		return ControlResult{}, err
 	}
@@ -114,9 +207,25 @@ func (c *Client) control(op, id string) (ControlResult, error) {
 		return ControlResult{}, err
 	}
 	if !res.OK && res.Error != "" {
-		return res, errors.New(res.Error)
+		return res, dgferr.Decode(res.Error)
 	}
 	return res, nil
+}
+
+// Hello negotiates the protocol version with the server: it offers the
+// client's version and returns the server's. Servers reject a major
+// mismatch with an error carrying the protocol class
+// (errors.Is(err, dgferr.ErrProtocol)). Calling Hello is optional —
+// same-build client/server pairs interoperate without it — but
+// recommended as the first exchange on a fresh connection.
+func (c *Client) Hello() (serverProto string, err error) {
+	res, err := c.controlMsg(context.Background(), Control{
+		Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor),
+	})
+	if err != nil {
+		return "", err
+	}
+	return res.Proto, nil
 }
 
 // Pause suspends an execution on the server.

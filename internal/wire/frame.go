@@ -74,14 +74,37 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
+// Protocol version, negotiated by the "hello" control verb. Majors must
+// match for a session to proceed; minors are informational (additions
+// only). See docs/WIRE.md, "Version negotiation".
+const (
+	ProtoMajor = 1
+	ProtoMinor = 1
+)
+
+// ProtoVersion renders a protocol version as "major.minor".
+func ProtoVersion(major, minor int) string {
+	return fmt.Sprintf("%d.%d", major, minor)
+}
+
+// ParseProtoVersion splits a "major.minor" version string.
+func ParseProtoVersion(s string) (major, minor int, err error) {
+	if _, err := fmt.Sscanf(s, "%d.%d", &major, &minor); err != nil {
+		return 0, 0, fmt.Errorf("wire: bad protocol version %q", s)
+	}
+	return major, minor, nil
+}
+
 // Control is the JSON payload of a KindControl frame.
 type Control struct {
-	// Op is "pause", "resume", "cancel", "restart", "list" or
+	// Op is "hello", "pause", "resume", "cancel", "restart", "list" or
 	// "metrics".
 	Op string `json:"op"`
-	// ID is the execution id the verb applies to ("list" and "metrics"
-	// ignore it).
+	// ID is the execution id the verb applies to ("hello", "list" and
+	// "metrics" ignore it).
 	ID string `json:"id,omitempty"`
+	// Proto is the client's protocol version ("1.1") for "hello".
+	Proto string `json:"proto,omitempty"`
 }
 
 // ControlResult is the JSON reply to a control frame.
@@ -90,6 +113,8 @@ type ControlResult struct {
 	// ID echoes the execution id (the new id for restart).
 	ID    string `json:"id,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Proto is the server's protocol version, returned by "hello".
+	Proto string `json:"proto,omitempty"`
 	// Executions carries the listing for the "list" verb.
 	Executions []ExecutionInfo `json:"executions,omitempty"`
 	// Metrics carries the engine's obs.Snapshot (JSON) for the

@@ -7,7 +7,9 @@ import (
 	"net"
 	"sync"
 
+	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
+	"datagridflow/internal/fault"
 	"datagridflow/internal/matrix"
 )
 
@@ -37,11 +39,13 @@ type Server struct {
 	// network. Plain servers leave it nil and answer from the engine.
 	statusRouter func(user, id string, detail bool) (*dgl.FlowStatus, error)
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]bool
+	closed      bool
+	wg          sync.WaitGroup
+	fault       *fault.Injector
+	faultTarget string
 }
 
 // NewServer wraps an engine.
@@ -51,6 +55,35 @@ func NewServer(engine *matrix.Engine) *Server {
 
 // Engine returns the wrapped engine.
 func (s *Server) Engine() *matrix.Engine { return s.engine }
+
+// SetFault attaches a fault-injection plan to this server under the
+// given target name: PeerCrash and ConnDrop events against that target
+// sever connections mid-session (a simulated matrixd crash), Latency
+// events delay frame handling. Pass nil to detach.
+func (s *Server) SetFault(in *fault.Injector, target string) {
+	if in != nil {
+		in.SetObs(s.engine.Obs())
+	}
+	s.mu.Lock()
+	s.fault, s.faultTarget = in, target
+	s.mu.Unlock()
+}
+
+// connFault evaluates the server's fault plan for one inbound frame,
+// charging induced latency to the clock; drop severs the connection.
+func (s *Server) connFault() (drop bool) {
+	s.mu.Lock()
+	in, target := s.fault, s.faultTarget
+	s.mu.Unlock()
+	if in == nil {
+		return false
+	}
+	d, lat := in.ConnFault(target)
+	if lat > 0 {
+		s.engine.Clock().Sleep(lat)
+	}
+	return d
+}
 
 // Listen starts accepting on addr ("127.0.0.1:0" for an ephemeral port)
 // and returns the bound address. Serving happens on background
@@ -114,6 +147,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		k := kindName(kind)
 		o.Counter("wire_frames_in_total", "kind", k).Inc()
 		o.Counter("wire_bytes_in_total").Add(int64(len(payload)) + frameHeaderLen)
+		if s.connFault() {
+			return // injected crash/drop: sever without a response
+		}
 		started := s.engine.Clock().Now()
 		o.StartSpan("request", k, remote, nil)
 		var data []byte
@@ -148,18 +184,18 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) handleDGL(payload []byte) *dgl.Response {
 	req, err := dgl.DecodeRequest(payload)
 	if err != nil {
-		return &dgl.Response{Error: err.Error()}
+		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
 	if q := req.StatusQuery; q != nil && req.Flow == nil && s.statusRouter != nil {
 		st, err := s.statusRouter(req.User.Name, q.ID, q.Detail)
 		if err != nil {
-			return &dgl.Response{Error: err.Error()}
+			return &dgl.Response{Error: dgferr.Encode(err)}
 		}
 		return &dgl.Response{Status: st}
 	}
 	resp, err := s.engine.Submit(req)
 	if err != nil {
-		return &dgl.Response{Error: err.Error()}
+		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
 	return resp
 }
@@ -170,29 +206,45 @@ func (s *Server) handleControl(payload []byte) ControlResult {
 		return ControlResult{Error: "bad control frame: " + err.Error()}
 	}
 	exec, ok := s.engine.Execution(c.ID)
+	unknown := func() ControlResult {
+		return ControlResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: execution %s", dgferr.ErrNotFound, c.ID))}
+	}
 	switch c.Op {
+	case "hello":
+		major, _, err := ParseProtoVersion(c.Proto)
+		if err != nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: %v", dgferr.ErrProtocol, err))}
+		}
+		if major != ProtoMajor {
+			return ControlResult{Error: dgferr.Encode(fmt.Errorf(
+				"%w: client speaks %s, server speaks %s",
+				dgferr.ErrProtocol, c.Proto, ProtoVersion(ProtoMajor, ProtoMinor)))}
+		}
+		return ControlResult{OK: true, Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
 	case "pause":
 		if !ok {
-			return ControlResult{Error: "unknown execution " + c.ID}
+			return unknown()
 		}
 		exec.Pause()
 		return ControlResult{OK: true, ID: c.ID}
 	case "resume":
 		if !ok {
-			return ControlResult{Error: "unknown execution " + c.ID}
+			return unknown()
 		}
 		exec.Resume()
 		return ControlResult{OK: true, ID: c.ID}
 	case "cancel":
 		if !ok {
-			return ControlResult{Error: "unknown execution " + c.ID}
+			return unknown()
 		}
 		exec.Cancel()
 		return ControlResult{OK: true, ID: c.ID}
 	case "restart":
 		next, err := s.engine.Restart(c.ID)
 		if err != nil {
-			return ControlResult{Error: err.Error()}
+			return ControlResult{Error: dgferr.Encode(err)}
 		}
 		return ControlResult{OK: true, ID: next.ID}
 	case "list":
@@ -210,7 +262,8 @@ func (s *Server) handleControl(payload []byte) ControlResult {
 		}
 		return ControlResult{OK: true, Metrics: raw}
 	default:
-		return ControlResult{Error: "unknown control op " + c.Op}
+		return ControlResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: unknown control op %q", dgferr.ErrInvalid, c.Op))}
 	}
 }
 
