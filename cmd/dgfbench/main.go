@@ -9,6 +9,12 @@
 //	dgfbench -exp E6,E7   # run a subset
 //	dgfbench -small       # quick pass (CI-sized)
 //	dgfbench -metrics=false   # suppress the engine metrics snapshot
+//	dgfbench -load -o BENCH_wire.json   # wire-protocol load experiment
+//
+// With -load the experiments are skipped and the wire load harness
+// (internal/loadgen) runs instead: serial vs pipelined vs batch
+// throughput plus an open-loop latency distribution, written as the
+// BENCH_wire.json artifact the CI bench job gates on (docs/BENCH.md).
 //
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"datagridflow/internal/experiments"
+	"datagridflow/internal/loadgen"
 	"datagridflow/internal/obs"
 )
 
@@ -32,7 +39,14 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E12")
+	out := flag.String("o", "", "with -load: write the report JSON to this file (default stdout only)")
 	flag.Parse()
+
+	if *load {
+		runLoad(*small, *out)
+		return
+	}
 
 	scale := experiments.Full
 	if *small {
@@ -70,4 +84,35 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runLoad executes the wire load harness and writes the report.
+func runLoad(small bool, out string) {
+	opts := loadgen.Defaults()
+	if small {
+		opts = loadgen.SmallDefaults()
+	}
+	t0 := time.Now()
+	rep, err := loadgen.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("(load completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		fmt.Printf("%s", data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
 }

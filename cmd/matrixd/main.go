@@ -13,6 +13,8 @@
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
 //	matrixd -journal /var/lib/matrix.journal     # crash recovery
 //	matrixd -fault plan.json                     # fault injection
+//	matrixd -max-inflight 128 -max-queue 512     # admission tuning
+//	matrixd -serial-only                         # pin pre-1.2 framing
 //
 // With -metrics-addr the server exposes the observability surface
 // documented in docs/METRICS.md: /metrics (JSON snapshot), /trace
@@ -54,6 +56,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics, trace events and pprof on this address (\":0\" for ephemeral; empty disables)")
 	journalPath := flag.String("journal", "", "execution journal file: crashed runs are recovered on startup (docs/FAULTS.md)")
 	faultPath := flag.String("fault", "", "fault-injection plan (JSON) applied to the grid and server (docs/FAULTS.md)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests across all connections (admission worker pool)")
+	maxUserQueue := flag.Int("max-queue", 256, "max admission waiters queued per user; excess requests are rejected with a capacity error")
+	serialOnly := flag.Bool("serial-only", false, "pin the wire protocol to pre-1.2 serial framing (no multiplexing)")
 	flag.Parse()
 
 	var prov *provenance.Store
@@ -171,13 +176,18 @@ func main() {
 		log.Printf("matrixd: installed %d trigger(s): %v", len(names), names)
 	}
 
+	srvCfg := wire.ServerConfig{
+		MaxInflight:  *maxInflight,
+		MaxUserQueue: *maxUserQueue,
+		SerialOnly:   *serialOnly,
+	}
 	var bound string
 	var closeFn func()
 	if *lookup != "" {
 		if *name == "" {
 			log.Fatal("matrixd: -lookup requires -name")
 		}
-		peer := wire.NewPeer(*name, engine)
+		peer := wire.NewPeerConfig(*name, engine, srvCfg)
 		var err error
 		bound, err = peer.Start(*addr, *lookup)
 		if err != nil {
@@ -186,7 +196,7 @@ func main() {
 		closeFn = peer.Close
 		log.Printf("matrixd: peer %q registered with %s", *name, *lookup)
 	} else {
-		srv := wire.NewServer(engine)
+		srv := wire.NewServerConfig(engine, srvCfg)
 		if injector != nil {
 			target := *name
 			if target == "" {

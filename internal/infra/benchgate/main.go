@@ -1,0 +1,115 @@
+// Command benchgate compares a fresh BENCH_wire.json load report
+// against the committed baseline and fails (exit 1) when the run
+// regresses. It is the CI bench job's gate:
+//
+//	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json
+//	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json -max-regress 0.20 -min-speedup 3.0
+//
+// The gated quantities are the report's speedup *ratios*
+// (pipelined/serial, batch/async-serial), not absolute RPS: a ratio
+// compares two phases of the same run on the same machine, so it is
+// stable across CI runners of very different speeds, while absolute
+// throughput is printed for information only (docs/BENCH.md). A run
+// fails when
+//
+//   - speedup_pipelined falls below -min-speedup (the protocol's
+//     headline claim: pipelining must hide at least that multiple of
+//     the per-request latency), or
+//   - a gated speedup ratio drops more than -max-regress (fraction)
+//     below the committed baseline's ratio.
+//
+// Output is a benchstat-style old/new/delta table. stdlib only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datagridflow/internal/loadgen"
+)
+
+func load(path string) (*loadgen.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// row is one gated or informational comparison.
+type row struct {
+	name     string
+	old, new float64
+	unit     string
+	gated    bool
+}
+
+// gate renders the old/new/delta table and counts gate failures.
+func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, int) {
+	rows := []row{
+		{"speedup/pipelined", base.SpeedupPipelined, cur.SpeedupPipelined, "x", true},
+		{"speedup/batch", base.SpeedupBatch, cur.SpeedupBatch, "x", true},
+		{"rps/serial", base.Serial.RPS, cur.Serial.RPS, "req/s", false},
+		{"rps/pipelined", base.Pipelined.RPS, cur.Pipelined.RPS, "req/s", false},
+		{"rps/batch", base.Batch.RPS, cur.Batch.RPS, "req/s", false},
+		{"p99/pipelined", base.Pipelined.P99ms, cur.Pipelined.P99ms, "ms", false},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %14s %14s %8s\n", "metric", "old", "new", "delta")
+	failures := 0
+	for _, r := range rows {
+		delta := 0.0
+		if r.old != 0 {
+			delta = (r.new - r.old) / r.old * 100
+		}
+		verdict := ""
+		if r.gated && r.old > 0 && r.new < r.old*(1-maxRegress) {
+			verdict = "  REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(&b, "%-20s %9.2f %-4s %9.2f %-4s %+7.1f%%%s\n", r.name, r.old, r.unit, r.new, r.unit, delta, verdict)
+	}
+	if cur.SpeedupPipelined < minSpeedup {
+		fmt.Fprintf(&b, "\nFAIL: speedup_pipelined %.2fx below the %.1fx floor\n", cur.SpeedupPipelined, minSpeedup)
+		failures++
+	}
+	return b.String(), failures
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed baseline report")
+	currentPath := flag.String("current", "", "fresh report to judge (required)")
+	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a speedup ratio vs baseline")
+	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+		os.Exit(2)
+	}
+	table, failures := gate(base, cur, *maxRegress, *minSpeedup)
+	fmt.Print(table)
+	if failures > 0 {
+		fmt.Printf("\nbenchgate: %d gate failure(s) (max-regress %.0f%%, min-speedup %.1fx)\n",
+			failures, *maxRegress*100, *minSpeedup)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchgate: OK (pipelined %.2fx >= %.1fx, ratios within %.0f%% of baseline)\n",
+		cur.SpeedupPipelined, *minSpeedup, *maxRegress*100)
+}

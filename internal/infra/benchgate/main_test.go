@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"datagridflow/internal/loadgen"
+)
+
+func report(pipelined, batch float64) *loadgen.Report {
+	return &loadgen.Report{
+		Serial:           loadgen.ModeResult{Mode: "serial", RPS: 400},
+		Pipelined:        loadgen.ModeResult{Mode: "pipelined", RPS: 400 * pipelined, P99ms: 5},
+		AsyncSerial:      loadgen.ModeResult{Mode: "async-serial", RPS: 7000},
+		Batch:            loadgen.ModeResult{Mode: "batch", RPS: 7000 * batch},
+		SpeedupPipelined: pipelined,
+		SpeedupBatch:     batch,
+	}
+}
+
+func TestGatePasses(t *testing.T) {
+	table, failures := gate(report(6.0, 1.1), report(5.8, 1.05), 0.20, 3.0)
+	if failures != 0 {
+		t.Fatalf("clean run failed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "speedup/pipelined") {
+		t.Errorf("table missing gated row:\n%s", table)
+	}
+}
+
+func TestGateCatchesRatioRegression(t *testing.T) {
+	// Pipelined ratio drops 40% — beyond the 20% allowance.
+	table, failures := gate(report(6.0, 1.1), report(3.6, 1.1), 0.20, 3.0)
+	if failures == 0 {
+		t.Fatalf("40%% ratio drop passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "REGRESSION") {
+		t.Errorf("table does not flag the regression:\n%s", table)
+	}
+}
+
+func TestGateEnforcesSpeedupFloor(t *testing.T) {
+	// Within 20% of a weak baseline but below the absolute 3x floor.
+	table, failures := gate(report(3.2, 1.1), report(2.7, 1.1), 0.20, 3.0)
+	if failures == 0 {
+		t.Fatalf("sub-floor speedup passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "floor") {
+		t.Errorf("table does not report the floor violation:\n%s", table)
+	}
+}
+
+func TestGateIgnoresAbsoluteRPSSwings(t *testing.T) {
+	// Same ratios on a machine 10x slower: absolute RPS collapses but
+	// the gate — which judges ratios only — must pass.
+	slow := report(6.0, 1.1)
+	slow.Serial.RPS = 40
+	slow.Pipelined.RPS = 240
+	slow.Batch.RPS = 700
+	table, failures := gate(report(6.0, 1.1), slow, 0.20, 3.0)
+	if failures != 0 {
+		t.Fatalf("absolute RPS drop failed the ratio gate:\n%s", table)
+	}
+}

@@ -1,0 +1,421 @@
+// Package loadgen is the wire-protocol load harness behind
+// `dgfbench -load`: it stands up an in-process matrix server on a real
+// TCP socket and measures DGL request throughput and latency across
+// the protocol's transfer modes — serial (pre-1.2, one request in
+// flight per connection), pipelined (1.2 multiplexed framing) and
+// batch (N flows per frame) — plus an open-loop phase that paces
+// requests at a target rate and reports the latency distribution.
+//
+// The workload is a synchronous flow whose single step sleeps for
+// Options.StepLatency on a real clock, standing in for the
+// long-running grid operations of the paper (a replication, a
+// third-party transfer): the response returns only when the flow
+// completes, so server-side latency is visible to the client. Serial
+// throughput is then bounded by one latency per round trip while the
+// pipelined session overlaps Inflight of them — the speedup ratio
+// measures latency hiding, which is what the multiplexed protocol
+// exists for, and is stable across machines with different core
+// counts (a single-core CI runner shows the same ratio as a laptop).
+// docs/BENCH.md records the schema and the gating rationale.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/namespace"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/vfs"
+	"datagridflow/internal/wire"
+)
+
+// Options sizes a load run. The zero value is not runnable; use
+// Defaults or SmallDefaults as a starting point.
+type Options struct {
+	// Small marks the CI-sized preset in the report.
+	Small bool
+	// Duration is the measuring window of each closed-loop phase.
+	Duration time.Duration
+	// Conns is the number of client connections per phase.
+	Conns int
+	// Inflight is the number of concurrent requests per connection in
+	// the pipelined phase.
+	Inflight int
+	// BatchSize is the number of flows per batch frame.
+	BatchSize int
+	// TargetRPS paces the open-loop phase; 0 skips it.
+	TargetRPS int
+	// StepLatency is the simulated grid-operation latency each flow
+	// sleeps for, on a real clock.
+	StepLatency time.Duration
+	// MaxInflight caps the server worker pool (0 = server default).
+	MaxInflight int
+}
+
+// Defaults is the full-scale preset.
+func Defaults() Options {
+	return Options{
+		Duration:    2 * time.Second,
+		Conns:       2,
+		Inflight:    16,
+		BatchSize:   32,
+		TargetRPS:   500,
+		StepLatency: 4 * time.Millisecond,
+		MaxInflight: 128,
+	}
+}
+
+// SmallDefaults is the CI-sized preset (sub-second phases).
+func SmallDefaults() Options {
+	return Options{
+		Small:       true,
+		Duration:    400 * time.Millisecond,
+		Conns:       1,
+		Inflight:    8,
+		BatchSize:   16,
+		TargetRPS:   200,
+		StepLatency: 2 * time.Millisecond,
+		MaxInflight: 128,
+	}
+}
+
+// ModeResult is one phase's measurement.
+type ModeResult struct {
+	Mode     string  `json:"mode"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	RPS      float64 `json:"rps"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+// Report is the artifact `dgfbench -load` writes as BENCH_wire.json.
+// Ratios, not absolute RPS, are the gated quantities: they compare two
+// phases of the same run on the same machine, so they survive CI
+// runners of wildly different speeds (docs/BENCH.md).
+type Report struct {
+	Small       bool   `json:"small"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	StepLatency string `json:"step_latency"`
+	Conns       int    `json:"conns"`
+	Inflight    int    `json:"inflight"`
+	BatchSize   int    `json:"batch_size"`
+
+	Serial      ModeResult  `json:"serial"`
+	Pipelined   ModeResult  `json:"pipelined"`
+	AsyncSerial ModeResult  `json:"async_serial"`
+	Batch       ModeResult  `json:"batch"`
+	OpenLoop    *ModeResult `json:"open_loop,omitempty"`
+
+	// SpeedupPipelined is pipelined RPS over serial RPS: the latency-
+	// hiding win of multiplexed framing. SpeedupBatch is batch flows/s
+	// over async-serial flows/s: the framing-amortization win of the
+	// batch verb.
+	SpeedupPipelined float64 `json:"speedup_pipelined"`
+	SpeedupBatch     float64 `json:"speedup_batch"`
+}
+
+// String renders the report as the human-readable table dgfbench
+// prints before writing the JSON artifact.
+func (r *Report) String() string {
+	var b []byte
+	line := func(m ModeResult) {
+		b = fmt.Appendf(b, "%-12s %8d req %5d err %9.0f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n",
+			m.Mode, m.Requests, m.Errors, m.RPS, m.P50ms, m.P95ms, m.P99ms)
+	}
+	b = fmt.Appendf(b, "== wire load (conns=%d inflight=%d batch=%d step=%s gomaxprocs=%d) ==\n",
+		r.Conns, r.Inflight, r.BatchSize, r.StepLatency, r.GoMaxProcs)
+	line(r.Serial)
+	line(r.Pipelined)
+	line(r.AsyncSerial)
+	line(r.Batch)
+	if r.OpenLoop != nil {
+		line(*r.OpenLoop)
+	}
+	b = fmt.Appendf(b, "speedup: pipelined/serial = %.2fx, batch/async-serial = %.2fx\n",
+		r.SpeedupPipelined, r.SpeedupBatch)
+	return string(b)
+}
+
+// harness is one in-process server plus the grid it runs on.
+type harness struct {
+	engine *matrix.Engine
+	server *wire.Server
+	addr   string
+}
+
+func newHarness(opts Options) (*harness, error) {
+	// Real clock: the sleep step must consume wall time for server-side
+	// latency to exist (the default virtual clock completes sleeps
+	// instantly).
+	g := dgms.New(dgms.Options{Clock: sim.RealClock{}})
+	if err := g.RegisterResource(vfs.New("bench-disk", "local", vfs.Disk, 0)); err != nil {
+		return nil, err
+	}
+	if err := g.CreateCollectionAll(g.Admin(), "/grid"); err != nil {
+		return nil, err
+	}
+	if err := g.Namespace().SetPermission("/grid", "*", namespace.PermWrite); err != nil {
+		return nil, err
+	}
+	e := matrix.NewEngine(g)
+	s := wire.NewServerConfig(e, wire.ServerConfig{MaxInflight: opts.MaxInflight})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &harness{engine: e, server: s, addr: addr}, nil
+}
+
+func (h *harness) close() { h.server.Close() }
+
+// sleepFlow is the workload: one step of simulated grid latency.
+func sleepFlow(d time.Duration) dgl.Flow {
+	return dgl.NewFlow("load").
+		Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": d.String()})).Flow()
+}
+
+// collector accumulates per-request latencies across workers.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    int
+}
+
+func (c *collector) ok(d time.Duration) {
+	c.mu.Lock()
+	c.latencies = append(c.latencies, d)
+	c.mu.Unlock()
+}
+
+func (c *collector) fail() {
+	c.mu.Lock()
+	c.errors++
+	c.mu.Unlock()
+}
+
+func (c *collector) result(mode string, elapsed time.Duration) ModeResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+	pct := func(p float64) float64 {
+		if len(c.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(c.latencies)-1))
+		return float64(c.latencies[i]) / float64(time.Millisecond)
+	}
+	return ModeResult{
+		Mode:     mode,
+		Requests: len(c.latencies),
+		Errors:   c.errors,
+		Seconds:  elapsed.Seconds(),
+		RPS:      float64(len(c.latencies)) / elapsed.Seconds(),
+		P50ms:    pct(0.50),
+		P95ms:    pct(0.95),
+		P99ms:    pct(0.99),
+	}
+}
+
+// dialN opens n connections, negotiating mux when hello is true.
+func dialN(addr string, n int, hello bool) ([]*wire.Client, error) {
+	clients := make([]*wire.Client, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := wire.Dial(addr)
+		if err == nil && hello {
+			_, err = c.Hello()
+		}
+		if err != nil {
+			for _, prev := range clients {
+				prev.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	return clients, nil
+}
+
+func closeAll(clients []*wire.Client) {
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// closedLoop runs `workers` goroutines per client, each issuing
+// requests back to back via issue until the window closes.
+func closedLoop(clients []*wire.Client, workers int, window time.Duration,
+	issue func(*wire.Client) error) (time.Duration, *collector) {
+	col := &collector{}
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c *wire.Client) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					if err := issue(c); err != nil {
+						col.fail()
+						return // a broken connection ends this worker
+					}
+					col.ok(time.Since(t0))
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	return time.Since(start), col
+}
+
+// Run executes the load experiment and returns the report.
+func Run(opts Options) (*Report, error) {
+	if opts.Conns <= 0 || opts.Inflight <= 0 || opts.BatchSize <= 0 || opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: options must be positive (got %+v)", opts)
+	}
+	h, err := newHarness(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+
+	flow := sleepFlow(opts.StepLatency)
+	syncReq := func(c *wire.Client) error {
+		_, err := c.SubmitFlow("bench", flow)
+		return err
+	}
+	asyncReq := func(c *wire.Client) error {
+		_, err := c.SubmitAsync("bench", flow)
+		return err
+	}
+
+	rep := &Report{
+		Small:       opts.Small,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		StepLatency: opts.StepLatency.String(),
+		Conns:       opts.Conns,
+		Inflight:    opts.Inflight,
+		BatchSize:   opts.BatchSize,
+	}
+
+	// Phase 1 — serial: pre-1.2 framing, one request in flight per
+	// connection. No Hello, so the session never upgrades.
+	serialClients, err := dialN(h.addr, opts.Conns, false)
+	if err != nil {
+		return nil, err
+	}
+	elapsed, col := closedLoop(serialClients, 1, opts.Duration, syncReq)
+	closeAll(serialClients)
+	rep.Serial = col.result("serial", elapsed)
+	h.engine.Prune(0)
+
+	// Phase 2 — pipelined: same connection count, multiplexed framing,
+	// Inflight concurrent requests per connection.
+	muxClients, err := dialN(h.addr, opts.Conns, true)
+	if err != nil {
+		return nil, err
+	}
+	elapsed, col = closedLoop(muxClients, opts.Inflight, opts.Duration, syncReq)
+	rep.Pipelined = col.result("pipelined", elapsed)
+	h.engine.Prune(0)
+
+	// Phase 3 — async-serial: the batch comparison baseline. Async
+	// submits return on registration, so this measures per-frame
+	// overhead without the step latency.
+	asyncClients, err := dialN(h.addr, opts.Conns, false)
+	if err != nil {
+		closeAll(muxClients)
+		return nil, err
+	}
+	elapsed, col = closedLoop(asyncClients, 1, opts.Duration, asyncReq)
+	closeAll(asyncClients)
+	rep.AsyncSerial = col.result("async-serial", elapsed)
+	h.engine.Prune(0)
+
+	// Phase 4 — batch: BatchSize async flows per frame over the muxed
+	// connections. Each batch call counts BatchSize requests.
+	reqs := make([]*dgl.Request, opts.BatchSize)
+	for i := range reqs {
+		reqs[i] = dgl.NewAsyncRequest("bench", "", flow)
+	}
+	batchCol := &collector{}
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range muxClients {
+		wg.Add(1)
+		go func(c *wire.Client) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resps, err := c.SubmitBatch(context.Background(), "bench", reqs)
+				if err != nil {
+					batchCol.fail()
+					return
+				}
+				per := time.Since(t0) / time.Duration(len(resps))
+				for range resps {
+					batchCol.ok(per)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.Batch = batchCol.result("batch", time.Since(start))
+	h.engine.Prune(0)
+
+	// Phase 5 — open loop: fire sync requests at TargetRPS over the
+	// muxed connections regardless of completions, so queueing delay
+	// shows up in the latency percentiles instead of hiding behind a
+	// closed loop's self-throttling.
+	if opts.TargetRPS > 0 {
+		olCol := &collector{}
+		interval := time.Second / time.Duration(opts.TargetRPS)
+		ticker := time.NewTicker(interval)
+		olDeadline := time.Now().Add(opts.Duration)
+		olStart := time.Now()
+		var olWG sync.WaitGroup
+		i := 0
+		for now := range ticker.C {
+			if !now.Before(olDeadline) {
+				break
+			}
+			c := muxClients[i%len(muxClients)]
+			i++
+			olWG.Add(1)
+			go func(c *wire.Client) {
+				defer olWG.Done()
+				t0 := time.Now()
+				if err := syncReq(c); err != nil {
+					olCol.fail()
+					return
+				}
+				olCol.ok(time.Since(t0))
+			}(c)
+		}
+		ticker.Stop()
+		olWG.Wait()
+		ol := olCol.result("open-loop", time.Since(olStart))
+		rep.OpenLoop = &ol
+	}
+	closeAll(muxClients)
+
+	if rep.Serial.RPS > 0 {
+		rep.SpeedupPipelined = rep.Pipelined.RPS / rep.Serial.RPS
+	}
+	if rep.AsyncSerial.RPS > 0 {
+		rep.SpeedupBatch = rep.Batch.RPS / rep.AsyncSerial.RPS
+	}
+	return rep, nil
+}

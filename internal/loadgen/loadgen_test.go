@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps the harness run under a second for unit testing.
+func tinyOptions() Options {
+	return Options{
+		Small:       true,
+		Duration:    150 * time.Millisecond,
+		Conns:       1,
+		Inflight:    4,
+		BatchSize:   4,
+		TargetRPS:   100,
+		StepLatency: time.Millisecond,
+	}
+}
+
+func TestRunProducesReport(t *testing.T) {
+	rep, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ModeResult{rep.Serial, rep.Pipelined, rep.AsyncSerial, rep.Batch} {
+		if m.Requests == 0 {
+			t.Errorf("phase %s measured zero requests", m.Mode)
+		}
+		if m.Errors != 0 {
+			t.Errorf("phase %s had %d errors", m.Mode, m.Errors)
+		}
+		if m.RPS <= 0 {
+			t.Errorf("phase %s RPS = %v", m.Mode, m.RPS)
+		}
+		if m.P99ms < m.P50ms {
+			t.Errorf("phase %s p99 %.2f < p50 %.2f", m.Mode, m.P99ms, m.P50ms)
+		}
+	}
+	if rep.OpenLoop == nil || rep.OpenLoop.Requests == 0 {
+		t.Error("open-loop phase missing or empty")
+	}
+	// The load point of the whole exercise: pipelining overlaps the
+	// step latency that serial mode pays per round trip. Even this tiny
+	// configuration shows a clear multiple.
+	if rep.SpeedupPipelined < 2 {
+		t.Errorf("pipelined speedup = %.2fx, want >= 2x even at tiny scale", rep.SpeedupPipelined)
+	}
+	if rep.SpeedupBatch <= 0 {
+		t.Errorf("batch speedup = %.2f", rep.SpeedupBatch)
+	}
+	// The report must round-trip as the BENCH_wire.json artifact.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SpeedupPipelined != rep.SpeedupPipelined {
+		t.Error("speedup lost in JSON round trip")
+	}
+	if rep.String() == "" {
+		t.Error("empty table rendering")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}

@@ -198,6 +198,29 @@ func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
 	return resp, nil
 }
 
+// SubmitBatch services N DGL requests in one call, answering each item
+// independently: a validation failure in one request becomes that
+// item's error response and never aborts its neighbours. The returned
+// slice is positional (len(reqs) responses). Batched submission is the
+// engine-side half of the wire layer's KindBatch frame — N flows cross
+// the network and enter the engine for the price of one round trip.
+func (e *Engine) SubmitBatch(reqs []*dgl.Request) []*dgl.Response {
+	out := make([]*dgl.Response, len(reqs))
+	for i, req := range reqs {
+		if req == nil {
+			out[i] = &dgl.Response{Error: dgferr.Encode(
+				fmt.Errorf("%w: empty batch item", dgl.ErrInvalid))}
+			continue
+		}
+		resp, err := e.Submit(req)
+		if err != nil {
+			resp = &dgl.Response{Error: dgferr.Encode(err)}
+		}
+		out[i] = resp
+	}
+	return out
+}
+
 // Start validates and launches a flow asynchronously, returning the
 // Execution handle. It is the programmatic twin of an async Submit.
 func (e *Engine) Start(user string, flow dgl.Flow) (*Execution, error) {

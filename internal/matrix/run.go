@@ -27,10 +27,14 @@ func (ex *Execution) run() {
 		Actor: ex.req.User.Name, Action: "flow.submit",
 		FlowID: ex.ID, Target: ex.req.Flow.Name,
 	})
-	if doc, merr := dgl.Marshal(ex.req); merr == nil {
-		ex.engine.journalAppend(journalRecord{
-			Type: journalExecStart, ID: ex.ID, Request: string(doc),
-		})
+	if ex.engine.Journal() != nil {
+		// Marshalling the request document is only worth paying for
+		// when a journal will actually persist it.
+		if doc, merr := dgl.Marshal(ex.req); merr == nil {
+			ex.engine.journalAppend(journalRecord{
+				Type: journalExecStart, ID: ex.ID, Request: string(doc),
+			})
+		}
 	}
 	err := ex.runFlowScoped(ex.req.Flow, ex.root, ex.scope)
 	ex.mu.Lock()

@@ -1,0 +1,233 @@
+package scheduler
+
+// The admission scheduler is the server-side counterpart of the broker:
+// where the broker places tasks on grid resources, the admission
+// scheduler places inbound requests on the DfMS server's own compute.
+// The paper's DfMS is "a broker managing concurrent long-run processes
+// on behalf of many users" (§3.1); once the wire layer pipelines many
+// requests per connection, a single chatty client could monopolize the
+// request workers. Admission enforces two properties:
+//
+//   - bounded concurrency: at most `capacity` requests execute at once
+//     (the wire server's worker pool size);
+//   - per-user fairness: waiting requests queue FIFO per user, and a
+//     freed slot is granted round-robin across users with waiters, so N
+//     users share the pool ~equally regardless of how many requests
+//     each has queued.
+//
+// A user whose private queue is full is rejected immediately with a
+// capacity-class typed error rather than queued without bound — the
+// client sees errors.Is(err, dgferr.ErrCapacity) and can back off.
+//
+// Admission emits `sched_admitted_total`, `sched_rejected_total` and
+// the `sched_waiting` gauge per the docs/METRICS.md contract.
+
+import (
+	"context"
+	"fmt"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/obs"
+)
+
+// ErrAdmission is the sentinel for admission rejections (a full
+// per-user queue). It belongs to the capacity class, so it survives the
+// wire as a typed error.
+var ErrAdmission = dgferr.Mark(dgferr.ErrCapacity, "scheduler: admission queue full")
+
+// Admission is a fair FIFO admission scheduler. The zero value is not
+// usable; call NewAdmission. All methods are safe for concurrent use.
+type Admission struct {
+	capacity int
+	maxQueue int
+	reg      *obs.Registry
+
+	// Channel-free design: every waiter gets a buffered grant channel;
+	// Release hands its slot to the next waiter in round-robin user
+	// order, or frees it when nobody waits.
+	mu       chan struct{} // 1-buffered mutex (select-friendly)
+	inflight int
+	queues   map[string][]chan struct{}
+	ring     []string // users with non-empty queues, in arrival order
+	next     int      // round-robin cursor into ring
+}
+
+// NewAdmission builds a scheduler admitting at most capacity concurrent
+// requests, queueing at most maxQueue waiters per user beyond that.
+// capacity <= 0 defaults to 64; maxQueue <= 0 defaults to 256. A nil
+// registry falls back to obs.Default().
+func NewAdmission(capacity, maxQueue int, reg *obs.Registry) *Admission {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if maxQueue <= 0 {
+		maxQueue = 256
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	a := &Admission{
+		capacity: capacity,
+		maxQueue: maxQueue,
+		reg:      reg,
+		mu:       make(chan struct{}, 1),
+		queues:   make(map[string][]chan struct{}),
+	}
+	a.mu <- struct{}{}
+	return a
+}
+
+// Capacity returns the concurrency bound.
+func (a *Admission) Capacity() int { return a.capacity }
+
+// lock acquires the internal mutex.
+func (a *Admission) lock() { <-a.mu }
+
+// unlock releases the internal mutex.
+func (a *Admission) unlock() { a.mu <- struct{}{} }
+
+// Acquire blocks until the request is admitted, the user's queue is
+// full (ErrAdmission, immediately), or ctx is done (the ctx error,
+// wrapped in the cancelled class). Every successful Acquire must be
+// paired with exactly one Release.
+func (a *Admission) Acquire(ctx context.Context, user string) error {
+	a.lock()
+	if a.inflight < a.capacity && len(a.ring) == 0 {
+		// Free slot and nobody queued ahead: admit immediately.
+		a.inflight++
+		a.unlock()
+		a.reg.Counter("sched_admitted_total").Inc()
+		return nil
+	}
+	q := a.queues[user]
+	if len(q) >= a.maxQueue {
+		a.unlock()
+		a.reg.Counter("sched_rejected_total").Inc()
+		return fmt.Errorf("%w: user %q has %d queued", ErrAdmission, user, len(q))
+	}
+	grant := make(chan struct{}, 1)
+	if len(q) == 0 {
+		a.ring = append(a.ring, user)
+	}
+	a.queues[user] = append(q, grant)
+	a.unlock()
+	a.reg.Gauge("sched_waiting").Add(1)
+	defer a.reg.Gauge("sched_waiting").Add(-1)
+
+	select {
+	case <-grant:
+		a.reg.Counter("sched_admitted_total").Inc()
+		return nil
+	case <-ctx.Done():
+		// Remove the waiter — unless a grant raced in, in which case the
+		// slot is ours and we keep it (the caller still gets nil: work
+		// admitted a beat before cancellation proceeds; the caller's own
+		// ctx checks will unwind it).
+		a.lock()
+		select {
+		case <-grant:
+			a.unlock()
+			a.reg.Counter("sched_admitted_total").Inc()
+			return nil
+		default:
+		}
+		a.dropWaiter(user, grant)
+		a.unlock()
+		return fmt.Errorf("%w: admission wait: %v", dgferr.ErrCancelled, ctx.Err())
+	}
+}
+
+// TryAcquire admits without waiting: it returns false when the pool is
+// saturated instead of queueing. Used by callers that prefer shedding
+// to blocking.
+func (a *Admission) TryAcquire() bool {
+	a.lock()
+	if a.inflight < a.capacity && len(a.ring) == 0 {
+		a.inflight++
+		a.unlock()
+		a.reg.Counter("sched_admitted_total").Inc()
+		return true
+	}
+	a.unlock()
+	a.reg.Counter("sched_rejected_total").Inc()
+	return false
+}
+
+// dropWaiter unlinks a cancelled waiter. Caller holds the lock.
+func (a *Admission) dropWaiter(user string, grant chan struct{}) {
+	q := a.queues[user]
+	for i, g := range q {
+		if g == grant {
+			q = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(a.queues, user)
+		a.dropFromRing(user)
+	} else {
+		a.queues[user] = q
+	}
+}
+
+// dropFromRing removes a user from the round-robin ring, keeping the
+// cursor on the same next user. Caller holds the lock.
+func (a *Admission) dropFromRing(user string) {
+	for i, u := range a.ring {
+		if u == user {
+			a.ring = append(a.ring[:i:i], a.ring[i+1:]...)
+			if a.next > i {
+				a.next--
+			}
+			if len(a.ring) > 0 {
+				a.next %= len(a.ring)
+			} else {
+				a.next = 0
+			}
+			return
+		}
+	}
+}
+
+// Release frees a slot: the next waiter in round-robin user order
+// inherits it, or the pool shrinks by one in-flight request.
+func (a *Admission) Release() {
+	a.lock()
+	defer a.unlock()
+	if len(a.ring) == 0 {
+		if a.inflight > 0 {
+			a.inflight--
+		}
+		return
+	}
+	user := a.ring[a.next]
+	q := a.queues[user]
+	grant := q[0]
+	q = q[1:]
+	if len(q) == 0 {
+		delete(a.queues, user)
+		a.dropFromRing(user)
+	} else {
+		a.queues[user] = q
+		a.next = (a.next + 1) % len(a.ring)
+	}
+	grant <- struct{}{} // slot transfers: inflight unchanged
+}
+
+// Inflight returns the number of currently admitted requests.
+func (a *Admission) Inflight() int {
+	a.lock()
+	defer a.unlock()
+	return a.inflight
+}
+
+// Waiting returns the number of queued waiters across all users.
+func (a *Admission) Waiting() int {
+	a.lock()
+	defer a.unlock()
+	n := 0
+	for _, q := range a.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/obs"
+)
+
+func TestAdmissionImmediate(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(2, 4, reg)
+	if err := a.Acquire(context.Background(), "u1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), "u2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	a.Release()
+	a.Release()
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	if got := reg.Counter("sched_admitted_total").Value(); got != 2 {
+		t.Fatalf("sched_admitted_total = %d, want 2", got)
+	}
+}
+
+func TestAdmissionQueueFullRejects(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(1, 1, reg)
+	if err := a.Acquire(context.Background(), "hog"); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits the queue...
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(context.Background(), "hog") }()
+	waitFor(t, func() bool { return a.Waiting() == 1 })
+	// ...the next is shed with a typed capacity error.
+	err := a.Acquire(context.Background(), "hog")
+	if !errors.Is(err, ErrAdmission) || !errors.Is(err, dgferr.ErrCapacity) {
+		t.Fatalf("over-queue error = %v, want ErrAdmission (capacity class)", err)
+	}
+	if got := reg.Counter("sched_rejected_total").Value(); got != 1 {
+		t.Fatalf("sched_rejected_total = %d, want 1", got)
+	}
+	a.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	a.Release()
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(1, 8, obs.NewRegistry())
+	if err := a.Acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx, "b") }()
+	waitFor(t, func() bool { return a.Waiting() == 1 })
+	cancel()
+	err := <-done
+	if !errors.Is(err, dgferr.ErrCancelled) {
+		t.Fatalf("cancelled waiter error = %v, want cancelled class", err)
+	}
+	if got := a.Waiting(); got != 0 {
+		t.Fatalf("waiting after cancel = %d, want 0", got)
+	}
+	// The cancelled waiter must not absorb the next release.
+	a.Release()
+	if err := a.Acquire(context.Background(), "c"); err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	a.Release()
+}
+
+// TestAdmissionFairness saturates the pool with one chatty user, then
+// checks a second user's single request is granted ahead of the chatty
+// user's backlog (round-robin across users, not global FIFO).
+func TestAdmissionFairness(t *testing.T) {
+	a := NewAdmission(1, 64, obs.NewRegistry())
+	if err := a.Acquire(context.Background(), "chatty"); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	admit := func(user string) {
+		defer wg.Done()
+		if err := a.Acquire(context.Background(), user); err != nil {
+			t.Errorf("acquire %s: %v", user, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, user)
+		mu.Unlock()
+		a.Release()
+	}
+	// Chatty queues 8 requests first; quiet queues 1 after.
+	wg.Add(8)
+	for i := 0; i < 8; i++ {
+		go admit("chatty")
+	}
+	waitFor(t, func() bool { return a.Waiting() == 8 })
+	wg.Add(1)
+	go admit("quiet")
+	waitFor(t, func() bool { return a.Waiting() == 9 })
+
+	a.Release() // free the slot; the queue drains round-robin
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	pos := -1
+	for i, u := range order {
+		if u == "quiet" {
+			pos = i
+		}
+	}
+	// Round-robin alternates chatty/quiet, so quiet lands at index 0 or
+	// 1 of 9 — never behind the whole chatty backlog.
+	if pos < 0 || pos > 1 {
+		t.Fatalf("quiet user granted at position %d of %v, want <= 1", pos, order)
+	}
+}
+
+// TestAdmissionConcurrencyBound hammers the scheduler from many
+// goroutines and asserts the concurrency ceiling is never pierced.
+func TestAdmissionConcurrencyBound(t *testing.T) {
+	const limit = 4
+	a := NewAdmission(limit, 1024, obs.NewRegistry())
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := string(rune('a' + i%8))
+			for j := 0; j < 20; j++ {
+				if err := a.Acquire(context.Background(), user); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				a.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds capacity %d", p, limit)
+	}
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight at rest = %d, want 0", got)
+	}
+}
+
+func TestAdmissionTryAcquire(t *testing.T) {
+	a := NewAdmission(1, 4, obs.NewRegistry())
+	if !a.TryAcquire() {
+		t.Fatal("first TryAcquire refused")
+	}
+	if a.TryAcquire() {
+		t.Fatal("second TryAcquire admitted past capacity")
+	}
+	a.Release()
+	if !a.TryAcquire() {
+		t.Fatal("TryAcquire refused after release")
+	}
+	a.Release()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

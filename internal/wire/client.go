@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datagridflow/internal/dgferr"
@@ -14,17 +15,42 @@ import (
 	"datagridflow/internal/obs"
 )
 
-// Client is a connection to one matrix server. It serializes requests
-// (one in flight at a time), matching the request-response protocol.
+// Client is a connection to one matrix server. A fresh client speaks
+// the serial protocol — one request in flight at a time, matching
+// pre-1.2 servers. Calling Hello negotiates the protocol version; when
+// both ends speak >= 1.2 the session upgrades to multiplexed framing
+// and the client pipelines: any number of goroutines may issue
+// requests concurrently over the one connection, each completed
+// through its own channel when the matching response id arrives.
+//
 // Server-reported failures come back as typed errors: the server
 // encodes its error class on the wire (docs/WIRE.md, "Typed errors")
 // and the client rebuilds it, so errors.Is against the datagridflow
 // sentinels (ErrNotFound, ErrRetryExhausted, ...) works across the
-// network.
+// network. A connection lost with requests in flight fails every one
+// of them with a resource-down class error — never a hang.
 type Client struct {
+	conn net.Conn
+	// timeout bounds each request in nanoseconds (atomic: SetTimeout
+	// may race with in-flight round trips).
+	timeout atomic.Int64
+
+	// writeMu serializes frame writes; in serial mode it spans the whole
+	// round trip (write + read), in mux mode only the write.
+	writeMu sync.Mutex
+
 	mu      sync.Mutex
-	conn    net.Conn
-	timeout time.Duration
+	muxed   bool
+	closed  bool
+	nextID  uint64
+	pending map[uint64]chan muxReply
+	readErr error // terminal: set once the mux read loop exits
+}
+
+// muxReply is one matched response delivered to a pipelined waiter.
+type muxReply struct {
+	kind    byte
+	payload []byte
 }
 
 // Dial connects to a matrix server.
@@ -46,28 +72,54 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 // SetTimeout bounds every subsequent request (write + read) by d on the
 // wall clock; zero restores unbounded requests. Per-request contexts
 // (SubmitContext) compose with it — whichever limit is tighter wins.
-func (c *Client) SetTimeout(d time.Duration) {
-	c.mu.Lock()
-	c.timeout = d
-	c.mu.Unlock()
-}
+// Safe to call concurrently with in-flight requests.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 
-// Close closes the connection.
+// Close closes the connection. Pipelined requests still in flight fail
+// with a cancelled-class error.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.closed = true
+	c.mu.Unlock()
 	return c.conn.Close()
 }
 
-// roundTrip performs one framed request-response under the client lock,
-// applying the context's deadline/cancellation and the client timeout to
-// the connection for the duration of the exchange.
-func (c *Client) roundTrip(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
+// Muxed reports whether Hello negotiated the multiplexed protocol on
+// this connection.
+func (c *Client) Muxed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.muxed
+}
+
+// roundTrip performs one request-response, dispatching on the session
+// mode. The serial path holds writeMu for the whole exchange; the mux
+// path registers a completion channel keyed by request id.
+func (c *Client) roundTrip(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
+	for {
+		if c.Muxed() {
+			return c.roundTripMux(ctx, kind, payload)
+		}
+		c.writeMu.Lock()
+		if c.Muxed() {
+			// Another goroutine upgraded the session while we waited for
+			// the lock; retry on the mux path.
+			c.writeMu.Unlock()
+			continue
+		}
+		k, resp, err := c.serialRoundTripLocked(ctx, kind, payload)
+		c.writeMu.Unlock()
+		return k, resp, err
+	}
+}
+
+// serialRoundTripLocked performs one framed request-response; the
+// caller holds writeMu. The context's deadline/cancellation and the
+// client timeout apply to the connection for the duration.
+func (c *Client) serialRoundTripLocked(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
 	deadline := time.Time{}
-	if c.timeout > 0 {
-		deadline = time.Now().Add(c.timeout)
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		deadline = time.Now().Add(d)
 	}
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
@@ -86,6 +138,114 @@ func (c *Client) roundTrip(ctx context.Context, kind byte, payload []byte) (byte
 		return 0, nil, c.ctxErr(ctx, err)
 	}
 	return k, resp, nil
+}
+
+// roundTripMux pipelines one request: write the frame with a fresh id,
+// then wait on the per-request completion channel. Cancellation
+// abandons the request (the response, if it ever arrives, is
+// discarded) without disturbing other in-flight requests.
+func (c *Client) roundTripMux(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	ch := make(chan muxReply, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteMuxFrame(c.conn, kind, id, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		rerr := c.readErr
+		c.mu.Unlock()
+		if rerr != nil {
+			return 0, nil, rerr
+		}
+		return 0, nil, c.ctxErr(ctx, err)
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			// Channel closed by failAll: the connection died.
+			c.mu.Lock()
+			rerr := c.readErr
+			c.mu.Unlock()
+			return 0, nil, rerr
+		}
+		return r.kind, r.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %v", dgferr.ErrCancelled, ctx.Err())
+	}
+}
+
+// upgrade switches the session to multiplexed framing and starts the
+// response reader. Caller holds writeMu (so no serial round trip can
+// interleave between the hello reply and the reader start).
+func (c *Client) upgrade() {
+	// Clear any deadline left by the hello round trip: mux reads block
+	// indefinitely and complete per-request via completion channels.
+	_ = c.conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	c.muxed = true
+	c.pending = make(map[uint64]chan muxReply)
+	c.mu.Unlock()
+	go c.readLoop()
+}
+
+// readLoop is the mux-mode response pump: it matches response ids to
+// pending requests until the connection dies, then fails everything
+// still in flight.
+func (c *Client) readLoop() {
+	for {
+		kind, id, payload, err := ReadMuxFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- muxReply{kind: kind, payload: payload} // buffered; never blocks
+		}
+	}
+}
+
+// failAll records the terminal connection error and fails every
+// in-flight request with a typed error: cancelled if the client closed
+// the connection itself, resource-down (transient — retry on a fresh
+// connection) otherwise.
+func (c *Client) failAll(cause error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		if c.closed {
+			c.readErr = fmt.Errorf("%w: wire: client closed", dgferr.ErrCancelled)
+		} else {
+			c.readErr = fmt.Errorf("%w: wire: connection lost: %v", dgferr.ErrResourceDown, cause)
+		}
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan muxReply)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
 }
 
 // ctxErr maps an I/O error caused by context cancellation back to the
@@ -115,7 +275,8 @@ func (c *Client) Submit(req *dgl.Request) (*dgl.Response, error) {
 }
 
 // SubmitContext is Submit under a context: the deadline bounds the
-// round trip and cancellation interrupts in-flight I/O.
+// round trip and cancellation interrupts in-flight I/O (serial mode)
+// or abandons the pipelined request (mux mode).
 func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
 	data, err := dgl.Marshal(req)
 	if err != nil {
@@ -129,6 +290,69 @@ func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Resp
 		return nil, errors.New("wire: unexpected frame kind in response")
 	}
 	return dgl.ParseResponse(payload)
+}
+
+// SubmitBatch submits N requests in one round trip on a multiplexed
+// session (the KindBatch frame), falling back to sequential submission
+// against pre-1.2 serial servers. The reply is positional: item i's
+// response answers reqs[i], with per-item failures carried in each
+// response's Error field (decode with dgferr.Decode). A transport
+// failure aborts the whole call with a typed error. user names the
+// identity the server's admission scheduler accounts the batch to.
+func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Request) ([]*dgl.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	if !c.Muxed() {
+		// Pre-1.2 fallback: one serial round trip per item.
+		out := make([]*dgl.Response, len(reqs))
+		for i, req := range reqs {
+			resp, err := c.SubmitContext(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = resp
+		}
+		return out, nil
+	}
+	b := Batch{User: user, Requests: make([]string, len(reqs))}
+	for i, req := range reqs {
+		data, err := dgl.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch item %d: %w", i, err)
+		}
+		b.Requests[i] = string(data)
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	kind, resp, err := c.roundTrip(ctx, KindBatch, payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindBatch {
+		return nil, errors.New("wire: unexpected frame kind in batch response")
+	}
+	var res BatchResult
+	if err := json.Unmarshal(resp, &res); err != nil {
+		return nil, fmt.Errorf("wire: bad batch reply: %w", err)
+	}
+	if !res.OK {
+		return nil, dgferr.Decode(res.Error)
+	}
+	if len(res.Responses) != len(reqs) {
+		return nil, fmt.Errorf("wire: batch reply has %d items, want %d", len(res.Responses), len(reqs))
+	}
+	out := make([]*dgl.Response, len(reqs))
+	for i, doc := range res.Responses {
+		r, err := dgl.ParseResponse([]byte(doc))
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch reply item %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // SubmitFlow submits a flow synchronously and returns the final status.
@@ -157,7 +381,12 @@ func (c *Client) RunFlow(ctx context.Context, user string, flow dgl.Flow) (*dgl.
 // SubmitAsync submits a flow asynchronously and returns the execution id
 // from the acknowledgement.
 func (c *Client) SubmitAsync(user string, flow dgl.Flow) (string, error) {
-	resp, err := c.Submit(dgl.NewAsyncRequest(user, "", flow))
+	return c.SubmitAsyncContext(context.Background(), user, flow)
+}
+
+// SubmitAsyncContext is SubmitAsync under a context.
+func (c *Client) SubmitAsyncContext(ctx context.Context, user string, flow dgl.Flow) (string, error) {
+	resp, err := c.SubmitContext(ctx, dgl.NewAsyncRequest(user, "", flow))
 	if err != nil {
 		return "", err
 	}
@@ -215,13 +444,58 @@ func (c *Client) controlMsg(ctx context.Context, msg Control) (ControlResult, er
 // Hello negotiates the protocol version with the server: it offers the
 // client's version and returns the server's. Servers reject a major
 // mismatch with an error carrying the protocol class
-// (errors.Is(err, dgferr.ErrProtocol)). Calling Hello is optional —
-// same-build client/server pairs interoperate without it — but
-// recommended as the first exchange on a fresh connection.
+// (errors.Is(err, dgferr.ErrProtocol)). When both ends speak >= 1.2
+// the session upgrades to multiplexed framing: subsequent requests
+// pipeline over the connection and SubmitBatch uses batch frames.
+// Against an older serial server the client simply stays serial —
+// Hello is the negotiation point, and not calling it leaves the
+// session serial regardless of server version.
 func (c *Client) Hello() (serverProto string, err error) {
-	res, err := c.controlMsg(context.Background(), Control{
-		Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor),
-	})
+	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
+	if c.Muxed() {
+		// Already negotiated: a repeat hello is an ordinary control verb.
+		res, err := c.controlMsg(context.Background(), msg)
+		if err != nil {
+			return "", err
+		}
+		return res.Proto, nil
+	}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return "", err
+	}
+	c.writeMu.Lock()
+	if c.Muxed() {
+		// Raced with another Hello that upgraded first.
+		c.writeMu.Unlock()
+		res, err := c.controlMsg(context.Background(), msg)
+		if err != nil {
+			return "", err
+		}
+		return res.Proto, nil
+	}
+	kind, payload, err := c.serialRoundTripLocked(context.Background(), KindControl, data)
+	if err != nil {
+		c.writeMu.Unlock()
+		return "", err
+	}
+	var res ControlResult
+	if kind == KindControl {
+		err = json.Unmarshal(payload, &res)
+	} else {
+		err = errors.New("wire: unexpected frame kind in hello response")
+	}
+	if err == nil && !res.OK && res.Error != "" {
+		err = dgferr.Decode(res.Error)
+	}
+	if err == nil && res.OK {
+		if major, minor, perr := ParseProtoVersion(res.Proto); perr == nil && MuxSupported(major, minor) {
+			// Both ends speak >= 1.2: the server switched to mux framing
+			// right after this reply; follow before releasing writeMu.
+			c.upgrade()
+		}
+	}
+	c.writeMu.Unlock()
 	if err != nil {
 		return "", err
 	}

@@ -33,6 +33,10 @@ const (
 	KindDGL byte = 1
 	// KindControl frames carry JSON control verbs.
 	KindControl byte = 2
+	// KindBatch frames carry a JSON batch envelope of N DGL requests
+	// (one submission round trip for many flows). Batch frames are a
+	// protocol-1.2 feature: they only appear on multiplexed sessions.
+	KindBatch byte = 3
 )
 
 // MaxFrame bounds a frame payload (16 MiB): a defense against corrupt
@@ -76,11 +80,64 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 
 // Protocol version, negotiated by the "hello" control verb. Majors must
 // match for a session to proceed; minors are informational (additions
-// only). See docs/WIRE.md, "Version negotiation".
+// only). Minor 2 adds the multiplexed framing and batch submission: when
+// both ends of a hello exchange speak >= 1.2, the session switches to
+// mux frames immediately after the hello reply. See docs/WIRE.md,
+// "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 1
+	ProtoMinor = 2
+	// muxMinor is the minimum minor version that speaks mux framing.
+	muxMinor = 2
 )
+
+// MuxSupported reports whether a peer advertising major.minor can speak
+// the multiplexed framing (same major, minor >= 1.2).
+func MuxSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= muxMinor
+}
+
+// WriteMuxFrame writes one multiplexed frame: the serial header plus a
+// request id that correlates a response to its request, letting many
+// requests share a connection concurrently.
+//
+//	offset  size  field
+//	0       1     kind
+//	1       4     length (big-endian uint32, payload bytes)
+//	5       8     request id (big-endian uint64)
+//	13      n     payload
+func WriteMuxFrame(w io.Writer, kind byte, id uint64, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [13]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMuxFrame reads one multiplexed frame.
+func ReadMuxFrame(r io.Reader) (kind byte, id uint64, payload []byte, err error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	id = binary.BigEndian.Uint64(hdr[5:13])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr[0], id, payload, nil
+}
 
 // ProtoVersion renders a protocol version as "major.minor".
 func ProtoVersion(major, minor int) string {
@@ -128,4 +185,26 @@ type ExecutionInfo struct {
 	Name  string `json:"name"`
 	State string `json:"state"`
 	User  string `json:"user"`
+}
+
+// Batch is the JSON payload of a KindBatch frame: N DGL request
+// documents submitted in one round trip. User names the submitting
+// identity for admission scheduling; each embedded request still
+// carries its own gridUser, which the engine enforces per item.
+type Batch struct {
+	User string `json:"user"`
+	// Requests are XML dataGridRequest documents, one per item.
+	Requests []string `json:"requests"`
+}
+
+// BatchResult is the JSON reply to a batch frame. Items are answered
+// positionally and independently: a malformed or failing item yields a
+// response whose <error> element is set, never a dropped batch.
+type BatchResult struct {
+	OK bool `json:"ok"`
+	// Error reports a batch-level failure (unparsable envelope,
+	// admission rejection); per-item failures live inside Responses.
+	Error string `json:"error,omitempty"`
+	// Responses are XML dataGridResponse documents, one per request.
+	Responses []string `json:"responses,omitempty"`
 }

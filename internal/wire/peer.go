@@ -232,7 +232,13 @@ type Peer struct {
 // built with matrix.Config{IDPrefix: name + ":"} so its execution ids
 // route back to this peer.
 func NewPeer(name string, engine *matrix.Engine) *Peer {
-	return &Peer{Name: name, server: NewServer(engine), clients: make(map[string]*Client)}
+	return NewPeerConfig(name, engine, ServerConfig{})
+}
+
+// NewPeerConfig is NewPeer with explicit wire-server tuning (admission
+// pool size, queue bounds, protocol pinning).
+func NewPeerConfig(name string, engine *matrix.Engine, cfg ServerConfig) *Peer {
+	return &Peer{Name: name, server: NewServerConfig(engine, cfg), clients: make(map[string]*Client)}
 }
 
 // Start listens on addr and registers with the lookup server at

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,11 +12,22 @@ import (
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/fault"
 	"datagridflow/internal/matrix"
+	"datagridflow/internal/scheduler"
 )
 
-// frameHeaderLen is the fixed per-frame overhead counted by the byte
-// metrics (1-byte kind + 4-byte length).
-const frameHeaderLen = 5
+// Frame header overheads counted by the byte metrics.
+const (
+	// frameHeaderLen is the serial header (1-byte kind + 4-byte length).
+	frameHeaderLen = 5
+	// muxHeaderLen adds the 8-byte request id of mux framing.
+	muxHeaderLen = 13
+)
+
+// muxConnWindow bounds the frames one multiplexed connection may have
+// outstanding (decoded or queued for admission) before the server stops
+// reading from it — per-connection backpressure, distinct from the
+// global admission pool.
+const muxConnWindow = 256
 
 // kindName labels metrics by frame kind.
 func kindName(kind byte) string {
@@ -24,16 +36,41 @@ func kindName(kind byte) string {
 		return "dgl"
 	case KindControl:
 		return "control"
+	case KindBatch:
+		return "batch"
 	default:
 		return "unknown"
 	}
 }
 
-// Server exposes a matrix engine over the framed TCP protocol. Each
-// connection may carry any number of requests; responses are written in
-// request order.
+// ServerConfig tunes a wire server.
+type ServerConfig struct {
+	// MaxInflight bounds concurrently executing DGL/batch requests
+	// across all connections (the worker pool the admission scheduler
+	// feeds). Default 64. Control verbs bypass admission: pause and
+	// cancel must work on a saturated server.
+	MaxInflight int
+	// MaxUserQueue bounds waiters queued per user beyond the pool;
+	// requests past it are rejected with a capacity-class error.
+	// Default 256.
+	MaxUserQueue int
+	// SerialOnly pins the server to the pre-1.2 serial protocol: it
+	// advertises 1.1 in hello replies and never upgrades a session to
+	// mux framing. A compatibility and testing knob.
+	SerialOnly bool
+}
+
+// Server exposes a matrix engine over the framed TCP protocol. Serial
+// (pre-1.2) sessions handle frames strictly in order, one at a time.
+// Sessions negotiated to >= 1.2 via hello switch to multiplexed
+// framing: frames carry request ids, the server dispatches each to a
+// bounded worker pool behind a per-user fair admission scheduler
+// (internal/scheduler.Admission), and responses are written as they
+// complete, in any order.
 type Server struct {
 	engine *matrix.Engine
+	cfg    ServerConfig
+	adm    *scheduler.Admission
 	// statusRouter, when set (by a Peer, before Listen), answers DGL
 	// status queries — routing ids owned by other peers across the
 	// network. Plain servers leave it nil and answer from the engine.
@@ -48,13 +85,40 @@ type Server struct {
 	faultTarget string
 }
 
-// NewServer wraps an engine.
+// NewServer wraps an engine with default configuration.
 func NewServer(engine *matrix.Engine) *Server {
-	return &Server{engine: engine, conns: make(map[net.Conn]bool)}
+	return NewServerConfig(engine, ServerConfig{})
+}
+
+// NewServerConfig wraps an engine with explicit configuration.
+func NewServerConfig(engine *matrix.Engine, cfg ServerConfig) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxUserQueue <= 0 {
+		cfg.MaxUserQueue = 256
+	}
+	return &Server{
+		engine: engine,
+		cfg:    cfg,
+		adm:    scheduler.NewAdmission(cfg.MaxInflight, cfg.MaxUserQueue, engine.Obs()),
+		conns:  make(map[net.Conn]bool),
+	}
 }
 
 // Engine returns the wrapped engine.
 func (s *Server) Engine() *matrix.Engine { return s.engine }
+
+// Admission returns the server's admission scheduler.
+func (s *Server) Admission() *scheduler.Admission { return s.adm }
+
+// proto returns the version the server advertises in hello replies.
+func (s *Server) proto() string {
+	if s.cfg.SerialOnly {
+		return ProtoVersion(ProtoMajor, 1)
+	}
+	return ProtoVersion(ProtoMajor, ProtoMinor)
+}
 
 // SetFault attaches a fault-injection plan to this server under the
 // given target name: PeerCrash and ConnDrop events against that target
@@ -126,6 +190,9 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
+// serveConn runs the serial (pre-1.2) protocol loop for one connection:
+// frames are handled strictly in order, one at a time. A hello exchange
+// negotiating >= 1.2 hands the connection over to serveMux.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	o := s.engine.Obs()
@@ -138,6 +205,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// ctx covers admission waits on this connection; cancelled when the
+	// serve loop exits (connection gone or server closing).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	remote := conn.RemoteAddr().String()
 	for {
 		kind, payload, err := ReadFrame(conn)
@@ -153,12 +224,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		started := s.engine.Clock().Now()
 		o.StartSpan("request", k, remote, nil)
 		var data []byte
+		upgrade := false
 		switch kind {
 		case KindDGL:
-			resp := s.handleDGL(payload)
+			resp := s.serveDGL(ctx, payload)
 			data, err = dgl.Marshal(resp)
+		case KindBatch:
+			res := s.serveBatch(ctx, payload)
+			data, err = json.Marshal(res)
 		case KindControl:
-			res := s.handleControl(payload)
+			var res ControlResult
+			res, upgrade = s.serveControl(payload)
 			data, err = json.Marshal(res)
 		default:
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
@@ -175,17 +251,122 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		o.Counter("wire_frames_out_total", "kind", k).Inc()
 		o.Counter("wire_bytes_out_total").Add(int64(len(data)) + frameHeaderLen)
+		if upgrade {
+			// The hello reply above committed both ends to mux framing.
+			s.serveMux(ctx, conn, remote)
+			return
+		}
 	}
 }
 
-// handleDGL parses and services one DGL request. Errors become error
-// responses rather than dropped connections — clients always get an
-// answer per request.
-func (s *Server) handleDGL(payload []byte) *dgl.Response {
+// serveMux runs the multiplexed (>= 1.2) protocol loop: each frame is
+// dispatched to its own handler goroutine — bounded per connection by
+// muxConnWindow and globally by the admission scheduler — and responses
+// are written under a shared lock as they complete, correlated by
+// request id.
+func (s *Server) serveMux(ctx context.Context, conn net.Conn, remote string) {
+	o := s.engine.Obs()
+	var writeMu sync.Mutex
+	window := make(chan struct{}, muxConnWindow)
+	for {
+		kind, id, payload, err := ReadMuxFrame(conn)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		k := kindName(kind)
+		o.Counter("wire_frames_in_total", "kind", k).Inc()
+		o.Counter("wire_bytes_in_total").Add(int64(len(payload)) + muxHeaderLen)
+		if s.connFault() {
+			return // injected crash/drop: sever without a response
+		}
+		if kind != KindDGL && kind != KindControl && kind != KindBatch {
+			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
+			return // protocol violation: sever, as in serial mode
+		}
+		window <- struct{}{} // per-connection backpressure
+		s.wg.Add(1)
+		go func(kind byte, id uint64, payload []byte) {
+			defer s.wg.Done()
+			defer func() { <-window }()
+			s.handleMuxFrame(ctx, conn, &writeMu, kind, id, payload, remote)
+		}(kind, id, payload)
+	}
+}
+
+// handleMuxFrame services one pipelined frame and writes its response.
+func (s *Server) handleMuxFrame(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, kind byte, id uint64, payload []byte, remote string) {
+	o := s.engine.Obs()
+	k := kindName(kind)
+	started := s.engine.Clock().Now()
+	o.StartSpan("request", k, remote, nil)
+	var data []byte
+	var err error
+	switch kind {
+	case KindDGL:
+		resp := s.serveDGL(ctx, payload)
+		data, err = dgl.Marshal(resp)
+	case KindControl:
+		res, _ := s.serveControl(payload) // no re-upgrade on a muxed session
+		data, err = json.Marshal(res)
+	case KindBatch:
+		res := s.serveBatch(ctx, payload)
+		data, err = json.Marshal(res)
+	}
+	if err != nil {
+		o.EndSpan("request", k, remote, map[string]string{"outcome": "encode-error"})
+		conn.Close() // mirror serial behaviour: an unmarshalable response severs
+		return
+	}
+	o.Histogram("wire_request_seconds", "type", k).Observe(s.engine.Clock().Now().Sub(started).Seconds())
+	o.EndSpan("request", k, remote, map[string]string{"outcome": "ok"})
+	writeMu.Lock()
+	err = WriteMuxFrame(conn, kind, id, data)
+	writeMu.Unlock()
+	if err != nil {
+		return // connection gone; the read loop will notice too
+	}
+	o.Counter("wire_frames_out_total", "kind", k).Inc()
+	o.Counter("wire_bytes_out_total").Add(int64(len(data)) + muxHeaderLen)
+}
+
+// admit runs a request through the admission scheduler, tracking the
+// wire_queue_depth and wire_inflight gauges. On success the caller must
+// release() exactly once.
+func (s *Server) admit(ctx context.Context, user string) error {
+	o := s.engine.Obs()
+	o.Gauge("wire_queue_depth").Add(1)
+	err := s.adm.Acquire(ctx, user)
+	o.Gauge("wire_queue_depth").Add(-1)
+	if err != nil {
+		return err
+	}
+	o.Gauge("wire_inflight").Add(1)
+	return nil
+}
+
+// release returns an admitted request's slot.
+func (s *Server) release() {
+	s.adm.Release()
+	s.engine.Obs().Gauge("wire_inflight").Add(-1)
+}
+
+// serveDGL parses one DGL request, runs it through admission, and
+// services it. Errors become error responses rather than dropped
+// connections — clients always get an answer per request.
+func (s *Server) serveDGL(ctx context.Context, payload []byte) *dgl.Response {
 	req, err := dgl.DecodeRequest(payload)
 	if err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
+	if err := s.admit(ctx, req.User.Name); err != nil {
+		return &dgl.Response{Error: dgferr.Encode(err)}
+	}
+	defer s.release()
+	return s.dispatchDGL(req)
+}
+
+// dispatchDGL services a decoded, admitted DGL request.
+func (s *Server) dispatchDGL(req *dgl.Request) *dgl.Response {
 	if q := req.StatusQuery; q != nil && req.Flow == nil && s.statusRouter != nil {
 		st, err := s.statusRouter(req.User.Name, q.ID, q.Detail)
 		if err != nil {
@@ -200,29 +381,80 @@ func (s *Server) handleDGL(payload []byte) *dgl.Response {
 	return resp
 }
 
-func (s *Server) handleControl(payload []byte) ControlResult {
+// serveBatch services a KindBatch frame: N DGL requests in one frame,
+// answered positionally. The whole batch occupies one admission slot
+// (it is one frame of one user); items fail independently via per-item
+// error responses.
+func (s *Server) serveBatch(ctx context.Context, payload []byte) BatchResult {
+	var b Batch
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return BatchResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, err))}
+	}
+	if err := s.admit(ctx, b.User); err != nil {
+		return BatchResult{Error: dgferr.Encode(err)}
+	}
+	defer s.release()
+	out := make([]string, len(b.Requests))
+	for i, doc := range b.Requests {
+		var resp *dgl.Response
+		req, err := dgl.DecodeRequest([]byte(doc))
+		if err != nil {
+			resp = &dgl.Response{Error: dgferr.Encode(err)}
+		} else {
+			resp = s.dispatchDGL(req)
+		}
+		data, err := dgl.Marshal(resp)
+		if err != nil {
+			data, _ = dgl.Marshal(&dgl.Response{Error: dgferr.Encode(
+				fmt.Errorf("%w: encoding batch item %d: %v", dgferr.ErrInvalid, i, err))})
+		}
+		out[i] = string(data)
+	}
+	return BatchResult{OK: true, Responses: out}
+}
+
+// serveControl handles one control frame. upgrade reports that the verb
+// was a hello negotiating mux framing: the serial loop must switch to
+// serveMux right after writing this reply. (On an already-muxed session
+// the result is ignored by the caller — no double upgrade.)
+func (s *Server) serveControl(payload []byte) (res ControlResult, upgrade bool) {
 	var c Control
 	if err := json.Unmarshal(payload, &c); err != nil {
-		return ControlResult{Error: "bad control frame: " + err.Error()}
+		return ControlResult{Error: "bad control frame: " + err.Error()}, false
 	}
+	if c.Op == "hello" {
+		return s.serveHello(c)
+	}
+	return s.serveControlOp(c), false
+}
+
+// serveHello negotiates the protocol version (docs/WIRE.md, "Version
+// negotiation"): major mismatch is refused; a client minor >= 1.2
+// upgrades the session to mux framing unless the server is SerialOnly.
+func (s *Server) serveHello(c Control) (ControlResult, bool) {
+	major, minor, err := ParseProtoVersion(c.Proto)
+	if err != nil {
+		return ControlResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: %v", dgferr.ErrProtocol, err))}, false
+	}
+	if major != ProtoMajor {
+		return ControlResult{Error: dgferr.Encode(fmt.Errorf(
+			"%w: client speaks %s, server speaks %s",
+			dgferr.ErrProtocol, c.Proto, s.proto()))}, false
+	}
+	upgrade := !s.cfg.SerialOnly && MuxSupported(major, minor)
+	return ControlResult{OK: true, Proto: s.proto()}, upgrade
+}
+
+// serveControlOp services the non-hello control verbs.
+func (s *Server) serveControlOp(c Control) ControlResult {
 	exec, ok := s.engine.Execution(c.ID)
 	unknown := func() ControlResult {
 		return ControlResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: execution %s", dgferr.ErrNotFound, c.ID))}
 	}
 	switch c.Op {
-	case "hello":
-		major, _, err := ParseProtoVersion(c.Proto)
-		if err != nil {
-			return ControlResult{Error: dgferr.Encode(
-				fmt.Errorf("%w: %v", dgferr.ErrProtocol, err))}
-		}
-		if major != ProtoMajor {
-			return ControlResult{Error: dgferr.Encode(fmt.Errorf(
-				"%w: client speaks %s, server speaks %s",
-				dgferr.ErrProtocol, c.Proto, ProtoVersion(ProtoMajor, ProtoMinor)))}
-		}
-		return ControlResult{OK: true, Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
 	case "pause":
 		if !ok {
 			return unknown()
