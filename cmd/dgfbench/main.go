@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E12):
+// Command dgfbench regenerates the reproduction's experiments (E1–E13):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -36,15 +36,16 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E12")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E13")
+	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
 	out := flag.String("o", "", "with -load: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
-		runLoad(*small, *out)
+		runLoad(*small, *fedPeers, *out)
 		return
 	}
 
@@ -87,11 +88,12 @@ func main() {
 }
 
 // runLoad executes the wire load harness and writes the report.
-func runLoad(small bool, out string) {
+func runLoad(small bool, fedPeers int, out string) {
 	opts := loadgen.Defaults()
 	if small {
 		opts = loadgen.SmallDefaults()
 	}
+	opts.FederatedPeers = fedPeers
 	t0 := time.Now()
 	rep, err := loadgen.Run(opts)
 	if err != nil {

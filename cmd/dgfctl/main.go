@@ -10,6 +10,7 @@
 //	dgfctl -addr host:7401 pause|resume|cancel <id>
 //	dgfctl -addr host:7401 restart <id>
 //	dgfctl -addr host:7401 metrics
+//	dgfctl -lookup host:7400 peers                # federation roster
 package main
 
 import (
@@ -41,6 +42,8 @@ commands:
   metrics                      fetch the server's metrics snapshot
                                (docs/METRICS.md) over the control
                                extension
+  peers                        list live peers from the -lookup server
+                               with liveness age and reported load
   render [-dot] <file.xml>     render a DGL document as a tree (or DOT)
 `)
 	os.Exit(2)
@@ -48,6 +51,7 @@ commands:
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "matrix server address")
+	lookupAddr := flag.String("lookup", "127.0.0.1:7400", "lookup server address (peers command)")
 	user := flag.String("user", "admin", "grid user for status queries")
 	flag.Usage = usage
 	flag.Parse()
@@ -82,6 +86,31 @@ func main() {
 			fmt.Print(dgl.Dot(req.Flow))
 		} else {
 			fmt.Print(dgl.Tree(req.Flow))
+		}
+		return
+	}
+
+	// peers talks to the lookup registry, not a matrix server.
+	if args[0] == "peers" {
+		lc, err := wire.DialLookup(*lookupAddr)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		defer lc.Close()
+		infos, err := lc.ListInfos()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if len(infos) == 0 {
+			fmt.Println("(no live peers)")
+			return
+		}
+		fmt.Printf("%-16s %-22s %8s %9s %7s %8s %8s\n",
+			"PEER", "ADDRESS", "AGE", "INFLIGHT", "QUEUED", "RUNNING", "CAPACITY")
+		for _, p := range infos {
+			fmt.Printf("%-16s %-22s %7.1fs %9d %7d %8d %8d\n",
+				p.Name, p.Addr, p.AgeSeconds,
+				p.Load.Inflight, p.Load.Queued, p.Load.Running, p.Load.Capacity)
 		}
 		return
 	}

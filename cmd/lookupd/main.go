@@ -7,6 +7,7 @@
 // Usage:
 //
 //	lookupd -addr :7400
+//	lookupd -addr :7400 -ttl 30s              # evict silent peers sooner
 //	lookupd -addr :7400 -metrics-addr :7480   # JSON metrics + pprof
 package main
 
@@ -24,10 +25,12 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
+	ttl := flag.Duration("ttl", wire.DefaultLookupTTL, "liveness TTL: peers silent for longer are evicted (0 disables)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics and pprof on this address (empty disables)")
 	flag.Parse()
 
 	srv := wire.NewLookupServer()
+	srv.SetTTL(*ttl)
 	if *metricsAddr != "" {
 		msrv, maddr, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {

@@ -9,6 +9,8 @@
 //	matrixd -addr :7401                          # demo grid
 //	matrixd -addr :7401 -infra grid.xml          # described grid
 //	matrixd -name matrixA -lookup host:7400      # join a peer network
+//	matrixd -peer-name matrixA -lookup host:7400 # same (alias)
+//	matrixd -placement locality -heartbeat 2s    # federation tuning
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
 //	matrixd -journal /var/lib/matrix.journal     # crash recovery
@@ -29,15 +31,18 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgms"
 	"datagridflow/internal/fault"
+	"datagridflow/internal/federation"
 	"datagridflow/internal/infra"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/namespace"
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
+	"datagridflow/internal/scheduler"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/trigger"
 	"datagridflow/internal/vfs"
@@ -47,7 +52,10 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
 	name := flag.String("name", "", "peer name (required with -lookup)")
+	peerName := flag.String("peer-name", "", "alias for -name")
 	lookup := flag.String("lookup", "", "lookup server address to register with")
+	placement := flag.String("placement", "least-loaded", "federation placement policy: least-loaded, round-robin or locality (docs/FEDERATION.md)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "federation heartbeat interval (lookup lease renewal and load gossip)")
 	infraPath := flag.String("infra", "", "infrastructure description XML (default: demo topology)")
 	triggerPath := flag.String("triggers", "", "trigger definitions XML to install at startup")
 	provPath := flag.String("prov", "", "provenance log file (default: in-memory)")
@@ -60,6 +68,11 @@ func main() {
 	maxUserQueue := flag.Int("max-queue", 256, "max admission waiters queued per user; excess requests are rejected with a capacity error")
 	serialOnly := flag.Bool("serial-only", false, "pin the wire protocol to pre-1.2 serial framing (no multiplexing)")
 	flag.Parse()
+	if *name == "" {
+		*name = *peerName
+	} else if *peerName != "" && *peerName != *name {
+		log.Fatal("matrixd: -name and -peer-name disagree")
+	}
 
 	var prov *provenance.Store
 	if *provPath != "" {
@@ -193,8 +206,20 @@ func main() {
 		if err != nil {
 			log.Fatalf("matrixd: %v", err)
 		}
-		closeFn = peer.Close
-		log.Printf("matrixd: peer %q registered with %s", *name, *lookup)
+		policy, err := scheduler.NewPolicy(*placement)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		fed := federation.New(peer, federation.Config{
+			Policy:            policy,
+			HeartbeatInterval: *heartbeat,
+		})
+		fed.Start()
+		closeFn = func() {
+			fed.Close() // drain in-flight delegations first
+			peer.Close()
+		}
+		log.Printf("matrixd: peer %q registered with %s (placement %s)", *name, *lookup, policy.Name())
 	} else {
 		srv := wire.NewServerConfig(engine, srvCfg)
 		if injector != nil {

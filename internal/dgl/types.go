@@ -376,6 +376,16 @@ func ParseResponse(data []byte) (*Response, error) {
 	return &resp, nil
 }
 
+// ParseFlowStatus decodes a flowStatus tree from XML — the payload of a
+// delegate reply crossing the peer network.
+func ParseFlowStatus(data []byte) (*FlowStatus, error) {
+	var st FlowStatus
+	if err := xml.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("dgl: parse flow status: %w", err)
+	}
+	return &st, nil
+}
+
 // String renders the request as XML (best effort; errors yield a
 // diagnostic string).
 func (r *Request) String() string {
@@ -430,14 +440,17 @@ type Ack struct {
 // and shareable: "The identifier for any particular task or flow can be
 // shared with all other processes."
 type FlowStatus struct {
-	ID       string       `xml:"id,attr"`
-	Name     string       `xml:"name,attr"`
-	Kind     string       `xml:"kind,attr"` // "flow" or "step"
-	State    string       `xml:"state,attr"`
-	Started  string       `xml:"started,attr,omitempty"`
-	Finished string       `xml:"finished,attr,omitempty"`
-	Error    string       `xml:"error,omitempty"`
-	Children []FlowStatus `xml:"status,omitempty"`
+	ID       string `xml:"id,attr"`
+	Name     string `xml:"name,attr"`
+	Kind     string `xml:"kind,attr"` // "flow" or "step"
+	State    string `xml:"state,attr"`
+	Started  string `xml:"started,attr,omitempty"`
+	Finished string `xml:"finished,attr,omitempty"`
+	// Delegated names the remote execution id when this subtree ran on
+	// another peer ("peerB:dgf-000042"); its children carry remote ids.
+	Delegated string       `xml:"delegated,attr,omitempty"`
+	Error     string       `xml:"error,omitempty"`
+	Children  []FlowStatus `xml:"status,omitempty"`
 }
 
 // Find returns the status node with the given id in the subtree.

@@ -104,6 +104,7 @@ func All() []struct {
 		{"E10", E10LongRun},
 		{"E11", E11HSMvsILM},
 		{"E12", E12FaultSweep},
+		{"E13", E13Federation},
 	}
 }
 

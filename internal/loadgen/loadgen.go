@@ -29,8 +29,10 @@ import (
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/dgms"
+	"datagridflow/internal/federation"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/namespace"
+	"datagridflow/internal/scheduler"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/vfs"
 	"datagridflow/internal/wire"
@@ -57,6 +59,12 @@ type Options struct {
 	StepLatency time.Duration
 	// MaxInflight caps the server worker pool (0 = server default).
 	MaxInflight int
+	// FederatedPeers adds an optional federated phase: a lookup server
+	// plus this many federated peers, with the workload's parallel
+	// subflows delegated from the first peer (docs/FEDERATION.md). 0 (the
+	// default) skips the phase, leaving the BENCH_wire.json schema
+	// unchanged.
+	FederatedPeers int
 }
 
 // Defaults is the full-scale preset.
@@ -115,6 +123,9 @@ type Report struct {
 	AsyncSerial ModeResult  `json:"async_serial"`
 	Batch       ModeResult  `json:"batch"`
 	OpenLoop    *ModeResult `json:"open_loop,omitempty"`
+	// Federated is present only when Options.FederatedPeers >= 2.
+	Federated      *ModeResult `json:"federated,omitempty"`
+	FederatedPeers int         `json:"federated_peers,omitempty"`
 
 	// SpeedupPipelined is pipelined RPS over serial RPS: the latency-
 	// hiding win of multiplexed framing. SpeedupBatch is batch flows/s
@@ -140,6 +151,9 @@ func (r *Report) String() string {
 	line(r.Batch)
 	if r.OpenLoop != nil {
 		line(*r.OpenLoop)
+	}
+	if r.Federated != nil {
+		line(*r.Federated)
 	}
 	b = fmt.Appendf(b, "speedup: pipelined/serial = %.2fx, batch/async-serial = %.2fx\n",
 		r.SpeedupPipelined, r.SpeedupBatch)
@@ -224,6 +238,85 @@ func (c *collector) result(mode string, elapsed time.Duration) ModeResult {
 		P95ms:    pct(0.95),
 		P99ms:    pct(0.99),
 	}
+}
+
+// runFederated stands up a lookup server plus FederatedPeers federated
+// peers, then closed-loops parallel sleep flows — 4 subflows of one
+// sleep step each — against the first peer over a multiplexed
+// connection. Each completed flow counts its 4 subflows as requests.
+func runFederated(opts Options) (*ModeResult, error) {
+	lookup := wire.NewLookupServer()
+	lookupAddr, err := lookup.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer lookup.Close()
+	const subflows = 4
+	var peers []*wire.Peer
+	var feds []*federation.Federation
+	defer func() {
+		for _, f := range feds {
+			f.Close()
+		}
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	var firstAddr string
+	for i := 0; i < opts.FederatedPeers; i++ {
+		h, err := newHarness(opts)
+		if err != nil {
+			return nil, err
+		}
+		h.server.Close() // the peer brings its own listener
+		name := fmt.Sprintf("bench%d", i)
+		peer := wire.NewPeerConfig(name, h.engine, wire.ServerConfig{MaxInflight: opts.MaxInflight})
+		addr, err := peer.Start("127.0.0.1:0", lookupAddr)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			firstAddr = addr
+		}
+		fed := federation.New(peer, federation.Config{
+			Policy:            &scheduler.RoundRobin{},
+			HeartbeatInterval: 100 * time.Millisecond,
+		})
+		fed.Start()
+		peers = append(peers, peer)
+		feds = append(feds, fed)
+	}
+	for range [2]int{} { // deterministic membership before measuring
+		for _, f := range feds {
+			f.Beat()
+		}
+	}
+	b := dgl.NewFlow("fedload").Parallel()
+	for i := 0; i < subflows; i++ {
+		b.SubFlow(dgl.NewFlow(fmt.Sprintf("shard-%d", i)).
+			Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": opts.StepLatency.String()})))
+	}
+	flow := b.Flow()
+	clients, err := dialN(firstAddr, opts.Conns, true)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(clients)
+	elapsed, col := closedLoop(clients, opts.Inflight, opts.Duration, func(c *wire.Client) error {
+		_, err := c.SubmitFlow("bench", flow)
+		return err
+	})
+	// A request above is one flow of `subflows` subflows; rescale so RPS
+	// counts subflows.
+	col.mu.Lock()
+	scaled := append([]time.Duration(nil), col.latencies...)
+	for range [subflows - 1]int{} {
+		scaled = append(scaled, col.latencies...)
+	}
+	col.latencies = scaled
+	col.mu.Unlock()
+	res := col.result(fmt.Sprintf("federated:%d", opts.FederatedPeers), elapsed)
+	return &res, nil
 }
 
 // dialN opens n connections, negotiating mux when hello is true.
@@ -410,6 +503,19 @@ func Run(opts Options) (*Report, error) {
 		rep.OpenLoop = &ol
 	}
 	closeAll(muxClients)
+
+	// Phase 6 (optional) — federated: the same sleep workload as a
+	// parallel flow whose subflows the first peer's federation delegates
+	// across FederatedPeers peers. Requests count subflows, so RPS is
+	// comparable to the other phases' flows/s.
+	if opts.FederatedPeers >= 2 {
+		fed, err := runFederated(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Federated = fed
+		rep.FederatedPeers = opts.FederatedPeers
+	}
 
 	if rep.Serial.RPS > 0 {
 		rep.SpeedupPipelined = rep.Pipelined.RPS / rep.Serial.RPS

@@ -83,6 +83,7 @@ type Engine struct {
 	handlers map[string]OpHandler
 	procs    map[string]Procedure
 	journal  *Journal
+	deleg    Delegator
 }
 
 // NewEngine creates an engine over the grid with default configuration.
@@ -458,6 +459,7 @@ func (e *Engine) newExecution(req *dgl.Request, skip map[string]bool) *Execution
 		skip:   rebased,
 		done:   make(chan struct{}),
 	}
+	exec.delegCtx, exec.delegCancel = context.WithCancel(context.Background())
 	exec.root = &node{
 		id:    id + "/" + req.Flow.Name,
 		name:  req.Flow.Name,

@@ -32,23 +32,31 @@ type Journal struct {
 
 // journalRecord is one JSONL line.
 type journalRecord struct {
-	Type string    `json:"type"` // exec.start | step.done | exec.end
+	Type string    `json:"type"` // exec.start | step.done | deleg.start | deleg.done | exec.end
 	ID   string    `json:"id"`   // execution id
 	Time time.Time `json:"time"`
 	// Request holds the marshaled DGL request document (exec.start).
 	Request string `json:"request,omitempty"`
 	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
-	// (step.done).
+	// (step.done, deleg.start, deleg.done).
 	Node string `json:"node,omitempty"`
+	// Peer names the remote peer that completed a delegated subflow
+	// (deleg.done).
+	Peer string `json:"peer,omitempty"`
 	// Err is the final error text, empty on success (exec.end).
 	Err string `json:"err,omitempty"`
 }
 
-// Journal record types.
+// Journal record types. deleg.start marks a subflow handed to the
+// federation (recovery re-runs it: the remote outcome is unknown — the
+// at-least-once caveat in docs/FEDERATION.md); deleg.done marks one
+// that completed remotely and is skipped on recovery like step.done.
 const (
-	journalExecStart = "exec.start"
-	journalStepDone  = "step.done"
-	journalExecEnd   = "exec.end"
+	journalExecStart  = "exec.start"
+	journalStepDone   = "step.done"
+	journalDelegStart = "deleg.start"
+	journalDelegDone  = "deleg.done"
+	journalExecEnd    = "exec.end"
 )
 
 // OpenJournal opens (creating if needed) an append-mode journal file.
@@ -156,7 +164,7 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 			}
 			open[rec.ID] = &pending{req: req, skip: map[string]bool{}}
 			order = append(order, rec.ID)
-		case journalStepDone:
+		case journalStepDone, journalDelegDone:
 			if p := open[rec.ID]; p != nil {
 				p.skip[rec.Node] = true
 			}

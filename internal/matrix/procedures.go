@@ -129,6 +129,15 @@ func (e *Engine) registerCallOp() {
 			}
 			args[k] = v
 		}
+		// Offer the invocation to the federation first: a delegated
+		// procedure runs as its own execution on whichever peer placement
+		// picks (docs/FEDERATION.md).
+		if id, derr, handled := c.Engine.delegateProcedure(c, name, args); handled {
+			if v := c.ParamOr("resultVar", ""); v != "" && id != "" {
+				c.Scope.Set(v, expr.String(id))
+			}
+			return derr
+		}
 		exec, err := c.Engine.CallProcedure(c.User, name, args)
 		if err != nil {
 			return err

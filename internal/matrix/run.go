@@ -19,6 +19,7 @@ import (
 // for asynchronous ones.
 func (ex *Execution) run() {
 	defer close(ex.done)
+	defer ex.delegCancel() // release any outstanding delegations
 	o := ex.engine.Obs()
 	o.Counter("matrix_flows_started_total").Inc()
 	o.Gauge("matrix_executions_running").Add(1)
@@ -182,7 +183,7 @@ func (ex *Execution) runChildrenParallel(f *dgl.Flow, under *node, scope *Scope)
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = ex.runChild(f, i, under, scope)
+			errs[i] = ex.runChildDelegable(f, i, under, scope)
 			done <- i
 		}(i)
 	}
@@ -190,6 +191,21 @@ func (ex *Execution) runChildrenParallel(f *dgl.Flow, under *node, scope *Scope)
 		<-done
 	}
 	return errors.Join(errs...)
+}
+
+// runChildDelegable runs one parallel child, offering child *flows* to
+// the delegation plane first — parallel branches are the natural
+// distribution unit (steps and sequential children always run locally).
+func (ex *Execution) runChildDelegable(f *dgl.Flow, i int, under *node, scope *Scope) error {
+	if i < len(f.Flows) && ex.engine.delegator() != nil {
+		child := &f.Flows[i]
+		n := childNode(under, child.Name, "flow")
+		if handled, err := ex.maybeDelegate(child, n, scope); handled {
+			return err
+		}
+		return ex.runFlow(child, n, scope)
+	}
+	return ex.runChild(f, i, under, scope)
 }
 
 // iterNode wraps one loop iteration so each pass gets distinct,
@@ -289,6 +305,15 @@ func (ex *Execution) runForEachParallel(f *dgl.Flow, n *node, scope *Scope, item
 			iterScope := NewScope(scope)
 			iterScope.Declare(it.Var, expr.String(item))
 			in := nodes[i]
+			if ex.engine.delegator() != nil {
+				// Parallel foreach shards delegate as synthetic sequential
+				// flows with the iteration variable bound.
+				if handled, err := ex.maybeDelegate(shardFlow(f, i), in, iterScope); handled {
+					errs[i] = err
+					done <- i
+					return
+				}
+			}
 			in.setState(StateRunning, ex.now())
 			if err := ex.runChildrenSequential(f, in, iterScope); err != nil {
 				in.setError(err)

@@ -58,6 +58,11 @@ type node struct {
 	started  time.Time
 	finished time.Time
 	children []*node
+	// remote is the remote execution id when this subtree was delegated
+	// to another peer ("peerB:dgf-000042"). The node keeps its local id;
+	// grafted children carry their remote ids, which the peer layer can
+	// resolve from anywhere via status forwarding.
+	remote string
 }
 
 func (n *node) setState(s State, at time.Time) {
@@ -107,11 +112,12 @@ func (n *node) find(id string) (*node, bool) {
 func (n *node) status(detail bool) dgl.FlowStatus {
 	n.mu.Lock()
 	out := dgl.FlowStatus{
-		ID:    n.id,
-		Name:  n.name,
-		Kind:  n.kind,
-		State: string(n.state),
-		Error: n.err,
+		ID:        n.id,
+		Name:      n.name,
+		Kind:      n.kind,
+		State:     string(n.state),
+		Error:     n.err,
+		Delegated: n.remote,
 	}
 	if !n.started.IsZero() {
 		out.Started = n.started.UTC().Format(time.RFC3339Nano)
@@ -130,19 +136,67 @@ func (n *node) status(detail bool) dgl.FlowStatus {
 }
 
 // collectSucceeded gathers the ids of terminally successful step nodes —
-// the checkpoint set Restart consults.
+// the checkpoint set Restart consults. A delegated subtree is one unit:
+// its node id joins the set when the remote run succeeded, and its
+// grafted children (which carry remote ids from another peer's id
+// space) are not descended into.
 func (n *node) collectSucceeded(into map[string]bool) {
 	n.mu.Lock()
 	state := n.state
 	kind := n.kind
+	remote := n.remote
 	kids := append([]*node(nil), n.children...)
 	n.mu.Unlock()
+	if remote != "" {
+		if state == StateSucceeded || state == StateSkipped {
+			into[n.id] = true
+		}
+		return
+	}
 	if kind == "step" && (state == StateSucceeded || state == StateSkipped) {
 		into[n.id] = true
 	}
 	for _, c := range kids {
 		c.collectSucceeded(into)
 	}
+}
+
+// graftRemote marks the node as delegated to remoteID and replaces its
+// children with the remote status tree's children — remote ids intact,
+// so any step in the delegated run stays resolvable through the peer
+// network's status forwarding.
+func (n *node) graftRemote(remoteID string, st *dgl.FlowStatus) {
+	var kids []*node
+	for i := range st.Children {
+		kids = append(kids, nodeFromStatus(&st.Children[i]))
+	}
+	n.mu.Lock()
+	n.remote = remoteID
+	n.children = kids
+	n.mu.Unlock()
+}
+
+// nodeFromStatus rebuilds a status subtree (from a remote peer's XML)
+// as local nodes, preserving the remote ids.
+func nodeFromStatus(st *dgl.FlowStatus) *node {
+	n := &node{
+		id:     st.ID,
+		name:   st.Name,
+		kind:   st.Kind,
+		state:  State(st.State),
+		err:    st.Error,
+		remote: st.Delegated,
+	}
+	if t, err := time.Parse(time.RFC3339Nano, st.Started); err == nil {
+		n.started = t
+	}
+	if t, err := time.Parse(time.RFC3339Nano, st.Finished); err == nil {
+		n.finished = t
+	}
+	for i := range st.Children {
+		n.children = append(n.children, nodeFromStatus(&st.Children[i]))
+	}
+	return n
 }
 
 // ctrlState is the run-control state of an execution.
@@ -225,6 +279,12 @@ type Execution struct {
 	// skip holds step ids that succeeded in a prior run (restart mode).
 	skip map[string]bool
 
+	// delegCtx scopes the execution's outbound delegations: cancelled by
+	// Cancel (and when the run finishes), so remote subflows are released
+	// when the parent stops waiting for them.
+	delegCtx    context.Context
+	delegCancel context.CancelFunc
+
 	done chan struct{}
 
 	mu  sync.Mutex
@@ -292,8 +352,14 @@ func (e *Execution) Pause() { e.ctrl.pause() }
 func (e *Execution) Resume() { e.ctrl.resume() }
 
 // Cancel stops the execution; in-flight steps finish, pending work is
-// abandoned, and Wait returns ErrCancelled.
-func (e *Execution) Cancel() { e.ctrl.cancel() }
+// abandoned (delegated subflows are released via their context), and
+// Wait returns ErrCancelled.
+func (e *Execution) Cancel() {
+	e.ctrl.cancel()
+	if e.delegCancel != nil {
+		e.delegCancel()
+	}
+}
 
 // Paused reports whether the execution is currently paused.
 func (e *Execution) Paused() bool { return e.ctrl.paused() }

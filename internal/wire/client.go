@@ -45,6 +45,11 @@ type Client struct {
 	nextID  uint64
 	pending map[uint64]chan muxReply
 	readErr error // terminal: set once the mux read loop exits
+	// serverMajor/serverMinor record the version the server advertised
+	// in the hello reply (zero before Hello) — the feature gate for
+	// delegation.
+	serverMajor int
+	serverMinor int
 }
 
 // muxReply is one matched response delivered to a pipelined waiter.
@@ -489,10 +494,15 @@ func (c *Client) Hello() (serverProto string, err error) {
 		err = dgferr.Decode(res.Error)
 	}
 	if err == nil && res.OK {
-		if major, minor, perr := ParseProtoVersion(res.Proto); perr == nil && MuxSupported(major, minor) {
-			// Both ends speak >= 1.2: the server switched to mux framing
-			// right after this reply; follow before releasing writeMu.
-			c.upgrade()
+		if major, minor, perr := ParseProtoVersion(res.Proto); perr == nil {
+			c.mu.Lock()
+			c.serverMajor, c.serverMinor = major, minor
+			c.mu.Unlock()
+			if MuxSupported(major, minor) {
+				// Both ends speak >= 1.2: the server switched to mux framing
+				// right after this reply; follow before releasing writeMu.
+				c.upgrade()
+			}
 		}
 	}
 	c.writeMu.Unlock()
@@ -500,6 +510,57 @@ func (c *Client) Hello() (serverProto string, err error) {
 		return "", err
 	}
 	return res.Proto, nil
+}
+
+// ServerProto returns the version the server advertised in the hello
+// reply, or zeros before Hello has completed.
+func (c *Client) ServerProto() (major, minor int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverMajor, c.serverMinor
+}
+
+// CanDelegate reports whether this session may carry delegate frames:
+// the session is multiplexed and the server advertised >= 1.3 in its
+// hello reply. Against an older server the federation layer never sends
+// a delegate frame — the subflow stays local (docs/FEDERATION.md).
+func (c *Client) CanDelegate() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.muxed && DelegateSupported(c.serverMajor, c.serverMinor)
+}
+
+// Delegate asks the server to execute a subflow on this peer's behalf
+// and waits for its final status. A non-nil result with res.OK false
+// means the remote ran (or refused) the work and reported a typed
+// failure — err carries the decoded class and res.ID/res.Status what
+// the remote knows. A nil result means transport failure: the caller
+// cannot know whether the remote ran anything (the at-least-once caveat
+// in docs/FEDERATION.md).
+func (c *Client) Delegate(ctx context.Context, d Delegate) (*DelegateResult, error) {
+	if !c.CanDelegate() {
+		return nil, fmt.Errorf("%w: server does not accept delegate frames (need >= %s)",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, delegateMinor))
+	}
+	payload, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	kind, resp, err := c.roundTrip(ctx, KindDelegate, payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindDelegate {
+		return nil, errors.New("wire: unexpected frame kind in delegate response")
+	}
+	var res DelegateResult
+	if err := json.Unmarshal(resp, &res); err != nil {
+		return nil, fmt.Errorf("wire: bad delegate reply: %w", err)
+	}
+	if !res.OK {
+		return &res, dgferr.Decode(res.Error)
+	}
+	return &res, nil
 }
 
 // Pause suspends an execution on the server.

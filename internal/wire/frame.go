@@ -37,6 +37,12 @@ const (
 	// (one submission round trip for many flows). Batch frames are a
 	// protocol-1.2 feature: they only appear on multiplexed sessions.
 	KindBatch byte = 3
+	// KindDelegate frames carry a JSON delegation envelope: one peer
+	// asks another to execute a subflow on its behalf and waits for the
+	// final status (the federation plane, docs/FEDERATION.md). A
+	// protocol-1.3 feature: clients only send it after a hello exchange
+	// in which the server advertised >= 1.3.
+	KindDelegate byte = 4
 )
 
 // MaxFrame bounds a frame payload (16 MiB): a defense against corrupt
@@ -86,15 +92,26 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 2
+	ProtoMinor = 3
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
+	// delegateMinor is the minimum minor version that accepts
+	// KindDelegate frames (federated subflow execution).
+	delegateMinor = 3
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
 // the multiplexed framing (same major, minor >= 1.2).
 func MuxSupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= muxMinor
+}
+
+// DelegateSupported reports whether a peer advertising major.minor
+// accepts delegation frames (same major, minor >= 1.3). Delegation
+// rides the mux session, so a delegate-capable peer is mux-capable by
+// construction.
+func DelegateSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= delegateMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a
@@ -207,4 +224,42 @@ type BatchResult struct {
 	Error string `json:"error,omitempty"`
 	// Responses are XML dataGridResponse documents, one per request.
 	Responses []string `json:"responses,omitempty"`
+}
+
+// Delegate is the JSON payload of a KindDelegate frame: one peer hands
+// a subflow to another for execution. The receiving server validates
+// and runs the request synchronously (the frame's response carries the
+// final status), under its own admission scheduler — a delegation
+// occupies one admission slot, like any other flow.
+type Delegate struct {
+	// User is the identity the delegated flow runs as (and the
+	// admission account it is charged to).
+	User string `json:"user"`
+	// Request is a complete XML dataGridRequest document carrying the
+	// subflow, with the delegating peer's parent-scope variable values
+	// already bound into the flow's variable block (late binding
+	// resolves on the delegating side; see docs/FEDERATION.md).
+	Request string `json:"request"`
+	// Origin names the delegating peer, for the remote server's logs
+	// and provenance.
+	Origin string `json:"origin,omitempty"`
+	// ParentExec and ParentNode locate the delegating node in the
+	// origin peer's execution tree, so the two provenance trails can be
+	// joined.
+	ParentExec string `json:"parentExec,omitempty"`
+	ParentNode string `json:"parentNode,omitempty"`
+}
+
+// DelegateResult is the JSON reply to a delegate frame.
+type DelegateResult struct {
+	OK bool `json:"ok"`
+	// Error is the typed (dgferr-encoded) failure: either a
+	// transport/validation problem or the delegated flow's own terminal
+	// error. Status may still be set alongside it.
+	Error string `json:"error,omitempty"`
+	// ID is the remote execution id ("peerB:dgf-000042") — globally
+	// resolvable from any peer via status forwarding (docs/WIRE.md §3).
+	ID string `json:"id,omitempty"`
+	// Status is the final XML <flowStatus> tree of the remote run.
+	Status string `json:"status,omitempty"`
 }

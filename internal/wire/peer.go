@@ -8,30 +8,65 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/obs"
+	"datagridflow/internal/scheduler"
 )
 
 // lookupMsg is the JSON protocol of the lookup server: newline-delimited
 // request/response pairs.
 type lookupMsg struct {
-	Op    string            `json:"op"` // "register", "resolve", "list"
+	Op    string            `json:"op"` // "register", "resolve", "list", "heartbeat", "unregister"
 	Name  string            `json:"name,omitempty"`
 	Addr  string            `json:"addr,omitempty"`
 	OK    bool              `json:"ok,omitempty"`
 	Error string            `json:"error,omitempty"`
 	Peers map[string]string `json:"peers,omitempty"`
+	// Load rides heartbeat requests: the peer's self-reported figures.
+	Load *scheduler.PeerLoad `json:"load,omitempty"`
+	// Infos rides heartbeat and list replies: every live peer with its
+	// age and last gossiped load.
+	Infos []PeerInfo `json:"infos,omitempty"`
+}
+
+// PeerInfo is one live peer as the lookup registry knows it — the
+// gossip unit heartbeat replies and `dgfctl peers` are built from.
+type PeerInfo struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// AgeSeconds is how long ago the peer last registered or heartbeat.
+	AgeSeconds float64 `json:"ageSeconds"`
+	// Load is the peer's last self-reported load (zero until its first
+	// heartbeat).
+	Load scheduler.PeerLoad `json:"load"`
+}
+
+// DefaultLookupTTL is the liveness window: a peer silent for longer is
+// evicted from the registry on the next operation.
+const DefaultLookupTTL = 45 * time.Second
+
+// peerEntry is one registration with its liveness and gossip state.
+type peerEntry struct {
+	addr     string
+	lastSeen time.Time
+	load     scheduler.PeerLoad
 }
 
 // LookupServer is the registry peers use to find one another: matrix
 // servers register name→address, and peers resolve names when routing
-// status queries for executions they do not own.
+// status queries for executions they do not own. Registrations are
+// leases, not permanent rows: every operation sweeps entries whose last
+// register/heartbeat is older than the TTL (lookup_evictions_total),
+// so a crashed peer disappears from resolve/list/gossip within one TTL.
 type LookupServer struct {
 	obs      *obs.Registry
 	mu       sync.Mutex
-	peers    map[string]string
+	peers    map[string]*peerEntry
+	ttl      time.Duration
+	now      func() time.Time
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
@@ -43,13 +78,66 @@ type LookupServer struct {
 func NewLookupServer() *LookupServer {
 	return &LookupServer{
 		obs:   obs.Default(),
-		peers: make(map[string]string),
+		peers: make(map[string]*peerEntry),
+		ttl:   DefaultLookupTTL,
+		now:   time.Now,
 		conns: make(map[net.Conn]bool),
 	}
 }
 
 // SetObs redirects the lookup server's metrics to r.
 func (s *LookupServer) SetObs(r *obs.Registry) { s.obs = r }
+
+// SetTTL overrides the liveness window (0 or negative disables
+// eviction). Call before Listen.
+func (s *LookupServer) SetTTL(d time.Duration) {
+	s.mu.Lock()
+	s.ttl = d
+	s.mu.Unlock()
+}
+
+// setNow overrides the registry clock, for eviction tests.
+func (s *LookupServer) setNow(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// sweepLocked evicts entries beyond the TTL and refreshes the
+// lookup_peers_alive gauge. Caller holds s.mu.
+func (s *LookupServer) sweepLocked() {
+	if s.ttl > 0 {
+		cut := s.now().Add(-s.ttl)
+		for name, e := range s.peers {
+			if e.lastSeen.Before(cut) {
+				delete(s.peers, name)
+				s.obs.Counter("lookup_evictions_total").Inc()
+			}
+		}
+	}
+	s.obs.Gauge("lookup_peers_alive").Set(int64(len(s.peers)))
+}
+
+// infosLocked snapshots the live peers as gossip rows, sorted by name
+// upstream of JSON (map iteration would be unstable). Caller holds s.mu.
+func (s *LookupServer) infosLocked() []PeerInfo {
+	now := s.now()
+	out := make([]PeerInfo, 0, len(s.peers))
+	for name, e := range s.peers {
+		out = append(out, PeerInfo{
+			Name:       name,
+			Addr:       e.addr,
+			AgeSeconds: now.Sub(e.lastSeen).Seconds(),
+			Load:       e.load,
+		})
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: n is small
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
 
 // Listen binds the registry to addr and returns the bound address.
 func (s *LookupServer) Listen(addr string) (string, error) {
@@ -100,7 +188,7 @@ func (s *LookupServer) serve(conn net.Conn) {
 		}
 		var reply lookupMsg
 		switch msg.Op {
-		case "register", "resolve", "list":
+		case "register", "resolve", "list", "heartbeat", "unregister":
 			s.obs.Counter("lookup_requests_total", "op", msg.Op).Inc()
 		default:
 			s.obs.Counter("lookup_requests_total", "op", "unknown").Inc()
@@ -112,26 +200,62 @@ func (s *LookupServer) serve(conn net.Conn) {
 				break
 			}
 			s.mu.Lock()
-			s.peers[msg.Name] = msg.Addr
+			e := &peerEntry{addr: msg.Addr, lastSeen: s.now()}
+			if prev, ok := s.peers[msg.Name]; ok {
+				// Re-registration keeps the last gossiped load until the
+				// next heartbeat refreshes it.
+				e.load = prev.load
+			}
+			s.peers[msg.Name] = e
+			s.sweepLocked()
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true}
+		case "heartbeat":
+			// A heartbeat renews the lease, publishes load, and carries
+			// back the full live-peer gossip — one round trip keeps a peer
+			// both registered and informed.
+			if msg.Name == "" || msg.Addr == "" {
+				reply = lookupMsg{Error: "heartbeat needs name and addr"}
+				break
+			}
+			s.mu.Lock()
+			e := &peerEntry{addr: msg.Addr, lastSeen: s.now()}
+			if msg.Load != nil {
+				e.load = *msg.Load
+			} else if prev, ok := s.peers[msg.Name]; ok {
+				e.load = prev.load
+			}
+			s.peers[msg.Name] = e
+			s.sweepLocked()
+			infos := s.infosLocked()
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true, Infos: infos}
+		case "unregister":
+			s.mu.Lock()
+			delete(s.peers, msg.Name)
+			s.sweepLocked()
 			s.mu.Unlock()
 			reply = lookupMsg{OK: true}
 		case "resolve":
 			s.mu.Lock()
-			addr, ok := s.peers[msg.Name]
+			s.sweepLocked()
+			e, ok := s.peers[msg.Name]
 			s.mu.Unlock()
 			if !ok {
 				reply = lookupMsg{Error: "unknown peer " + msg.Name}
 			} else {
-				reply = lookupMsg{OK: true, Addr: addr}
+				reply = lookupMsg{OK: true, Addr: e.addr}
 			}
 		case "list":
 			s.mu.Lock()
+			s.sweepLocked()
 			peers := make(map[string]string, len(s.peers))
-			for k, v := range s.peers {
-				peers[k] = v
+			for k, e := range s.peers {
+				peers[k] = e.addr
 			}
+			infos := s.infosLocked()
 			s.mu.Unlock()
-			reply = lookupMsg{OK: true, Peers: peers}
+			reply = lookupMsg{OK: true, Peers: peers, Infos: infos}
 		default:
 			reply = lookupMsg{Error: "unknown op " + msg.Op}
 		}
@@ -210,6 +334,26 @@ func (c *LookupClient) List() (map[string]string, error) {
 	return reply.Peers, err
 }
 
+// ListInfos returns every live peer with liveness age and gossiped load.
+func (c *LookupClient) ListInfos() ([]PeerInfo, error) {
+	reply, err := c.call(lookupMsg{Op: "list"})
+	return reply.Infos, err
+}
+
+// Heartbeat renews a peer's lease, publishes its load, and returns the
+// registry's live-peer gossip.
+func (c *LookupClient) Heartbeat(name, addr string, load scheduler.PeerLoad) ([]PeerInfo, error) {
+	reply, err := c.call(lookupMsg{Op: "heartbeat", Name: name, Addr: addr, Load: &load})
+	return reply.Infos, err
+}
+
+// Unregister removes a peer's registration immediately (a clean
+// shutdown, rather than waiting out the TTL).
+func (c *LookupClient) Unregister(name string) error {
+	_, err := c.call(lookupMsg{Op: "unregister", Name: name})
+	return err
+}
+
 // Close closes the connection.
 func (c *LookupClient) Close() error { return c.conn.Close() }
 
@@ -223,6 +367,7 @@ type Peer struct {
 	Name   string
 	server *Server
 	lookup *LookupClient
+	addr   string // bound address, set by Start
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -262,7 +407,27 @@ func (p *Peer) Start(addr, lookupAddr string) (string, error) {
 		p.server.Close()
 		return "", err
 	}
+	p.addr = bound
 	return bound, nil
+}
+
+// Addr returns the peer's bound address (empty before Start).
+func (p *Peer) Addr() string { return p.addr }
+
+// Server returns the peer's wire server.
+func (p *Peer) Server() *Server { return p.server }
+
+// Lookup returns the peer's lookup connection (nil before Start).
+func (p *Peer) Lookup() *LookupClient { return p.lookup }
+
+// Heartbeat renews this peer's registration with its current load and
+// returns the registry's live-peer gossip. The federation layer calls
+// it on a timer (docs/FEDERATION.md).
+func (p *Peer) Heartbeat(load scheduler.PeerLoad) ([]PeerInfo, error) {
+	if p.lookup == nil {
+		return nil, errors.New("wire: peer not connected to a lookup server")
+	}
+	return p.lookup.Heartbeat(p.Name, p.addr, load)
 }
 
 // OwnerOf extracts the peer name from an execution or node id
@@ -317,6 +482,23 @@ func (p *Peer) SubmitTo(peerName, user string, flow dgl.Flow) (*dgl.Response, er
 // Engine returns the peer's local engine.
 func (p *Peer) Engine() *matrix.Engine { return p.server.Engine() }
 
+// Client returns a pooled, hello-negotiated connection to a named peer,
+// dialing through the lookup service on first use. The returned client
+// is shared: do not Close it — use DropClient when the peer looks dead.
+func (p *Peer) Client(name string) (*Client, error) { return p.clientFor(name) }
+
+// DropClient evicts a pooled connection (after a transport failure), so
+// the next Client call re-resolves and re-dials.
+func (p *Peer) DropClient(name string) {
+	p.mu.Lock()
+	c, ok := p.clients[name]
+	delete(p.clients, name)
+	p.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
 func (p *Peer) clientFor(name string) (*Client, error) {
 	p.mu.Lock()
 	if c, ok := p.clients[name]; ok {
@@ -335,6 +517,13 @@ func (p *Peer) clientFor(name string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Negotiate up front: peer links upgrade to mux when both ends speak
+	// >= 1.2, and the hello reply records the remote's feature level for
+	// the delegation gate (Client.CanDelegate).
+	if _, err := c.Hello(); err != nil {
+		c.Close()
+		return nil, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if prev, ok := p.clients[name]; ok {
@@ -345,10 +534,13 @@ func (p *Peer) clientFor(name string) (*Client, error) {
 	return c, nil
 }
 
-// Close shuts the peer down: server, lookup connection and peer clients.
+// Close shuts the peer down: server, lookup registration and connection,
+// and peer clients. Unregistering is best-effort — a crashed peer never
+// gets to; the TTL sweep covers it.
 func (p *Peer) Close() {
 	p.server.Close()
 	if p.lookup != nil {
+		_ = p.lookup.Unregister(p.Name)
 		p.lookup.Close()
 	}
 	p.mu.Lock()

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/fault"
 	"datagridflow/internal/matrix"
+	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
 )
 
@@ -38,6 +40,8 @@ func kindName(kind byte) string {
 		return "control"
 	case KindBatch:
 		return "batch"
+	case KindDelegate:
+		return "delegate"
 	default:
 		return "unknown"
 	}
@@ -58,6 +62,17 @@ type ServerConfig struct {
 	// advertises 1.1 in hello replies and never upgrades a session to
 	// mux framing. A compatibility and testing knob.
 	SerialOnly bool
+	// ProtoMinor pins the minor version the server advertises (and its
+	// feature gate: a server advertising < 1.3 refuses delegate
+	// frames). 0 or out-of-range means the current ProtoMinor;
+	// SerialOnly overrides to 1.1. A compatibility and interop-testing
+	// knob — mixed-version federations rely on it.
+	ProtoMinor int
+	// DelegateGrace bounds how long a cancelled delegation (client gone
+	// or server closing) waits for its execution to unwind before the
+	// handler returns — the deterministic-shutdown budget for in-flight
+	// delegations. Default 3s.
+	DelegateGrace time.Duration
 }
 
 // Server exposes a matrix engine over the framed TCP protocol. Serial
@@ -98,6 +113,12 @@ func NewServerConfig(engine *matrix.Engine, cfg ServerConfig) *Server {
 	if cfg.MaxUserQueue <= 0 {
 		cfg.MaxUserQueue = 256
 	}
+	if cfg.ProtoMinor <= 0 || cfg.ProtoMinor > ProtoMinor {
+		cfg.ProtoMinor = ProtoMinor
+	}
+	if cfg.DelegateGrace <= 0 {
+		cfg.DelegateGrace = 3 * time.Second
+	}
 	return &Server{
 		engine: engine,
 		cfg:    cfg,
@@ -112,12 +133,18 @@ func (s *Server) Engine() *matrix.Engine { return s.engine }
 // Admission returns the server's admission scheduler.
 func (s *Server) Admission() *scheduler.Admission { return s.adm }
 
+// minor returns the minor version the server advertises — its feature
+// level for negotiation and the delegate-frame gate.
+func (s *Server) minor() int {
+	if s.cfg.SerialOnly {
+		return 1
+	}
+	return s.cfg.ProtoMinor
+}
+
 // proto returns the version the server advertises in hello replies.
 func (s *Server) proto() string {
-	if s.cfg.SerialOnly {
-		return ProtoVersion(ProtoMajor, 1)
-	}
-	return ProtoVersion(ProtoMajor, ProtoMinor)
+	return ProtoVersion(ProtoMajor, s.minor())
 }
 
 // SetFault attaches a fault-injection plan to this server under the
@@ -236,6 +263,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			var res ControlResult
 			res, upgrade = s.serveControl(payload)
 			data, err = json.Marshal(res)
+		case KindDelegate:
+			res := s.serveDelegate(ctx, payload)
+			data, err = json.Marshal(res)
 		default:
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation
@@ -279,7 +309,7 @@ func (s *Server) serveMux(ctx context.Context, conn net.Conn, remote string) {
 		if s.connFault() {
 			return // injected crash/drop: sever without a response
 		}
-		if kind != KindDGL && kind != KindControl && kind != KindBatch {
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation: sever, as in serial mode
 		}
@@ -310,6 +340,9 @@ func (s *Server) handleMuxFrame(ctx context.Context, conn net.Conn, writeMu *syn
 		data, err = json.Marshal(res)
 	case KindBatch:
 		res := s.serveBatch(ctx, payload)
+		data, err = json.Marshal(res)
+	case KindDelegate:
+		res := s.serveDelegate(ctx, payload)
 		data, err = json.Marshal(res)
 	}
 	if err != nil {
@@ -414,6 +447,93 @@ func (s *Server) serveBatch(ctx context.Context, payload []byte) BatchResult {
 	return BatchResult{OK: true, Responses: out}
 }
 
+// serveDelegate services a KindDelegate frame: run the embedded subflow
+// to completion on this peer's engine and answer with its final status.
+// A delegation occupies one admission slot for its whole run — the
+// remote peer's capacity model sees it exactly like a local flow. When
+// ctx is cancelled mid-run (delegating peer gone, or this server
+// closing), the execution is cancelled and given DelegateGrace to
+// unwind, so shutdown with in-flight delegations is deterministic.
+func (s *Server) serveDelegate(ctx context.Context, payload []byte) DelegateResult {
+	o := s.engine.Obs()
+	outcome := func(out string) {
+		o.Counter("wire_delegations_total", "outcome", out).Inc()
+	}
+	if s.minor() < delegateMinor {
+		outcome("refused")
+		return DelegateResult{Error: dgferr.Encode(fmt.Errorf(
+			"%w: delegate frames need protocol >= %s, server advertises %s",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, delegateMinor), s.proto()))}
+	}
+	var d Delegate
+	if err := json.Unmarshal(payload, &d); err != nil {
+		outcome("invalid")
+		return DelegateResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: bad delegate frame: %v", dgferr.ErrInvalid, err))}
+	}
+	req, err := dgl.DecodeRequest([]byte(d.Request))
+	if err != nil {
+		outcome("invalid")
+		return DelegateResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: %v", dgferr.ErrInvalid, err))}
+	}
+	if req.Flow == nil {
+		outcome("invalid")
+		return DelegateResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: delegate request carries no flow", dgferr.ErrInvalid))}
+	}
+	user := d.User
+	if user == "" {
+		user = req.User.Name
+	}
+	if err := s.admit(ctx, user); err != nil {
+		outcome("rejected")
+		return DelegateResult{Error: dgferr.Encode(err)}
+	}
+	defer s.release()
+	exec, err := s.engine.Start(req.User.Name, *req.Flow)
+	if err != nil {
+		outcome("error")
+		return DelegateResult{Error: dgferr.Encode(err)}
+	}
+	s.engine.Grid().Provenance().Append(provenance.Record{
+		Time:   s.engine.Clock().Now(),
+		Actor:  d.Origin,
+		Action: "deleg.serve",
+		Target: exec.ID,
+		FlowID: exec.ID,
+		Detail: map[string]string{
+			"origin":     d.Origin,
+			"parentExec": d.ParentExec,
+			"parentNode": d.ParentNode,
+		},
+	})
+	werr := exec.WaitContext(ctx)
+	if ctx.Err() != nil {
+		exec.Cancel()
+		select {
+		case <-exec.Done():
+		case <-time.After(s.cfg.DelegateGrace):
+		}
+		outcome("cancelled")
+		return DelegateResult{ID: exec.ID, Error: dgferr.Encode(fmt.Errorf(
+			"%w: delegation cancelled by server", dgferr.ErrCancelled))}
+	}
+	res := DelegateResult{ID: exec.ID}
+	st := exec.Status(true)
+	if data, merr := dgl.Marshal(&st); merr == nil {
+		res.Status = string(data)
+	}
+	if werr != nil {
+		outcome("error")
+		res.Error = dgferr.Encode(werr)
+		return res
+	}
+	outcome("ok")
+	res.OK = true
+	return res
+}
+
 // serveControl handles one control frame. upgrade reports that the verb
 // was a hello negotiating mux framing: the serial loop must switch to
 // serveMux right after writing this reply. (On an already-muxed session
@@ -443,7 +563,7 @@ func (s *Server) serveHello(c Control) (ControlResult, bool) {
 			"%w: client speaks %s, server speaks %s",
 			dgferr.ErrProtocol, c.Proto, s.proto()))}, false
 	}
-	upgrade := !s.cfg.SerialOnly && MuxSupported(major, minor)
+	upgrade := !s.cfg.SerialOnly && s.minor() >= muxMinor && MuxSupported(major, minor)
 	return ControlResult{OK: true, Proto: s.proto()}, upgrade
 }
 
