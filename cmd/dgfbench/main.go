@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E13):
+// Command dgfbench regenerates the reproduction's experiments (E1–E14):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -9,12 +9,19 @@
 //	dgfbench -exp E6,E7   # run a subset
 //	dgfbench -small       # quick pass (CI-sized)
 //	dgfbench -metrics=false   # suppress the engine metrics snapshot
-//	dgfbench -load -o BENCH_wire.json   # wire-protocol load experiment
+//	dgfbench -load -o BENCH_wire.json    # wire-protocol load experiment
+//	dgfbench -store -o BENCH_store.json  # flow-state store experiment
 //
 // With -load the experiments are skipped and the wire load harness
 // (internal/loadgen) runs instead: serial vs pipelined vs batch
 // throughput plus an open-loop latency distribution, written as the
 // BENCH_wire.json artifact the CI bench job gates on (docs/BENCH.md).
+//
+// With -store the flow-state store experiment (E14) runs alone and its
+// machine-readable report is written as the BENCH_store.json artifact
+// the same CI job gates on: restart replay reduction and resident
+// executions for a large population of mostly-idle long-run flows
+// (docs/STORE.md).
 //
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
@@ -36,16 +43,21 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E13")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E14")
+	storeBench := flag.Bool("store", false, "run the flow-state store experiment (E14) and write its JSON report")
 	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
-	out := flag.String("o", "", "with -load: write the report JSON to this file (default stdout only)")
+	out := flag.String("o", "", "with -load/-store: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
 		runLoad(*small, *fedPeers, *out)
+		return
+	}
+	if *storeBench {
+		runStore(*small, *out)
 		return
 	}
 
@@ -114,6 +126,40 @@ func runLoad(small bool, fedPeers int, out string) {
 	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// runStore executes the flow-state store benchmark (E14) and writes the
+// BENCH_store.json report.
+func runStore(small bool, out string) {
+	scale := experiments.Full
+	if small {
+		scale = experiments.Small
+	}
+	t0 := time.Now()
+	rep, err := experiments.E14StoreBench(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: store: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("flows %d: replay %d -> %d records (%.1fx), resident %d -> %d, journal scan %.1fms vs store open+recover %.1fms\n",
+		rep.Flows, rep.JournalRecords, rep.StoreReplayRecords, rep.ReplayReduction,
+		rep.Flows, rep.ResidentAfterSweep, rep.JournalScanMs, rep.StoreOpenMs+rep.RecoverMs)
+	fmt.Printf("(store bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: store: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		fmt.Printf("%s", data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: store: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", out)

@@ -10,6 +10,8 @@
 //	dgfctl -addr host:7401 pause|resume|cancel <id>
 //	dgfctl -addr host:7401 restart <id>
 //	dgfctl -addr host:7401 metrics
+//	dgfctl -addr host:7401 store                  # flow-state store shape
+//	dgfctl -addr host:7401 compact                # compact the store
 //	dgfctl -lookup host:7400 peers                # federation roster
 package main
 
@@ -42,6 +44,11 @@ commands:
   metrics                      fetch the server's metrics snapshot
                                (docs/METRICS.md) over the control
                                extension
+  store                        show the server's flow-state store:
+                               segments, record counts, snapshot lag,
+                               passivated vs resident executions
+  compact                      compact the server's store segments into
+                               one snapshot segment and report the run
   peers                        list live peers from the -lookup server
                                with liveness age and reported load
   render [-dot] <file.xml>     render a DGL document as a tree (or DOT)
@@ -214,9 +221,37 @@ func main() {
 			log.Fatalf("dgfctl: %v", err)
 		}
 		printMetrics(snap)
+	case "store":
+		info, err := client.StoreStats()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		printStore(info)
+	case "compact":
+		info, err := client.Compact()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		if c := info.Compaction; c != nil {
+			fmt.Printf("compacted: %d segment(s) -> 1, %d record(s) -> %d (%d dropped)\n",
+				c.SegmentsBefore, c.RecordsBefore, c.RecordsKept, c.RecordsDropped)
+		}
+		printStore(info)
 	default:
 		usage()
 	}
+}
+
+// printStore renders the store summary the "store"/"compact" control
+// verbs return.
+func printStore(info *wire.StoreInfo) {
+	fmt.Printf("segments:       %d\n", info.Segments)
+	fmt.Printf("records:        %d\n", info.Records)
+	fmt.Printf("replay records: %d (last open)\n", info.ReplayRecords)
+	fmt.Printf("live:           %d\n", info.Live)
+	fmt.Printf("passivated:     %d\n", info.Passivated)
+	fmt.Printf("resident:       %d\n", info.Resident)
+	fmt.Printf("snapshot lag:   %d record(s)\n", info.SnapshotLag)
 }
 
 // printMetrics renders a snapshot as aligned name{labels} value rows.

@@ -14,6 +14,8 @@
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
 //	matrixd -journal /var/lib/matrix.journal     # crash recovery
+//	matrixd -store-dir /var/lib/matrix-store     # durable flow-state store
+//	matrixd -snapshot-every 30s -passivate-idle 5m # store maintenance
 //	matrixd -fault plan.json                     # fault injection
 //	matrixd -max-inflight 128 -max-queue 512     # admission tuning
 //	matrixd -serial-only                         # pin pre-1.2 framing
@@ -44,6 +46,7 @@ import (
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/sim"
+	"datagridflow/internal/store"
 	"datagridflow/internal/trigger"
 	"datagridflow/internal/vfs"
 	"datagridflow/internal/wire"
@@ -63,6 +66,9 @@ func main() {
 	openWrite := flag.Bool("open", true, "grant every user write access under /grid (demo mode)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics, trace events and pprof on this address (\":0\" for ephemeral; empty disables)")
 	journalPath := flag.String("journal", "", "execution journal file: crashed runs are recovered on startup (docs/FAULTS.md)")
+	storeDir := flag.String("store-dir", "", "flow-state store directory: segmented journal with snapshots, compaction and passivation (docs/STORE.md)")
+	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "how often to snapshot dirty executions into the store (0 disables; requires -store-dir)")
+	passivateIdle := flag.Duration("passivate-idle", 0, "evict executions idle this long from memory into the store (0 disables; requires -store-dir)")
 	faultPath := flag.String("fault", "", "fault-injection plan (JSON) applied to the grid and server (docs/FAULTS.md)")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests across all connections (admission worker pool)")
 	maxUserQueue := flag.Int("max-queue", 256, "max admission waiters queued per user; excess requests are rejected with a capacity error")
@@ -160,6 +166,49 @@ func main() {
 		}
 		defer journal.Close()
 		engine.SetJournal(journal)
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{Obs: grid.Obs()})
+		if err != nil {
+			log.Fatalf("matrixd: store: %v", err)
+		}
+		defer st.Close()
+		engine.SetStore(st)
+		resumed, err := engine.RecoverFromStore()
+		if err != nil {
+			log.Fatalf("matrixd: store recovery: %v", err)
+		}
+		stats := st.Stats()
+		log.Printf("matrixd: store %s: %d segment(s), %d record(s) replayed, %d resumed, %d passivated",
+			*storeDir, stats.Segments, stats.ReplayRecords, len(resumed), stats.Passivated)
+		if *snapshotEvery > 0 || *passivateIdle > 0 {
+			interval := *snapshotEvery
+			if interval <= 0 {
+				interval = *passivateIdle
+			}
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						if *snapshotEvery > 0 {
+							engine.SnapshotAll()
+						}
+						if *passivateIdle > 0 {
+							engine.PassivateIdle(*passivateIdle)
+						}
+					}
+				}
+			}()
+		}
+	} else if *snapshotEvery != 30*time.Second || *passivateIdle > 0 {
+		log.Printf("matrixd: -snapshot-every/-passivate-idle have no effect without -store-dir")
 	}
 
 	if *metricsAddr != "" {

@@ -253,6 +253,11 @@ const (
 	OpNoop = "noop"
 	// OpFail always fails; used to exercise fault handling.
 	OpFail = "fail"
+	// OpResumeFlow resurrects a passivated execution from the engine's
+	// flow-state store and (by default) resumes it — the operation
+	// trigger actions use to wake a long-sleeping flow when its event
+	// finally arrives (docs/STORE.md).
+	OpResumeFlow = "resumeFlow"
 )
 
 // builtinOps lists the operation types Validate accepts without a custom
@@ -262,6 +267,7 @@ var builtinOps = map[string]bool{
 	OpDelete: true, OpVerify: true, OpSetMeta: true, OpMakeCollection: true,
 	OpMove: true, OpRegister: true, OpCall: true, OpExec: true,
 	OpSetVariable: true, OpSleep: true, OpNoop: true, OpFail: true,
+	OpResumeFlow: true,
 }
 
 // IsBuiltinOp reports whether t is one of the built-in operation types.

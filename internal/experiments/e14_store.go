@@ -1,0 +1,387 @@
+package experiments
+
+// E14: the flow-state store (internal/store, docs/STORE.md). The paper's
+// datagridflows run "days, months, or even years"; a DfMS that keeps
+// every long-run execution in memory and replays its whole journal on
+// restart cannot honor that. E14 populates an engine with a large set of
+// mostly-idle flows (short burst of work, then parked waiting on an
+// external event), passivates the idle ones, compacts the store, and
+// measures what the subsystem is for: resident executions after
+// passivation (memory bound) and restart replay records vs the flat
+// journal (recovery bound).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/obs"
+	"datagridflow/internal/store"
+)
+
+// StoreBenchReport is E14's machine-readable result — the
+// BENCH_store.json artifact CI gates on (internal/infra/benchgate,
+// docs/BENCH.md).
+type StoreBenchReport struct {
+	// Flows is the population size; StepsPerFlow the work each did
+	// before parking.
+	Flows        int `json:"flows"`
+	StepsPerFlow int `json:"stepsPerFlow"`
+
+	// JournalRecords counts the flat journal's lines — what a restart
+	// without the store must replay. StoreReplayRecords is what
+	// store.Open replayed after compaction (one merged snapshot per
+	// live flow). ReplayReduction is their ratio, the headline number.
+	JournalRecords     int     `json:"journalRecords"`
+	StoreReplayRecords int     `json:"storeReplayRecords"`
+	ReplayReduction    float64 `json:"replayReduction"`
+
+	// Passivated counts flows evicted to the store; ResidentAfterSweep
+	// is what stayed in engine memory (should be ~0 of Flows);
+	// ResidentAfterRecovery is engine residency after a restart +
+	// RecoverFromStore (passivated flows must NOT re-inflate).
+	Passivated            int `json:"passivated"`
+	ResidentAfterSweep    int `json:"residentAfterSweep"`
+	ResidentAfterRecovery int `json:"residentAfterRecovery"`
+
+	// CompactKept/CompactDropped report the compaction that bounded the
+	// replay; SnapshotLag is records appended after the compaction.
+	CompactKept    int `json:"compactKept"`
+	CompactDropped int `json:"compactDropped"`
+
+	// JournalScanMs times decoding every journal line (the unavoidable
+	// floor of full-journal replay); StoreOpenMs times store.Open's
+	// replay; RecoverMs times RecoverFromStore on the reopened store.
+	JournalScanMs float64 `json:"journalScanMs"`
+	StoreOpenMs   float64 `json:"storeOpenMs"`
+	RecoverMs     float64 `json:"recoverMs"`
+
+	// HeapBeforeMB/HeapAfterMB bracket the passivation sweep
+	// (informational: Go heap, after GC).
+	HeapBeforeMB float64 `json:"heapBeforeMB"`
+	HeapAfterMB  float64 `json:"heapAfterMB"`
+
+	// GroupCommits/GroupCommitRecords report the write path's fsync
+	// batching across the run (journal + store segments).
+	GroupCommits       int64 `json:"groupCommits"`
+	GroupCommitRecords int64 `json:"groupCommitRecords"`
+
+	// ResurrectedOK is 1 when a sampled passivated flow resurrected
+	// from the recovered store with its checkpoints intact.
+	ResurrectedOK int `json:"resurrectedOk"`
+}
+
+// e14Dims sizes the run.
+func e14Dims(s Scale) (flows, wave, steps int) {
+	if s == Full {
+		return 50000, 2000, 12
+	}
+	return 300, 100, 12
+}
+
+// parkedFlow is the E14 workload: a dozen quick variable updates (the
+// "active burst"), then a park step that blocks until an external event
+// — the shape of a flow that stages data and then waits months for the
+// next instrument run.
+func parkedFlow(name string, steps int) dgl.Flow {
+	fb := dgl.NewFlow(name).Var("cursor", "0")
+	for i := 0; i < steps; i++ {
+		fb.Step(fmt.Sprintf("s%d", i), dgl.Op(dgl.OpSetVariable, map[string]string{
+			"name": "cursor", "value": fmt.Sprint(i + 1),
+		}))
+	}
+	fb.Step("park", dgl.Op("park", nil))
+	return fb.Flow()
+}
+
+// countLines counts newline-terminated records in a file.
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	n := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			n++
+		}
+		if err != nil {
+			return n, nil
+		}
+	}
+}
+
+// scanJournal decodes every record in the journal file — the minimum
+// work any full-journal replay must do, independent of what the engine
+// then does with the records.
+func scanJournal(path string) (int, time.Duration, error) {
+	t0 := time.Now()
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	n := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 1 {
+			var rec store.Record
+			if uerr := json.Unmarshal(line, &rec); uerr == nil {
+				n++
+			}
+		}
+		if err != nil {
+			return n, time.Since(t0), nil
+		}
+	}
+}
+
+// groupCommitTotals reads the write path's fsync-batching counters.
+// Experiment grids share obs.Default(), so E14 reports deltas across
+// its own run.
+func groupCommitTotals(reg *obs.Registry) (commits, records int64) {
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case "journal_group_commits_total":
+			commits += c.Value
+		case "journal_group_commit_records_total":
+			records += c.Value
+		}
+	}
+	return commits, records
+}
+
+func heapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+// registerPark installs the blocking "park" op. Parked flows count into
+// parked; they unblock only through engine cancellation (which is how
+// passivation evicts them).
+func registerPark(e *matrix.Engine, parked *atomic.Int64) {
+	e.RegisterOp("park", func(c *matrix.OpContext) error {
+		parked.Add(1)
+		defer parked.Add(-1)
+		<-c.Cancel
+		return matrix.ErrCancelled
+	})
+}
+
+// E14StoreBench runs the store benchmark and returns the JSON report.
+func E14StoreBench(scale Scale) (*StoreBenchReport, error) {
+	flows, wave, steps := e14Dims(scale)
+	dir, err := os.MkdirTemp("", "dgf-e14-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	storeDir := filepath.Join(dir, "store")
+
+	g, err := newGrid()
+	if err != nil {
+		return nil, err
+	}
+	e := matrix.NewEngine(g)
+	var parked atomic.Int64
+	registerPark(e, &parked)
+	journal, err := matrix.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	e.SetJournal(journal)
+	st, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	e.SetStore(st)
+
+	rep := &StoreBenchReport{Flows: flows, StepsPerFlow: steps}
+	rep.HeapBeforeMB = heapMB()
+	gc0, gr0 := groupCommitTotals(e.Obs())
+
+	// Populate in waves: submit a wave, wait for every flow to finish
+	// its burst and park, then passivate the wave in parallel (parallel
+	// passivation is what exercises the group-committed write path).
+	// Waves bound peak residency, like a real server passivating on an
+	// idle timer while new work arrives.
+	firstID := ""
+	for done := 0; done < flows; {
+		n := wave
+		if flows-done < n {
+			n = flows - done
+		}
+		ids := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			resp, err := e.Submit(dgl.NewAsyncRequest("user", "",
+				parkedFlow(fmt.Sprintf("lr-%06d", done+i), steps)))
+			if err != nil {
+				return nil, err
+			}
+			if resp.Error != "" || resp.Ack == nil {
+				return nil, fmt.Errorf("E14: submit: %+v", resp)
+			}
+			ids = append(ids, resp.Ack.ID)
+		}
+		if firstID == "" {
+			firstID = ids[0]
+		}
+		for parked.Load() < int64(n) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		var wg sync.WaitGroup
+		workers := 64
+		if workers > n {
+			workers = n
+		}
+		ch := make(chan string, n)
+		for _, id := range ids {
+			ch <- id
+		}
+		close(ch)
+		errc := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range ch {
+					if perr := e.Passivate(id); perr != nil {
+						errc <- perr
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case perr := <-errc:
+			return nil, fmt.Errorf("E14: passivate: %w", perr)
+		default:
+		}
+		done += n
+	}
+	// Sweep stragglers (none expected) through the production API.
+	e.PassivateIdle(0)
+	rep.ResidentAfterSweep = len(e.Executions())
+	rep.Passivated = st.Stats().Passivated
+	rep.HeapAfterMB = heapMB()
+
+	cs, err := st.Compact()
+	if err != nil {
+		return nil, err
+	}
+	rep.CompactKept, rep.CompactDropped = cs.RecordsKept, cs.RecordsDropped
+
+	gc1, gr1 := groupCommitTotals(e.Obs())
+	rep.GroupCommits = gc1 - gc0
+	rep.GroupCommitRecords = gr1 - gr0
+
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	if err := journal.Close(); err != nil {
+		return nil, err
+	}
+
+	// The restart: what would each recovery path replay?
+	rep.JournalRecords, _ = countLines(journalPath)
+	scanned, scanDur, err := scanJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	if scanned != rep.JournalRecords {
+		return nil, fmt.Errorf("E14: journal scan decoded %d of %d records", scanned, rep.JournalRecords)
+	}
+	rep.JournalScanMs = float64(scanDur.Microseconds()) / 1000
+
+	t0 := time.Now()
+	st2, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep.StoreOpenMs = float64(time.Since(t0).Microseconds()) / 1000
+	defer st2.Close()
+	rep.StoreReplayRecords = st2.Stats().ReplayRecords
+	if rep.StoreReplayRecords > 0 {
+		rep.ReplayReduction = float64(rep.JournalRecords) / float64(rep.StoreReplayRecords)
+	}
+
+	g2, err := newGrid()
+	if err != nil {
+		return nil, err
+	}
+	e2 := matrix.NewEngine(g2)
+	var parked2 atomic.Int64
+	registerPark(e2, &parked2)
+	e2.SetStore(st2)
+	t0 = time.Now()
+	resumed, err := e2.RecoverFromStore()
+	if err != nil {
+		return nil, err
+	}
+	rep.RecoverMs = float64(time.Since(t0).Microseconds()) / 1000
+	rep.ResidentAfterRecovery = len(e2.Executions()) + len(resumed)
+
+	// Prove a passivated flow is actually reachable after the restart:
+	// resurrect one, check its burst steps are checkpoint-complete,
+	// then cancel it (the park would otherwise hold the process).
+	if ent, ok := st2.Entry(firstID); ok && len(ent.Done) == steps {
+		if ex, rerr := e2.ResurrectFor(firstID, "status"); rerr == nil {
+			for parked2.Load() < 1 {
+				time.Sleep(2 * time.Millisecond)
+			}
+			ex.Cancel()
+			_ = ex.Wait()
+			rep.ResurrectedOK = 1
+		}
+	}
+	return rep, nil
+}
+
+// E14Store renders the benchmark as an experiment table.
+func E14Store(scale Scale) (*Report, error) {
+	rep, err := E14StoreBench(scale)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "E14",
+		Title:  fmt.Sprintf("flow-state store: resident memory and restart replay, %d long-run flows", rep.Flows),
+		Header: []string{"quantity", "journal only", "with store"},
+	}
+	r.Row("flows", fmt.Sprint(rep.Flows), fmt.Sprint(rep.Flows))
+	r.Row("resident executions", fmt.Sprint(rep.Flows), fmt.Sprint(rep.ResidentAfterSweep))
+	r.Row("restart replay (records)", fmt.Sprint(rep.JournalRecords), fmt.Sprint(rep.StoreReplayRecords))
+	r.Row("restart replay (ms)", fmt.Sprintf("%.1f", rep.JournalScanMs), fmt.Sprintf("%.1f", rep.StoreOpenMs+rep.RecoverMs))
+	r.Row("resident after restart", fmt.Sprint(rep.Flows), fmt.Sprint(rep.ResidentAfterRecovery))
+	r.Note("replay reduction %.1fx (compaction kept %d, dropped %d); %d flows passivated (heap baseline %.1f MB, after sweep %.1f MB)",
+		rep.ReplayReduction, rep.CompactKept, rep.CompactDropped, rep.Passivated, rep.HeapBeforeMB, rep.HeapAfterMB)
+	r.Note("write path batched %d records into %d fsyncs (%.1f records/fsync)",
+		rep.GroupCommitRecords, rep.GroupCommits, float64(rep.GroupCommitRecords)/float64(max64(rep.GroupCommits, 1)))
+	if rep.ResurrectedOK == 1 {
+		r.Note("sampled passivated flow resurrected after restart with all %d burst steps checkpoint-complete", rep.StepsPerFlow)
+	}
+	return r, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

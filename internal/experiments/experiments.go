@@ -105,6 +105,7 @@ func All() []struct {
 		{"E11", E11HSMvsILM},
 		{"E12", E12FaultSweep},
 		{"E13", E13Federation},
+		{"E14", E14Store},
 	}
 }
 

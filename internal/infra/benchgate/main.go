@@ -1,16 +1,18 @@
-// Command benchgate compares a fresh BENCH_wire.json load report
-// against the committed baseline and fails (exit 1) when the run
-// regresses. It is the CI bench job's gate:
+// Command benchgate compares fresh benchmark reports against their
+// committed baselines and fails (exit 1) when a run regresses. It is
+// the CI bench job's gate:
 //
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json
-//	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json -max-regress 0.20 -min-speedup 3.0
+//	go run ./internal/infra/benchgate -store-baseline BENCH_store.json -store-current store.json
+//	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json \
+//	    -store-baseline BENCH_store.json -store-current store.json
 //
-// The gated quantities are the report's speedup *ratios*
-// (pipelined/serial, batch/async-serial), not absolute RPS: a ratio
-// compares two phases of the same run on the same machine, so it is
-// stable across CI runners of very different speeds, while absolute
-// throughput is printed for information only (docs/BENCH.md). A run
-// fails when
+// Wire gate (-baseline/-current, the BENCH_wire.json load report): the
+// gated quantities are the report's speedup *ratios* (pipelined/serial,
+// batch/async-serial), not absolute RPS: a ratio compares two phases of
+// the same run on the same machine, so it is stable across CI runners
+// of very different speeds, while absolute throughput is printed for
+// information only (docs/BENCH.md). A run fails when
 //
 //   - speedup_pipelined falls below -min-speedup (the protocol's
 //     headline claim: pipelining must hide at least that multiple of
@@ -18,7 +20,21 @@
 //   - a gated speedup ratio drops more than -max-regress (fraction)
 //     below the committed baseline's ratio.
 //
-// Output is a benchstat-style old/new/delta table. stdlib only.
+// Store gate (-store-baseline/-store-current, the BENCH_store.json E14
+// report): gates the flow-state store's claims (docs/STORE.md) the same
+// ratio-first way. A run fails when
+//
+//   - replayReduction (journal records / store replay records on
+//     restart) falls below -min-reduction,
+//   - residentAfterSweep exceeds 1% of the flow population (passivation
+//     must actually evict idle flows from memory),
+//   - residentAfterRecovery exceeds the same bound (a restart must not
+//     re-inflate passivated flows), or
+//   - replayReduction drops more than -max-regress below the baseline.
+//
+// Either gate runs when its -*current flag is given; at least one is
+// required. Output is a benchstat-style old/new/delta table per gate.
+// stdlib only.
 package main
 
 import (
@@ -28,6 +44,7 @@ import (
 	"os"
 	"strings"
 
+	"datagridflow/internal/experiments"
 	"datagridflow/internal/loadgen"
 )
 
@@ -43,6 +60,18 @@ func load(path string) (*loadgen.Report, error) {
 	return &rep, nil
 }
 
+func loadStore(path string) (*experiments.StoreBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.StoreBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 // row is one gated or informational comparison.
 type row struct {
 	name     string
@@ -51,16 +80,9 @@ type row struct {
 	gated    bool
 }
 
-// gate renders the old/new/delta table and counts gate failures.
-func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, int) {
-	rows := []row{
-		{"speedup/pipelined", base.SpeedupPipelined, cur.SpeedupPipelined, "x", true},
-		{"speedup/batch", base.SpeedupBatch, cur.SpeedupBatch, "x", true},
-		{"rps/serial", base.Serial.RPS, cur.Serial.RPS, "req/s", false},
-		{"rps/pipelined", base.Pipelined.RPS, cur.Pipelined.RPS, "req/s", false},
-		{"rps/batch", base.Batch.RPS, cur.Batch.RPS, "req/s", false},
-		{"p99/pipelined", base.Pipelined.P99ms, cur.Pipelined.P99ms, "ms", false},
-	}
+// table renders rows benchstat-style, counting -max-regress failures on
+// the gated ones.
+func table(rows []row, maxRegress float64) (string, int) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-20s %14s %14s %8s\n", "metric", "old", "new", "delta")
 	failures := 0
@@ -76,6 +98,21 @@ func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, in
 		}
 		fmt.Fprintf(&b, "%-20s %9.2f %-4s %9.2f %-4s %+7.1f%%%s\n", r.name, r.old, r.unit, r.new, r.unit, delta, verdict)
 	}
+	return b.String(), failures
+}
+
+// gate renders the wire old/new/delta table and counts gate failures.
+func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, int) {
+	out, failures := table([]row{
+		{"speedup/pipelined", base.SpeedupPipelined, cur.SpeedupPipelined, "x", true},
+		{"speedup/batch", base.SpeedupBatch, cur.SpeedupBatch, "x", true},
+		{"rps/serial", base.Serial.RPS, cur.Serial.RPS, "req/s", false},
+		{"rps/pipelined", base.Pipelined.RPS, cur.Pipelined.RPS, "req/s", false},
+		{"rps/batch", base.Batch.RPS, cur.Batch.RPS, "req/s", false},
+		{"p99/pipelined", base.Pipelined.P99ms, cur.Pipelined.P99ms, "ms", false},
+	}, maxRegress)
+	var b strings.Builder
+	b.WriteString(out)
 	if cur.SpeedupPipelined < minSpeedup {
 		fmt.Fprintf(&b, "\nFAIL: speedup_pipelined %.2fx below the %.1fx floor\n", cur.SpeedupPipelined, minSpeedup)
 		failures++
@@ -83,33 +120,102 @@ func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, in
 	return b.String(), failures
 }
 
+// gateStore renders the store old/new/delta table and counts gate
+// failures. The resident bound is absolute (1% of flows), not
+// baseline-relative: residency near zero makes percentage deltas
+// meaningless.
+func gateStore(base, cur *experiments.StoreBenchReport, maxRegress, minReduction float64) (string, int) {
+	out, failures := table([]row{
+		{"replay/reduction", base.ReplayReduction, cur.ReplayReduction, "x", true},
+		{"replay/records", float64(base.StoreReplayRecords), float64(cur.StoreReplayRecords), "rec", false},
+		{"journal/records", float64(base.JournalRecords), float64(cur.JournalRecords), "rec", false},
+		{"resident/sweep", float64(base.ResidentAfterSweep), float64(cur.ResidentAfterSweep), "exec", false},
+		{"resident/recovery", float64(base.ResidentAfterRecovery), float64(cur.ResidentAfterRecovery), "exec", false},
+		{"journal/scan", base.JournalScanMs, cur.JournalScanMs, "ms", false},
+		{"store/open+recover", base.StoreOpenMs + base.RecoverMs, cur.StoreOpenMs + cur.RecoverMs, "ms", false},
+	}, maxRegress)
+	var b strings.Builder
+	b.WriteString(out)
+	if cur.ReplayReduction < minReduction {
+		fmt.Fprintf(&b, "\nFAIL: replay reduction %.2fx below the %.1fx floor\n", cur.ReplayReduction, minReduction)
+		failures++
+	}
+	residentMax := cur.Flows / 100
+	if cur.ResidentAfterSweep > residentMax {
+		fmt.Fprintf(&b, "\nFAIL: %d of %d flows still resident after passivation (bound: %d)\n",
+			cur.ResidentAfterSweep, cur.Flows, residentMax)
+		failures++
+	}
+	if cur.ResidentAfterRecovery > residentMax {
+		fmt.Fprintf(&b, "\nFAIL: restart re-inflated %d of %d flows (bound: %d)\n",
+			cur.ResidentAfterRecovery, cur.Flows, residentMax)
+		failures++
+	}
+	if cur.ResurrectedOK != 1 {
+		fmt.Fprintf(&b, "\nFAIL: sampled passivated flow did not resurrect after restart\n")
+		failures++
+	}
+	return b.String(), failures
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed baseline report")
-	currentPath := flag.String("current", "", "fresh report to judge (required)")
-	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a speedup ratio vs baseline")
+	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed wire baseline report")
+	currentPath := flag.String("current", "", "fresh wire report to judge (enables the wire gate)")
+	storeBaselinePath := flag.String("store-baseline", "BENCH_store.json", "committed store baseline report")
+	storeCurrentPath := flag.String("store-current", "", "fresh store report to judge (enables the store gate)")
+	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a gated ratio vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
+	minReduction := flag.Float64("min-reduction", 10.0, "absolute floor for the store's restart replay reduction")
 	flag.Parse()
-	if *currentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+	if *currentPath == "" && *storeCurrentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current is required")
 		os.Exit(2)
 	}
-	base, err := load(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
-		os.Exit(2)
+	failures := 0
+	if *currentPath != "" {
+		base, err := load(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := load(*currentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
+			os.Exit(2)
+		}
+		out, n := gate(base, cur, *maxRegress, *minSpeedup)
+		fmt.Printf("== wire (%s) ==\n%s", *currentPath, out)
+		if n == 0 {
+			fmt.Printf("\nwire: OK (pipelined %.2fx >= %.1fx, ratios within %.0f%% of baseline)\n",
+				cur.SpeedupPipelined, *minSpeedup, *maxRegress*100)
+		}
+		failures += n
 	}
-	cur, err := load(*currentPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
-		os.Exit(2)
+	if *storeCurrentPath != "" {
+		base, err := loadStore(*storeBaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: store baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadStore(*storeCurrentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: store current: %v\n", err)
+			os.Exit(2)
+		}
+		if *currentPath != "" {
+			fmt.Println()
+		}
+		out, n := gateStore(base, cur, *maxRegress, *minReduction)
+		fmt.Printf("== store (%s) ==\n%s", *storeCurrentPath, out)
+		if n == 0 {
+			fmt.Printf("\nstore: OK (reduction %.2fx >= %.1fx, resident %d/%d, within %.0f%% of baseline)\n",
+				cur.ReplayReduction, *minReduction, cur.ResidentAfterSweep, cur.Flows, *maxRegress*100)
+		}
+		failures += n
 	}
-	table, failures := gate(base, cur, *maxRegress, *minSpeedup)
-	fmt.Print(table)
 	if failures > 0 {
-		fmt.Printf("\nbenchgate: %d gate failure(s) (max-regress %.0f%%, min-speedup %.1fx)\n",
-			failures, *maxRegress*100, *minSpeedup)
+		fmt.Printf("\nbenchgate: %d gate failure(s) (max-regress %.0f%%)\n", failures, *maxRegress*100)
 		os.Exit(1)
 	}
-	fmt.Printf("\nbenchgate: OK (pipelined %.2fx >= %.1fx, ratios within %.0f%% of baseline)\n",
-		cur.SpeedupPipelined, *minSpeedup, *maxRegress*100)
+	fmt.Println("\nbenchgate: OK")
 }

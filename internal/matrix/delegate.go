@@ -189,7 +189,11 @@ func (ex *Execution) maybeDelegate(f *dgl.Flow, n *node, scope *Scope) (handled 
 	ex.engine.journalAppend(journalRecord{
 		Type: journalDelegStart, ID: ex.ID, Node: rel,
 	})
+	// While the delegation is in flight a peer is working on this
+	// execution's behalf: PassivateIdle must not treat it as idle.
+	ex.delegating.Add(1)
 	resp, derr := d.Delegate(ex.delegCtx, req)
+	ex.delegating.Add(-1)
 	if derr != nil {
 		if errors.Is(derr, ErrDelegateLocal) {
 			return false, nil
@@ -235,6 +239,7 @@ func (ex *Execution) maybeDelegate(f *dgl.Flow, n *node, scope *Scope) (handled 
 	ex.engine.journalAppend(journalRecord{
 		Type: journalDelegDone, ID: ex.ID, Node: rel, Peer: resp.Peer,
 	})
+	ex.noteProgress()
 	return true, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/sim"
+	"datagridflow/internal/store"
 )
 
 // OpContext is handed to operation handlers: the resolved (interpolated)
@@ -35,6 +36,11 @@ type OpContext struct {
 	Scope *Scope
 	// ExecID and NodeID locate the step for provenance.
 	ExecID, NodeID string
+	// Cancel is closed when the execution is cancelled (or passivated,
+	// which unwinds through cancellation). Blocking handlers — the
+	// real-clock sleep above all — select on it to return promptly
+	// with ErrCancelled instead of pinning a goroutine for the wait.
+	Cancel <-chan struct{}
 }
 
 // Param returns a required parameter or an error naming it.
@@ -83,6 +89,7 @@ type Engine struct {
 	handlers map[string]OpHandler
 	procs    map[string]Procedure
 	journal  *Journal
+	store    *store.Store
 	deleg    Delegator
 }
 
@@ -388,7 +395,6 @@ func (e *Engine) Prune(keep int) int {
 		keep = 0
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	var terminal []string
 	for id, ex := range e.execs {
 		select {
@@ -399,11 +405,25 @@ func (e *Engine) Prune(keep int) int {
 	}
 	sort.Strings(terminal)
 	if len(terminal) <= keep {
+		e.mu.Unlock()
 		return 0
 	}
 	drop := terminal[:len(terminal)-keep]
 	for _, id := range drop {
 		delete(e.execs, id)
+	}
+	st := e.store
+	n := len(e.execs)
+	e.mu.Unlock()
+	if st != nil {
+		// Tombstone each pruned id so compaction reclaims its records
+		// and recovery can never resurrect it — without this, pruned
+		// flows would live on disk forever (and a torn exec.end line
+		// could even bring one back).
+		for _, id := range drop {
+			_ = e.storeAppend(journalRecord{Type: journalExecPrune, ID: id})
+		}
+		e.Obs().Gauge("store_resident").Set(int64(n))
 	}
 	return len(drop)
 }
@@ -420,7 +440,13 @@ func (e *Engine) Status(id string, detail bool) (dgl.FlowStatus, error) {
 	exec, ok := e.execs[execID]
 	e.mu.RUnlock()
 	if !ok {
-		return dgl.FlowStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		// The execution may be passivated in the flow-state store:
+		// status queries are a resurrection path (docs/STORE.md).
+		resurrected, err := e.ResurrectFor(execID, "status")
+		if err != nil {
+			return dgl.FlowStatus{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		exec = resurrected
 	}
 	if execID == id {
 		return exec.Status(detail), nil
@@ -460,6 +486,7 @@ func (e *Engine) newExecution(req *dgl.Request, skip map[string]bool) *Execution
 		done:   make(chan struct{}),
 	}
 	exec.delegCtx, exec.delegCancel = context.WithCancel(context.Background())
+	exec.lastActive.Store(e.Clock().Now().UnixNano())
 	exec.root = &node{
 		id:    id + "/" + req.Flow.Name,
 		name:  req.Flow.Name,
@@ -468,7 +495,12 @@ func (e *Engine) newExecution(req *dgl.Request, skip map[string]bool) *Execution
 	}
 	e.mu.Lock()
 	e.execs[id] = exec
+	n := len(e.execs)
+	st := e.store
 	e.mu.Unlock()
+	if st != nil {
+		e.Obs().Gauge("store_resident").Set(int64(n))
+	}
 	return exec
 }
 

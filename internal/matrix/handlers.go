@@ -9,6 +9,7 @@ import (
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/expr"
 	"datagridflow/internal/provenance"
+	"datagridflow/internal/sim"
 )
 
 // registerBuiltins installs the handlers for every built-in DGL operation
@@ -26,7 +27,44 @@ func (e *Engine) registerBuiltins() {
 		if err != nil {
 			return fmt.Errorf("matrix: sleep: %w", err)
 		}
+		// On the wall clock a sleep can span months; it must be
+		// interruptible or cancellation (and passivation, which rides
+		// on it) would block until the timer fires. The virtual clock
+		// advances instantly, so it keeps the plain path.
+		if _, real := c.Engine.Clock().(sim.RealClock); real && c.Cancel != nil {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-c.Cancel:
+				return ErrCancelled
+			}
+		}
 		c.Engine.Clock().Sleep(d)
+		return nil
+	}
+
+	// resumeFlow wakes a passivated execution: the store resurrects it
+	// under its original id with variables and checkpoints restored,
+	// and (unless resume=false) a paused flow is un-paused. Triggers
+	// use this as their action when the event a sleeping flow waits
+	// for finally arrives.
+	e.handlers[dgl.OpResumeFlow] = func(c *OpContext) error {
+		id, err := c.Param("id")
+		if err != nil {
+			return err
+		}
+		ex, err := c.Engine.ResurrectFor(id, "trigger")
+		if err != nil {
+			return err
+		}
+		if c.ParamOr("resume", "true") == "true" {
+			ex.Resume()
+		}
+		if v := c.ParamOr("resultVar", ""); v != "" {
+			c.Scope.Set(v, expr.String(ex.ID))
+		}
 		return nil
 	}
 

@@ -5,12 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sync"
-	"time"
 
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/provenance"
+	"datagridflow/internal/store"
 )
 
 // Journal is the engine's crash-recovery log: an append-only JSONL file
@@ -25,78 +24,73 @@ import (
 // trail (it does not store request documents, and
 // RestartFromProvenance therefore needs the caller to resupply them);
 // the journal is operational state that makes recovery self-contained.
+//
+// Appends are group-committed (store.GroupFile): concurrent executions
+// share fsyncs instead of serializing on one per record. For segment
+// rotation, compaction and passivation on top of this record stream,
+// attach a store.Store with SetStore — the flat journal stays as the
+// simple single-file option and the wire-compatible baseline.
 type Journal struct {
-	mu sync.Mutex
-	f  *os.File
+	g *store.GroupFile
 }
 
-// journalRecord is one JSONL line.
-type journalRecord struct {
-	Type string    `json:"type"` // exec.start | step.done | deleg.start | deleg.done | exec.end
-	ID   string    `json:"id"`   // execution id
-	Time time.Time `json:"time"`
-	// Request holds the marshaled DGL request document (exec.start).
-	Request string `json:"request,omitempty"`
-	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
-	// (step.done, deleg.start, deleg.done).
-	Node string `json:"node,omitempty"`
-	// Peer names the remote peer that completed a delegated subflow
-	// (deleg.done).
-	Peer string `json:"peer,omitempty"`
-	// Err is the final error text, empty on success (exec.end).
-	Err string `json:"err,omitempty"`
-}
+// journalRecord is one JSONL line. The encoding is shared with the
+// flow-state store (internal/store), so a journal file and a store
+// segment are the same format.
+type journalRecord = store.Record
 
 // Journal record types. deleg.start marks a subflow handed to the
 // federation (recovery re-runs it: the remote outcome is unknown — the
 // at-least-once caveat in docs/FEDERATION.md); deleg.done marks one
 // that completed remotely and is skipped on recovery like step.done.
+// The snap/passivate/resurrect/prune types are written on behalf of an
+// attached store (docs/STORE.md); RecoverFromJournal honours prune
+// tombstones and ignores the rest.
 const (
-	journalExecStart  = "exec.start"
-	journalStepDone   = "step.done"
-	journalDelegStart = "deleg.start"
-	journalDelegDone  = "deleg.done"
-	journalExecEnd    = "exec.end"
+	journalExecStart     = store.TypeExecStart
+	journalStepDone      = store.TypeStepDone
+	journalDelegStart    = store.TypeDelegStart
+	journalDelegDone     = store.TypeDelegDone
+	journalExecEnd       = store.TypeExecEnd
+	journalExecSnap      = store.TypeExecSnap
+	journalExecPassivate = store.TypeExecPassivate
+	journalExecResurrect = store.TypeExecResurrect
+	journalExecPrune     = store.TypeExecPrune
 )
 
 // OpenJournal opens (creating if needed) an append-mode journal file.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	g, err := store.OpenGroupFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("matrix: open journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	return &Journal{g: g}, nil
 }
 
 // Close flushes and closes the journal file.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.f.Close()
-}
+func (j *Journal) Close() error { return j.g.Close() }
 
 // Path returns the journal's file path — pass it to RecoverFromJournal
 // after a restart.
-func (j *Journal) Path() string { return j.f.Name() }
+func (j *Journal) Path() string { return j.g.Path() }
 
-// append writes one record and syncs it to disk — a crashed process must
-// not lose acknowledged step completions.
+// append writes one record and blocks until it is on disk — a crashed
+// process must not lose acknowledged step completions. Concurrent
+// appenders share a group commit.
 func (j *Journal) append(rec journalRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
-		return err
-	}
-	return j.f.Sync()
+	return j.g.Append(data)
 }
 
 // SetJournal attaches (or, with nil, detaches) the engine's execution
 // journal. Every execution started afterwards records its lifecycle.
 func (e *Engine) SetJournal(j *Journal) {
+	if j != nil {
+		j.g.SetObs(e.Obs())
+	}
 	e.mu.Lock()
 	e.journal = j
 	e.mu.Unlock()
@@ -109,16 +103,31 @@ func (e *Engine) Journal() *Journal {
 	return e.journal
 }
 
-// journalAppend best-effort writes a journal record (no-op when no
-// journal is attached).
+// journaling reports whether any durable record sink (journal or
+// store) is attached — the gate for paying request-marshal costs.
+func (e *Engine) journaling() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.journal != nil || e.store != nil
+}
+
+// journalAppend best-effort writes a lifecycle record to every attached
+// sink (no-op when neither a journal nor a store is attached).
 func (e *Engine) journalAppend(rec journalRecord) {
-	j := e.Journal()
-	if j == nil {
+	e.mu.RLock()
+	j, st := e.journal, e.store
+	e.mu.RUnlock()
+	if j == nil && st == nil {
 		return
 	}
 	rec.Time = e.Clock().Now()
-	if err := j.append(rec); err == nil {
-		e.Obs().Counter("matrix_journal_records_total", "type", rec.Type).Inc()
+	if j != nil {
+		if err := j.append(rec); err == nil {
+			e.Obs().Counter("matrix_journal_records_total", "type", rec.Type).Inc()
+		}
+	}
+	if st != nil {
+		_ = st.Append(rec)
 	}
 }
 
@@ -129,7 +138,7 @@ func (e *Engine) journalAppend(rec journalRecord) {
 // whose step.done records survive; the returned executions are in
 // journal order. Terminally failed executions are not recovered (their
 // exec.end is on record) — use Restart or RestartFromProvenance for
-// those.
+// those. Pruned executions (exec.prune tombstones) are never recovered.
 func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -168,7 +177,7 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 			if p := open[rec.ID]; p != nil {
 				p.skip[rec.Node] = true
 			}
-		case journalExecEnd:
+		case journalExecEnd, journalExecPrune:
 			delete(open, rec.ID)
 		}
 	}

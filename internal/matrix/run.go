@@ -28,9 +28,9 @@ func (ex *Execution) run() {
 		Actor: ex.req.User.Name, Action: "flow.submit",
 		FlowID: ex.ID, Target: ex.req.Flow.Name,
 	})
-	if ex.engine.Journal() != nil {
+	if ex.engine.journaling() {
 		// Marshalling the request document is only worth paying for
-		// when a journal will actually persist it.
+		// when a journal or store will actually persist it.
 		if doc, merr := dgl.Marshal(ex.req); merr == nil {
 			ex.engine.journalAppend(journalRecord{
 				Type: journalExecStart, ID: ex.ID, Request: string(doc),
@@ -41,6 +41,14 @@ func (ex *Execution) run() {
 	ex.mu.Lock()
 	ex.err = err
 	ex.mu.Unlock()
+	if ex.passivated.Load() {
+		// Passivation unwound this run through the cancellation path;
+		// the execution is not terminal — its resumable state is in
+		// the store, and writing exec.end here would make recovery
+		// treat it as finished. Engine.Passivate already recorded the
+		// provenance event.
+		return
+	}
 	outcome := provenance.OutcomeOK
 	errText := ""
 	switch {
@@ -89,6 +97,15 @@ func (ex *Execution) runFlowScoped(f *dgl.Flow, n *node, scope *Scope) error {
 		n.setError(err)
 		n.setState(StateFailed, ex.now())
 		return err
+	}
+	if n == ex.root && len(ex.restoreVars) > 0 {
+		// Resurrection: snapshot variables supersede the flow's own
+		// declarations — setVariable results from skipped steps must
+		// survive, not reset to their declared initial values.
+		for name, val := range ex.restoreVars {
+			scope.Declare(name, expr.String(val))
+		}
+		ex.restoreVars = nil
 	}
 	n.setState(StateRunning, ex.now())
 	o := ex.engine.Obs()
@@ -449,6 +466,7 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 		ex.engine.journalAppend(journalRecord{
 			Type: journalStepDone, ID: ex.ID, Node: ex.relID(n.id),
 		})
+		ex.noteProgress()
 		return nil
 	}
 	// Steps without their own variable block execute directly in the
@@ -536,6 +554,14 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			return err
 		}
 	}
+	if opErr != nil && errors.Is(opErr, ErrCancelled) {
+		// The operation itself was interrupted (a cancellable sleep,
+		// typically — the passivation path): the step is cancelled, not
+		// failed, so a resurrected run re-executes it cleanly.
+		n.setState(StateCancelled, ex.now())
+		finish(StateCancelled)
+		return opErr
+	}
 	if opErr != nil && st.OnError == dgl.OnErrorRetry && dgferr.Retryable(opErr) {
 		o.Counter("retry_exhausted_total", "op", op).Inc()
 		opErr = fmt.Errorf("%w: step %s after %d attempts: %w",
@@ -570,7 +596,16 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 	ex.engine.journalAppend(journalRecord{
 		Type: journalStepDone, ID: ex.ID, Node: ex.relID(n.id),
 	})
+	ex.noteProgress()
 	return nil
+}
+
+// noteProgress records step progress: the execution has new state worth
+// snapshotting (dirty) and is not idle (lastActive) — the two signals
+// SnapshotAll and PassivateIdle consult.
+func (ex *Execution) noteProgress() {
+	ex.dirty.Store(true)
+	ex.lastActive.Store(ex.engine.Clock().Now().UnixNano())
 }
 
 // retryDelay computes the virtual-clock pause before retry attempt
@@ -650,5 +685,6 @@ func (ex *Execution) execOperation(op *dgl.Operation, scope *Scope, nodeID strin
 		Scope:  scope,
 		ExecID: ex.ID,
 		NodeID: nodeID,
+		Cancel: ex.ctrl.cancelled(),
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datagridflow/internal/dgferr"
@@ -210,18 +211,25 @@ const (
 
 // control coordinates pause/resume/cancel across the goroutines of one
 // execution. checkpoint() is called between units of work: it blocks
-// while paused and returns ErrCancelled once cancelled.
+// while paused and returns ErrCancelled once cancelled. done is closed
+// on cancellation so blocking operations (a real-clock sleep, most
+// importantly) can select on it and unwind promptly — the mechanism
+// passivation uses to release a flow sleeping for months.
 type control struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	state ctrlState
+	done  chan struct{}
 }
 
 func newControl() *control {
-	c := &control{}
+	c := &control{done: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
+
+// cancelled returns a channel closed once the execution is cancelled.
+func (c *control) cancelled() <-chan struct{} { return c.done }
 
 func (c *control) checkpoint() error {
 	c.mu.Lock()
@@ -254,7 +262,10 @@ func (c *control) resume() {
 
 func (c *control) cancel() {
 	c.mu.Lock()
-	c.state = ctrlCancelled
+	if c.state != ctrlCancelled {
+		c.state = ctrlCancelled
+		close(c.done)
+	}
 	c.mu.Unlock()
 	c.cond.Broadcast()
 }
@@ -286,6 +297,23 @@ type Execution struct {
 	delegCancel context.CancelFunc
 
 	done chan struct{}
+
+	// passivated marks an execution being evicted to the flow-state
+	// store (Engine.Passivate): the run goroutine unwinds through the
+	// cancellation path but must not record a terminal state.
+	passivated atomic.Bool
+	// dirty is set on step progress and cleared by snapshots, so
+	// SnapshotAll skips executions with nothing new to capture.
+	dirty atomic.Bool
+	// lastActive is the UnixNano of the last step completion (engine
+	// clock) — the idleness signal PassivateIdle consults.
+	lastActive atomic.Int64
+	// delegating counts in-flight outbound delegations; PassivateIdle
+	// leaves such executions alone (a peer is working for them).
+	delegating atomic.Int64
+	// restoreVars holds root-scope variables from a store snapshot,
+	// re-declared over the flow's variable block when the run starts.
+	restoreVars map[string]string
 
 	mu  sync.Mutex
 	err error // final error, nil on success

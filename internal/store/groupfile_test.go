@@ -1,0 +1,185 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"datagridflow/internal/obs"
+)
+
+func readLines(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+func TestGroupFileAppendDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	g, err := OpenGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.Append([]byte(fmt.Sprintf("line-%d", i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if got := g.Size(); got != int64(len("line-0\n")*3) {
+		t.Fatalf("size = %d", got)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	lines := readLines(t, path)
+	if len(lines) != 3 || lines[0] != "line-0" || lines[2] != "line-2" {
+		t.Fatalf("lines = %q", lines)
+	}
+	// Close is idempotent; writes after close fail.
+	if err := g.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := g.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+// TestGroupFileGroupCommit drives many concurrent appenders through one
+// GroupFile and checks (a) every line lands on disk and (b) the fsync
+// count is below the append count — concurrent commits were batched.
+func TestGroupFileGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	g, err := OpenGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	g.SetObs(reg)
+
+	const writers, perWriter = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := g.Append([]byte(fmt.Sprintf("w%02d-%03d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("append: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	total := int64(writers * perWriter)
+	lines := readLines(t, path)
+	if int64(len(lines)) != total {
+		t.Fatalf("lines on disk = %d, want %d", len(lines), total)
+	}
+	seen := make(map[string]bool, total)
+	for _, l := range lines {
+		if seen[l] {
+			t.Fatalf("duplicate line %q", l)
+		}
+		seen[l] = true
+	}
+	commits := reg.Counter("journal_group_commits_total").Value()
+	covered := reg.Counter("journal_group_commit_records_total").Value()
+	if covered != total {
+		t.Fatalf("covered records = %d, want %d", covered, total)
+	}
+	if commits < 1 || commits > total {
+		t.Fatalf("commits = %d, outside [1, %d]", commits, total)
+	}
+	t.Logf("group commit: %d records in %d fsyncs (%.1f records/fsync)",
+		total, commits, float64(covered)/float64(commits))
+}
+
+// TestGroupFileBatchedSync proves the batching contract deterministically:
+// N writes followed by one Sync of the last ticket cost exactly one
+// fsync, and earlier tickets are already covered.
+func TestGroupFileBatchedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	g, err := OpenGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	reg := obs.NewRegistry()
+	g.SetObs(reg)
+
+	const n = 10
+	tickets := make([]int64, n)
+	for i := range tickets {
+		tk, err := g.Write([]byte(fmt.Sprintf("b-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	if err := g.Sync(tickets[n-1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("journal_group_commits_total").Value(); got != 1 {
+		t.Fatalf("commits after one sync = %d, want 1", got)
+	}
+	if got := reg.Counter("journal_group_commit_records_total").Value(); got != n {
+		t.Fatalf("covered = %d, want %d", got, n)
+	}
+	// Earlier tickets ride the same commit: no further fsync.
+	for _, tk := range tickets[:n-1] {
+		if err := g.Sync(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("journal_group_commits_total").Value(); got != 1 {
+		t.Fatalf("commits after piggyback syncs = %d, want 1", got)
+	}
+}
+
+func TestGroupFileCloseWakesWaiters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	g, err := OpenGroupFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, err := g.Write([]byte("pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Sync(ticket) }()
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Close performed the final sync covering the line, so the waiter
+	// must come back nil.
+	if err := <-done; err != nil {
+		t.Fatalf("sync after close: %v", err)
+	}
+}

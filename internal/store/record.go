@@ -1,0 +1,86 @@
+// Package store is the matrix engine's durable flow-state store — the
+// subsystem that makes "days, months, or even years" long datagridflows
+// operationally survivable. It extends the execution journal's
+// append-only record stream with three mechanisms:
+//
+//   - snapshots: periodic exec.snap records capture an execution's
+//     resumable state (request document, scope variables, completed-step
+//     cursor including delegated subtrees) in a single self-contained
+//     record;
+//   - segments + compaction: the stream is rotated into bounded segment
+//     files, and Compact rewrites the live state (latest snapshot per
+//     execution plus its tail) into one fresh segment, deleting the
+//     history — disk usage and recovery replay become O(live state)
+//     instead of O(all records ever written);
+//   - passivation: idle executions are marked exec.passivate and dropped
+//     from engine memory; the store keeps everything needed to resurrect
+//     them on demand (status query, trigger firing, wire request or
+//     federation delegation — see internal/matrix).
+//
+// The record encoding is the journal's JSONL encoding (one JSON object
+// per line), so a store segment is readable by the same tooling as a
+// journal file and the engine writes both through one code path.
+package store
+
+import "time"
+
+// Record is one JSONL line of the store (and of the matrix journal —
+// the encodings are identical by construction; internal/matrix aliases
+// this type). The lifecycle types from the journal are retained
+// unchanged; the store adds snapshot, passivation, resurrection and
+// tombstone types.
+type Record struct {
+	Type string    `json:"type"`
+	ID   string    `json:"id"` // execution id
+	Time time.Time `json:"time"`
+	// Request holds the marshaled DGL request document (exec.start,
+	// exec.snap).
+	Request string `json:"request,omitempty"`
+	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
+	// (step.done, deleg.start, deleg.done).
+	Node string `json:"node,omitempty"`
+	// Peer names the remote peer that completed a delegated subflow
+	// (deleg.done).
+	Peer string `json:"peer,omitempty"`
+	// Err is the final error text, empty on success (exec.end).
+	Err string `json:"err,omitempty"`
+	// Vars snapshots the execution's root scope variables (exec.snap).
+	Vars map[string]string `json:"vars,omitempty"`
+	// Done lists the restart-stable node paths proven complete
+	// (exec.snap) — steps, skipped steps, and whole delegated subtrees.
+	Done []string `json:"done,omitempty"`
+	// Paused records whether the execution was paused when the record
+	// was written (exec.snap, exec.passivate); a resurrected execution
+	// re-enters the paused state.
+	Paused bool `json:"paused,omitempty"`
+	// Passivated marks a compaction-merged snapshot of a passivated
+	// execution (exec.snap written by Compact): one record carries both
+	// the snapshot and the passivation marker.
+	Passivated bool `json:"passivated,omitempty"`
+}
+
+// Record types. The first five are the journal's lifecycle types; the
+// rest are store extensions. Readers must ignore types they do not
+// know — old tooling skips snap/passivate/resurrect/prune lines.
+const (
+	TypeExecStart  = "exec.start"
+	TypeStepDone   = "step.done"
+	TypeDelegStart = "deleg.start"
+	TypeDelegDone  = "deleg.done"
+	TypeExecEnd    = "exec.end"
+
+	// TypeExecSnap is a self-contained snapshot: Request + Vars + Done
+	// (+ Paused). Replaying a snapshot supersedes every earlier record
+	// of the execution.
+	TypeExecSnap = "exec.snap"
+	// TypeExecPassivate marks the execution as evicted from engine
+	// memory; it is always preceded by a fresh exec.snap.
+	TypeExecPassivate = "exec.passivate"
+	// TypeExecResurrect marks a passivated execution as resident again
+	// (it is running; a crash before its exec.end must resume it).
+	TypeExecResurrect = "exec.resurrect"
+	// TypeExecPrune is the tombstone for Engine.Prune: compaction drops
+	// every record of a pruned execution, and recovery never resurrects
+	// it.
+	TypeExecPrune = "exec.prune"
+)

@@ -1,0 +1,579 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datagridflow/internal/obs"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentMaxBytes rotates the active segment once it exceeds this
+	// size. Default 8 MiB.
+	SegmentMaxBytes int64
+	// Now stamps compaction-written records. Default time.Now.
+	Now func() time.Time
+	// Obs receives the store_* metrics (docs/METRICS.md). Optional;
+	// Engine.SetStore attaches its registry when nil.
+	Obs *obs.Registry
+}
+
+// Store is a directory of journal-encoded segment files plus an
+// in-memory index of every execution's live state. All appends go to
+// the active (highest-numbered) segment through a group-committed
+// writer; Compact collapses the whole directory into one fresh segment
+// holding a snapshot per live execution.
+//
+// Segment files are named seg-%08d.log and replayed in numeric order.
+// Compaction writes the replacement segment as seg-%08d.log.tmp,
+// fsyncs, then renames — a crash mid-compaction leaves either the old
+// segments (tmp ignored and removed at Open) or the complete new one,
+// never a half state.
+type Store struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	active   *GroupFile
+	segs     []int // existing segment numbers, ascending; last is active
+	index    map[string]*execState
+	order    []string // index insertion order (exec.start order)
+	closed   bool
+	records  int // live records across current segments (incl. replayed)
+	replayed int // records replayed at Open
+	torn     int // torn trailing lines discarded at Open
+	// sinceSnap counts records appended since the last exec.snap — the
+	// "snapshot lag" operators watch through dgfctl store.
+	sinceSnap int
+	passive   int // executions currently marked passivated
+}
+
+// execState is the index entry for one execution, folded from its
+// records in replay order.
+type execState struct {
+	req        string
+	vars       map[string]string
+	done       map[string]bool
+	paused     bool
+	passivated bool
+	ended      bool
+	pruned     bool
+	hasSnap    bool
+}
+
+// Entry is a point-in-time copy of an execution's indexed state.
+type Entry struct {
+	ID      string
+	Request string
+	Vars    map[string]string
+	// Done lists the restart-stable node paths proven complete, sorted.
+	Done       []string
+	Paused     bool
+	Passivated bool
+	Ended      bool
+	Pruned     bool
+}
+
+// Stats summarizes the store for operators (dgfctl store).
+type Stats struct {
+	// Segments is the number of on-disk segment files.
+	Segments int `json:"segments"`
+	// Records counts live records across the segments, including those
+	// replayed at Open.
+	Records int `json:"records"`
+	// ReplayRecords is how many records Open replayed — the restart
+	// cost this store bounds.
+	ReplayRecords int `json:"replayRecords"`
+	// Live counts executions that are neither ended nor pruned.
+	Live int `json:"live"`
+	// Passivated counts live executions evicted from engine memory.
+	Passivated int `json:"passivated"`
+	// SnapshotLag is the number of records appended since the last
+	// snapshot — how much tail a crash right now would replay on top
+	// of snapshots.
+	SnapshotLag int `json:"snapshotLag"`
+}
+
+// CompactStats reports one compaction.
+type CompactStats struct {
+	SegmentsBefore int `json:"segmentsBefore"`
+	RecordsBefore  int `json:"recordsBefore"`
+	// RecordsKept is the size of the replacement segment: one merged
+	// snapshot per live execution.
+	RecordsKept    int `json:"recordsKept"`
+	RecordsDropped int `json:"recordsDropped"`
+}
+
+const segPattern = "seg-%08d.log"
+
+func segName(n int) string { return fmt.Sprintf(segPattern, n) }
+
+// Open opens (creating if needed) a store directory, removes temp
+// files from interrupted compactions, and replays every segment into
+// the index. A torn trailing line — the tail of a crash mid-append —
+// is discarded, and truncated away in the active segment so new
+// appends start on a clean line boundary.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.SegmentMaxBytes <= 0 {
+		opt.SegmentMaxBytes = 8 << 20
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt, index: map[string]*execState{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Interrupted compaction: the rename never happened, so the
+			// old segments are still authoritative.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, segPattern, &n); err == nil && segName(n) == name {
+			s.segs = append(s.segs, n)
+		}
+	}
+	sort.Ints(s.segs)
+	for i, n := range s.segs {
+		repair := i == len(s.segs)-1 // only the active segment is appended to
+		if err := s.replaySegment(filepath.Join(dir, segName(n)), repair); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		s.segs = []int{1}
+	}
+	active, err := OpenGroupFile(filepath.Join(dir, segName(s.segs[len(s.segs)-1])))
+	if err != nil {
+		return nil, err
+	}
+	s.active = active
+	s.records = s.replayed
+	if opt.Obs != nil {
+		s.SetObs(opt.Obs)
+	}
+	return s, nil
+}
+
+// SetObs attaches a metrics registry to the store and its active
+// segment writer.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opt.Obs = reg
+	if s.active != nil {
+		s.active.SetObs(reg)
+	}
+	if reg != nil {
+		reg.Gauge("store_recovery_replay_records").Set(int64(s.replayed))
+		reg.Gauge("store_segments").Set(int64(len(s.segs)))
+		reg.Gauge("store_passivated").Set(int64(s.passive))
+	}
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// replaySegment folds one segment file into the index. When repair is
+// set a torn trailing line is truncated off the file.
+func (s *Store) replaySegment(path string, repair bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var offset, lineStart int64
+	line := 0
+	for {
+		data, err := r.ReadBytes('\n')
+		lineStart = offset
+		offset += int64(len(data))
+		if len(data) > 0 {
+			line++
+			trimmed := data
+			torn := false
+			if trimmed[len(trimmed)-1] == '\n' {
+				trimmed = trimmed[:len(trimmed)-1]
+			} else {
+				torn = true // no newline: the write was cut short
+			}
+			if len(trimmed) > 0 {
+				var rec Record
+				if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+					if torn || err == io.EOF {
+						// Crash artifact at the tail: discard it.
+						s.torn++
+						if repair {
+							if terr := os.Truncate(path, lineStart); terr != nil {
+								return fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+							}
+						}
+						return nil
+					}
+					return fmt.Errorf("store: %s line %d: %v", path, line, uerr)
+				}
+				s.apply(&rec)
+				s.replayed++
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+	}
+}
+
+// apply folds one record into the index. Caller holds s.mu (or is
+// single-threaded replay).
+func (s *Store) apply(rec *Record) {
+	st := s.index[rec.ID]
+	if st == nil {
+		if rec.Type != TypeExecStart && rec.Type != TypeExecSnap {
+			// step.done etc. for an execution whose start was compacted
+			// away after it ended — nothing to track.
+			return
+		}
+		st = &execState{done: map[string]bool{}}
+		s.index[rec.ID] = st
+		s.order = append(s.order, rec.ID)
+	}
+	if (st.ended || st.pruned) && rec.Type != TypeExecPrune && rec.Type != TypeExecEnd {
+		// A passivate racing the execution's natural completion loses:
+		// once ended (or tombstoned), later snapshots and markers are
+		// stale and must not revive the entry.
+		return
+	}
+	switch rec.Type {
+	case TypeExecStart:
+		if rec.Request != "" {
+			st.req = rec.Request
+		}
+	case TypeStepDone, TypeDelegDone:
+		if rec.Node != "" {
+			st.done[rec.Node] = true
+		}
+	case TypeExecSnap:
+		if rec.Request != "" {
+			st.req = rec.Request
+		}
+		st.vars = make(map[string]string, len(rec.Vars))
+		for k, v := range rec.Vars {
+			st.vars[k] = v
+		}
+		st.done = make(map[string]bool, len(rec.Done))
+		for _, n := range rec.Done {
+			st.done[n] = true
+		}
+		st.paused = rec.Paused
+		st.hasSnap = true
+		if rec.Passivated && !st.passivated {
+			st.passivated = true
+			s.passive++
+		}
+	case TypeExecPassivate:
+		if !st.passivated {
+			st.passivated = true
+			s.passive++
+		}
+		st.paused = rec.Paused
+	case TypeExecResurrect:
+		if st.passivated {
+			st.passivated = false
+			s.passive--
+		}
+	case TypeExecEnd:
+		st.ended = true
+		if st.passivated {
+			st.passivated = false
+			s.passive--
+		}
+	case TypeExecPrune:
+		st.pruned = true
+		if st.passivated {
+			st.passivated = false
+			s.passive--
+		}
+	}
+}
+
+// Append writes one record durably. Concurrent appends to the same
+// segment share fsyncs (group commit); rotation happens transparently
+// when the active segment exceeds SegmentMaxBytes.
+func (s *Store) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("store: %s: %w", s.dir, os.ErrClosed)
+	}
+	if s.active.Size() > 0 && s.active.Size()+int64(len(data)) > s.opt.SegmentMaxBytes {
+		if err := s.rotate(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	ticket, err := s.active.Write(data)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.apply(&rec)
+	s.records++
+	if rec.Type == TypeExecSnap {
+		s.sinceSnap = 0
+	} else {
+		s.sinceSnap++
+	}
+	if reg := s.opt.Obs; reg != nil {
+		reg.Counter("store_records_total", "type", rec.Type).Inc()
+		if rec.Type == TypeExecSnap {
+			reg.Counter("store_snapshots_total").Inc()
+		}
+		reg.Gauge("store_passivated").Set(int64(s.passive))
+	}
+	gw := s.active
+	s.mu.Unlock()
+	return gw.Sync(ticket)
+}
+
+// rotate opens the next segment as active. Caller holds s.mu.
+func (s *Store) rotate() error {
+	next := s.segs[len(s.segs)-1] + 1
+	nw, err := OpenGroupFile(filepath.Join(s.dir, segName(next)))
+	if err != nil {
+		return err
+	}
+	if s.opt.Obs != nil {
+		nw.SetObs(s.opt.Obs)
+	}
+	old := s.active
+	s.active = nw
+	s.segs = append(s.segs, next)
+	if s.opt.Obs != nil {
+		s.opt.Obs.Gauge("store_segments").Set(int64(len(s.segs)))
+	}
+	return old.Close()
+}
+
+// Compact rewrites the store as one fresh segment containing a merged
+// snapshot per live execution — ended and pruned executions vanish,
+// and every live execution's history (start + step tail + snapshots)
+// collapses into a single exec.snap record. The new segment fully
+// replaces the old ones: written as a temp file, fsynced, renamed into
+// place, and only then are the old segments deleted. Recovery replay
+// after a compaction is O(live executions).
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CompactStats{}, fmt.Errorf("store: %s: %w", s.dir, os.ErrClosed)
+	}
+	stats := CompactStats{SegmentsBefore: len(s.segs), RecordsBefore: s.records}
+	next := s.segs[len(s.segs)-1] + 1
+	final := filepath.Join(s.dir, segName(next))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	now := s.opt.Now()
+	kept := 0
+	var liveOrder []string
+	for _, id := range s.order {
+		st := s.index[id]
+		if st == nil || st.ended || st.pruned {
+			continue
+		}
+		liveOrder = append(liveOrder, id)
+		rec := Record{
+			Type: TypeExecSnap, ID: id, Time: now,
+			Request: st.req, Vars: st.vars, Done: sortedKeys(st.done),
+			Paused: st.paused, Passivated: st.passivated,
+		}
+		data, err := json.Marshal(rec)
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return stats, fmt.Errorf("store: compact: %w", err)
+		}
+		kept++
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	s.syncDir()
+	// The rename is the commit point: the new segment now supersedes
+	// everything before it. Swap writers, then delete history.
+	nw, err := OpenGroupFile(final)
+	if err != nil {
+		return stats, err
+	}
+	if s.opt.Obs != nil {
+		nw.SetObs(s.opt.Obs)
+	}
+	oldActive, oldSegs := s.active, s.segs
+	s.active = nw
+	s.segs = []int{next}
+	_ = oldActive.Close()
+	for _, n := range oldSegs {
+		_ = os.Remove(filepath.Join(s.dir, segName(n)))
+	}
+	s.syncDir()
+	// Ended/pruned executions are gone from disk; drop them from the
+	// index too so it mirrors what a reopen would rebuild.
+	for _, id := range s.order {
+		if st := s.index[id]; st != nil && (st.ended || st.pruned) {
+			delete(s.index, id)
+		}
+	}
+	s.order = liveOrder
+	s.records = kept
+	s.sinceSnap = 0
+	stats.RecordsKept = kept
+	stats.RecordsDropped = stats.RecordsBefore - kept
+	if reg := s.opt.Obs; reg != nil {
+		reg.Counter("store_compactions_total").Inc()
+		reg.Gauge("store_segments").Set(int64(len(s.segs)))
+	}
+	return stats, nil
+}
+
+// syncDir fsyncs the store directory so segment renames and deletions
+// survive a crash (best effort; some platforms reject directory sync).
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entry returns the indexed state of one execution.
+func (s *Store) Entry(id string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.index[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return s.entryLocked(id, st), true
+}
+
+func (s *Store) entryLocked(id string, st *execState) Entry {
+	vars := make(map[string]string, len(st.vars))
+	for k, v := range st.vars {
+		vars[k] = v
+	}
+	return Entry{
+		ID: id, Request: st.req, Vars: vars, Done: sortedKeys(st.done),
+		Paused: st.paused, Passivated: st.passivated,
+		Ended: st.ended, Pruned: st.pruned,
+	}
+}
+
+// Live returns every execution that is neither ended nor pruned, in
+// exec.start order — the set recovery considers.
+func (s *Store) Live() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Entry
+	for _, id := range s.order {
+		if st := s.index[id]; st != nil && !st.ended && !st.pruned {
+			out = append(out, s.entryLocked(id, st))
+		}
+	}
+	return out
+}
+
+// IDs returns every indexed execution id (live or not) — the engine
+// advances its id counter past these after a restart so fresh
+// executions never collide with recovered ones.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Stats snapshots the store's shape.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := 0
+	for _, st := range s.index {
+		if !st.ended && !st.pruned {
+			live++
+		}
+	}
+	return Stats{
+		Segments:      len(s.segs),
+		Records:       s.records,
+		ReplayRecords: s.replayed,
+		Live:          live,
+		Passivated:    s.passive,
+		SnapshotLag:   s.sinceSnap,
+	}
+}
+
+// Close syncs and closes the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.active.Close()
+}

@@ -599,6 +599,33 @@ func (c *Client) List() ([]ExecutionInfo, error) {
 	return res.Executions, nil
 }
 
+// StoreStats retrieves the server's flow-state store summary (segment
+// count, snapshot lag, passivated/resident counts) over the control
+// extension.
+func (c *Client) StoreStats() (*StoreInfo, error) {
+	res, err := c.control("store", "")
+	if err != nil {
+		return nil, err
+	}
+	if res.Store == nil {
+		return nil, errors.New("wire: empty store reply")
+	}
+	return res.Store, nil
+}
+
+// Compact asks the server to compact its flow-state store, returning
+// the post-compaction summary with the compaction's record counts.
+func (c *Client) Compact() (*StoreInfo, error) {
+	res, err := c.control("compact", "")
+	if err != nil {
+		return nil, err
+	}
+	if res.Store == nil {
+		return nil, errors.New("wire: empty compact reply")
+	}
+	return res.Store, nil
+}
+
 // Metrics retrieves the server engine's metrics snapshot over the
 // control extension — the wire twin of the -metrics-addr HTTP endpoint.
 func (c *Client) Metrics() (*obs.Snapshot, error) {

@@ -171,8 +171,8 @@ func ParseProtoVersion(s string) (major, minor int, err error) {
 
 // Control is the JSON payload of a KindControl frame.
 type Control struct {
-	// Op is "hello", "pause", "resume", "cancel", "restart", "list" or
-	// "metrics".
+	// Op is "hello", "pause", "resume", "cancel", "restart", "list",
+	// "metrics", "store" or "compact".
 	Op string `json:"op"`
 	// ID is the execution id the verb applies to ("hello", "list" and
 	// "metrics" ignore it).
@@ -194,6 +194,41 @@ type ControlResult struct {
 	// Metrics carries the engine's obs.Snapshot (JSON) for the
 	// "metrics" verb.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Store carries the flow-state store summary for the "store" and
+	// "compact" verbs.
+	Store *StoreInfo `json:"store,omitempty"`
+}
+
+// StoreInfo is the reply to the "store" control verb: the shape of the
+// server's flow-state store, for operators (dgfctl store).
+type StoreInfo struct {
+	// Segments is the number of on-disk segment files.
+	Segments int `json:"segments"`
+	// Records counts live records across the segments.
+	Records int `json:"records"`
+	// ReplayRecords is how many records the store replayed when it was
+	// last opened — the restart cost.
+	ReplayRecords int `json:"replayRecords"`
+	// Live counts executions that are neither ended nor pruned.
+	Live int `json:"live"`
+	// Passivated counts live executions evicted from engine memory.
+	Passivated int `json:"passivated"`
+	// Resident counts executions currently in engine memory.
+	Resident int `json:"resident"`
+	// SnapshotLag is the number of records appended since the last
+	// snapshot.
+	SnapshotLag int `json:"snapshotLag"`
+	// Compaction reports the compaction a "compact" verb just ran
+	// (nil for "store").
+	Compaction *CompactionInfo `json:"compaction,omitempty"`
+}
+
+// CompactionInfo reports one compaction run.
+type CompactionInfo struct {
+	SegmentsBefore int `json:"segmentsBefore"`
+	RecordsBefore  int `json:"recordsBefore"`
+	RecordsKept    int `json:"recordsKept"`
+	RecordsDropped int `json:"recordsDropped"`
 }
 
 // ExecutionInfo is one row of a "list" reply.

@@ -452,7 +452,20 @@ func (p *Peer) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
 	owner := OwnerOf(id)
 	if owner == "" || owner == p.Name {
 		o.Counter("wire_peer_status_local_total").Inc()
-		st, err := p.server.Engine().Status(id, detail)
+		engine := p.server.Engine()
+		execID := id
+		if i := strings.IndexByte(id, '/'); i >= 0 {
+			execID = id[:i]
+		}
+		if _, ok := engine.Execution(execID); !ok {
+			// A routed query can land on the owner of a passivated
+			// execution — e.g. a peer asking after a flow whose
+			// delegating parent was evicted to the store. Resurrect it
+			// under the federation label; Engine.Status below would do
+			// it too, but would attribute the wake-up to "status".
+			_, _ = engine.ResurrectFor(execID, "federation")
+		}
+		st, err := engine.Status(id, detail)
 		if err != nil {
 			return nil, err
 		}

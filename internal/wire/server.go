@@ -15,6 +15,7 @@ import (
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/store"
 )
 
 // Frame header overheads counted by the byte metrics.
@@ -570,6 +571,14 @@ func (s *Server) serveHello(c Control) (ControlResult, bool) {
 // serveControlOp services the non-hello control verbs.
 func (s *Server) serveControlOp(c Control) ControlResult {
 	exec, ok := s.engine.Execution(c.ID)
+	if !ok && c.ID != "" {
+		// The target may be passivated in the flow-state store: wire
+		// requests are a resurrection path (docs/STORE.md). Unknown ids
+		// still fall through to the per-verb not-found handling.
+		if ex, err := s.engine.ResurrectFor(c.ID, "wire"); err == nil {
+			exec, ok = ex, true
+		}
+	}
 	unknown := func() ControlResult {
 		return ControlResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: execution %s", dgferr.ErrNotFound, c.ID))}
@@ -613,9 +622,49 @@ func (s *Server) serveControlOp(c Control) ControlResult {
 			return ControlResult{Error: "snapshot: " + err.Error()}
 		}
 		return ControlResult{OK: true, Metrics: raw}
+	case "store":
+		st := s.engine.Store()
+		if st == nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: no flow-state store attached", dgferr.ErrInvalid))}
+		}
+		return ControlResult{OK: true, Store: storeInfo(s.engine, st)}
+	case "compact":
+		st := s.engine.Store()
+		if st == nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: no flow-state store attached", dgferr.ErrInvalid))}
+		}
+		cs, err := st.Compact()
+		if err != nil {
+			return ControlResult{Error: dgferr.Encode(err)}
+		}
+		info := storeInfo(s.engine, st)
+		info.Compaction = &CompactionInfo{
+			SegmentsBefore: cs.SegmentsBefore,
+			RecordsBefore:  cs.RecordsBefore,
+			RecordsKept:    cs.RecordsKept,
+			RecordsDropped: cs.RecordsDropped,
+		}
+		return ControlResult{OK: true, Store: info}
 	default:
 		return ControlResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: unknown control op %q", dgferr.ErrInvalid, c.Op))}
+	}
+}
+
+// storeInfo summarizes the engine's flow-state store for the "store"
+// and "compact" control verbs.
+func storeInfo(engine *matrix.Engine, st *store.Store) *StoreInfo {
+	stats := st.Stats()
+	return &StoreInfo{
+		Segments:      stats.Segments,
+		Records:       stats.Records,
+		ReplayRecords: stats.ReplayRecords,
+		Live:          stats.Live,
+		Passivated:    stats.Passivated,
+		Resident:      len(engine.Executions()),
+		SnapshotLag:   stats.SnapshotLag,
 	}
 }
 
