@@ -252,6 +252,9 @@ func printStore(info *wire.StoreInfo) {
 	fmt.Printf("passivated:     %d\n", info.Passivated)
 	fmt.Printf("resident:       %d\n", info.Resident)
 	fmt.Printf("snapshot lag:   %d record(s)\n", info.SnapshotLag)
+	if info.Failed != "" {
+		fmt.Printf("FAILED:         %s (store rejects appends; restart matrixd)\n", info.Failed)
+	}
 }
 
 // printMetrics renders a snapshot as aligned name{labels} value rows.

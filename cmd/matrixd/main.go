@@ -153,12 +153,20 @@ func main() {
 	engine := matrix.NewEngineConfig(grid, cfg)
 
 	if *journalPath != "" {
-		recovered, err := engine.RecoverFromJournal(*journalPath)
-		if err != nil && !errors.Is(err, dgferr.ErrNotFound) {
-			log.Fatalf("matrixd: %v", err)
-		}
-		for _, ex := range recovered {
-			log.Printf("matrixd: recovered execution %s from journal", ex.ID)
+		if *storeDir != "" {
+			// The store's snapshot+tail recovery resumes crash-abandoned
+			// flows under their original ids; replaying the flat journal
+			// too would re-run each of them a second time under a fresh
+			// id. The journal stays attached for appends only.
+			log.Printf("matrixd: journal %s attached for appends; -store-dir handles recovery", *journalPath)
+		} else {
+			recovered, err := engine.RecoverFromJournal(*journalPath)
+			if err != nil && !errors.Is(err, dgferr.ErrNotFound) {
+				log.Fatalf("matrixd: %v", err)
+			}
+			for _, ex := range recovered {
+				log.Printf("matrixd: recovered execution %s from journal", ex.ID)
+			}
 		}
 		journal, err := matrix.OpenJournal(*journalPath)
 		if err != nil {

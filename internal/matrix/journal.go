@@ -127,7 +127,28 @@ func (e *Engine) journalAppend(rec journalRecord) {
 		}
 	}
 	if st != nil {
-		_ = st.Append(rec)
+		if err := st.Append(rec); err != nil {
+			// A dead store must not stop the engine, but it must not die
+			// silently either: a restart would replay stale state.
+			e.Obs().Counter("store_append_errors_total").Inc()
+		}
+	}
+}
+
+// mirrorToJournal best-effort writes a record to the flat journal only
+// (no-op when none is attached) — used for the passivation markers that
+// journal-only recovery needs in order to exclude parked flows, which
+// otherwise reach just the store via storeAppend.
+func (e *Engine) mirrorToJournal(rec journalRecord) {
+	e.mu.RLock()
+	j := e.journal
+	e.mu.RUnlock()
+	if j == nil {
+		return
+	}
+	rec.Time = e.Clock().Now()
+	if err := j.append(rec); err == nil {
+		e.Obs().Counter("matrix_journal_records_total", "type", rec.Type).Inc()
 	}
 }
 
@@ -138,7 +159,11 @@ func (e *Engine) journalAppend(rec journalRecord) {
 // whose step.done records survive; the returned executions are in
 // journal order. Terminally failed executions are not recovered (their
 // exec.end is on record) — use Restart or RestartFromProvenance for
-// those. Pruned executions (exec.prune tombstones) are never recovered.
+// those. Pruned executions (exec.prune tombstones) are never recovered,
+// and neither are passivated ones (exec.passivate without a later
+// exec.resurrect): they live in the flow-state store and resurrect on
+// demand — re-running them here from scratch would duplicate their
+// work under a fresh id.
 func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -146,8 +171,9 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 	}
 	defer f.Close()
 	type pending struct {
-		req  *dgl.Request
-		skip map[string]bool
+		req        *dgl.Request
+		skip       map[string]bool
+		passivated bool
 	}
 	open := map[string]*pending{}
 	var order []string
@@ -177,6 +203,14 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 			if p := open[rec.ID]; p != nil {
 				p.skip[rec.Node] = true
 			}
+		case journalExecPassivate:
+			if p := open[rec.ID]; p != nil {
+				p.passivated = true
+			}
+		case journalExecResurrect:
+			if p := open[rec.ID]; p != nil {
+				p.passivated = false
+			}
 		case journalExecEnd, journalExecPrune:
 			delete(open, rec.ID)
 		}
@@ -188,6 +222,9 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 	for _, id := range order {
 		p, ok := open[id]
 		if !ok {
+			continue
+		}
+		if p.passivated {
 			continue
 		}
 		if err := dgl.ValidateFlow(p.req.Flow, e.knownOps()); err != nil {

@@ -164,6 +164,71 @@ func TestJournalCompletedRunsNotRecovered(t *testing.T) {
 	}
 }
 
+// TestJournalSkipsPassivated: passivating a flow mirrors an
+// exec.passivate marker into the flat journal, so a journal-only
+// recovery does not re-run the parked flow from scratch under a fresh
+// id — it lives in the flow-state store until something resurrects it.
+// A later exec.resurrect marker (flow back in memory, then the process
+// dies) restores journal eligibility.
+func TestJournalSkipsPassivated(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "exec.journal")
+	e, st := newStoreEngine(t, t.TempDir())
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetJournal(j)
+	b := registerBlockingOp(e, "work", "1")
+	ex := startFlow(t, e, workFlow("parked", 3))
+	<-b.reached // s0 done; s1 parked
+	if err := e.Passivate(ex.ID); err != nil {
+		t.Fatalf("passivate: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ent, ok := st.Entry(ex.ID); !ok || !ent.Passivated {
+		t.Fatalf("store entry = %+v ok=%v", ent, ok)
+	}
+
+	// "Process 2" with only the journal: the parked flow must not come
+	// back as a fresh run with duplicated side effects.
+	e2 := newTestEngine(t)
+	e2.RegisterOp("work", func(*OpContext) error { return nil })
+	recovered, err := e2.RecoverFromJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("recovered %d passivated executions, want 0", len(recovered))
+	}
+
+	// Append a resurrect marker — the flow was resident again when the
+	// process died — and recovery picks it up once more.
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.append(journalRecord{Type: journalExecResurrect, ID: ex.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e3 := newTestEngine(t)
+	e3.RegisterOp("work", func(*OpContext) error { return nil })
+	recovered, err = e3.RecoverFromJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d resurrected executions, want 1", len(recovered))
+	}
+	if err := recovered[0].Wait(); err != nil {
+		t.Fatalf("recovered run: %v", err)
+	}
+}
+
 func TestRecoverFromJournalMissingFile(t *testing.T) {
 	e := newTestEngine(t)
 	_, err := e.RecoverFromJournal(filepath.Join(t.TempDir(), "nope.journal"))

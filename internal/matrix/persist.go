@@ -53,7 +53,11 @@ func (e *Engine) storeAppend(rec journalRecord) error {
 		return fmt.Errorf("matrix: no store attached: %w", dgferr.ErrInvalid)
 	}
 	rec.Time = e.Clock().Now()
-	return st.Append(rec)
+	if err := st.Append(rec); err != nil {
+		e.Obs().Counter("store_append_errors_total").Inc()
+		return err
+	}
+	return nil
 }
 
 // snapshotRecord captures the execution's resumable state as one
@@ -173,6 +177,10 @@ func (e *Engine) Passivate(id string) error {
 	}); err != nil {
 		return err
 	}
+	// Mirror the marker into the flat journal (if one is attached) so a
+	// journal-only recovery knows this flow is parked in the store and
+	// does not re-run it from scratch under a fresh id.
+	e.mirrorToJournal(journalRecord{Type: journalExecPassivate, ID: id, Paused: ex.Paused()})
 	// Order matters: the flag must be visible before Cancel unwinds the
 	// run goroutine, so its epilogue suppresses the exec.end record.
 	ex.passivated.Store(true)
@@ -261,6 +269,7 @@ func (e *Engine) ResurrectFor(id, path string) (*Execution, error) {
 		return ex, nil // lost a resurrection race: the winner's handle
 	}
 	_ = e.storeAppend(journalRecord{Type: journalExecResurrect, ID: id})
+	e.mirrorToJournal(journalRecord{Type: journalExecResurrect, ID: id})
 	e.Obs().Counter("store_resurrections_total", "path", path).Inc()
 	e.record(provenance.Record{
 		Actor: req.User.Name, Action: "flow.resurrect",

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -48,13 +49,27 @@ type Store struct {
 	index    map[string]*execState
 	order    []string // index insertion order (exec.start order)
 	closed   bool
-	records  int // live records across current segments (incl. replayed)
-	replayed int // records replayed at Open
-	torn     int // torn trailing lines discarded at Open
+	failed   error // sticky: first write/fsync failure poisons the store
+	records  int   // live records across current segments (incl. replayed)
+	replayed int   // records replayed at Open
+	torn     int   // torn trailing lines discarded at Open
+	// pending holds records written to the active segment but not yet
+	// proven durable by a group commit, in write order. They fold into
+	// the index only once an fsync covers them, so Entry/Live/Stats
+	// never report state a reopen could not rebuild.
+	pending []pendingRec
 	// sinceSnap counts records appended since the last exec.snap — the
 	// "snapshot lag" operators watch through dgfctl store.
 	sinceSnap int
 	passive   int // executions currently marked passivated
+}
+
+// pendingRec is one written-but-not-yet-synced record awaiting its
+// group commit before it may enter the index.
+type pendingRec struct {
+	gw     *GroupFile
+	ticket int64
+	rec    Record
 }
 
 // execState is the index entry for one execution, folded from its
@@ -101,6 +116,10 @@ type Stats struct {
 	// snapshot — how much tail a crash right now would replay on top
 	// of snapshots.
 	SnapshotLag int `json:"snapshotLag"`
+	// Failed carries the sticky write/fsync error that poisoned the
+	// store, if any. A failed store rejects all further appends; its
+	// index stays readable but frozen at the last durable record.
+	Failed string `json:"failed,omitempty"`
 }
 
 // CompactStats reports one compaction.
@@ -209,25 +228,29 @@ func (s *Store) replaySegment(path string, repair bool) error {
 		if len(data) > 0 {
 			line++
 			trimmed := data
-			torn := false
 			if trimmed[len(trimmed)-1] == '\n' {
 				trimmed = trimmed[:len(trimmed)-1]
 			} else {
-				torn = true // no newline: the write was cut short
+				// No terminating newline: the crash cut the final write()
+				// short of its '\n'. The record was never acknowledged —
+				// Append returns only after the line *including* its
+				// newline is fsynced — so discard it even when the prefix
+				// parses as complete JSON. Keeping the file unterminated
+				// would also corrupt the next O_APPEND write, which would
+				// concatenate onto this line.
+				s.torn++
+				if repair {
+					if terr := os.Truncate(path, lineStart); terr != nil {
+						return fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+					}
+				}
+				return nil
 			}
 			if len(trimmed) > 0 {
 				var rec Record
 				if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
-					if torn || err == io.EOF {
-						// Crash artifact at the tail: discard it.
-						s.torn++
-						if repair {
-							if terr := os.Truncate(path, lineStart); terr != nil {
-								return fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
-							}
-						}
-						return nil
-					}
+					// Newline-terminated means the write completed, so
+					// this is real corruption, not a crash artifact.
 					return fmt.Errorf("store: %s line %d: %v", path, line, uerr)
 				}
 				s.apply(&rec)
@@ -318,7 +341,10 @@ func (s *Store) apply(rec *Record) {
 
 // Append writes one record durably. Concurrent appends to the same
 // segment share fsyncs (group commit); rotation happens transparently
-// when the active segment exceeds SegmentMaxBytes.
+// when the active segment exceeds SegmentMaxBytes. The record enters
+// the in-memory index only after its group commit succeeds — a failed
+// fsync poisons the store instead of letting the index run ahead of
+// what a reopen would rebuild.
 func (s *Store) Append(rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -329,18 +355,73 @@ func (s *Store) Append(rec Record) error {
 		s.mu.Unlock()
 		return fmt.Errorf("store: %s: %w", s.dir, os.ErrClosed)
 	}
+	if s.failed != nil {
+		s.mu.Unlock()
+		return s.failed
+	}
 	if s.active.Size() > 0 && s.active.Size()+int64(len(data)) > s.opt.SegmentMaxBytes {
 		if err := s.rotate(); err != nil {
 			s.mu.Unlock()
 			return err
 		}
 	}
-	ticket, err := s.active.Write(data)
+	gw := s.active
+	ticket, err := gw.Write(data)
 	if err != nil {
+		s.poisonLocked(err)
 		s.mu.Unlock()
 		return err
 	}
-	s.apply(&rec)
+	s.pending = append(s.pending, pendingRec{gw: gw, ticket: ticket, rec: rec})
+	s.mu.Unlock()
+	if err := gw.Sync(ticket); err != nil {
+		s.mu.Lock()
+		s.poisonLocked(err)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.drainLocked(gw, ticket)
+	s.mu.Unlock()
+	return nil
+}
+
+// poisonLocked records the first write/fsync failure as the store's
+// sticky error and discards pending records — they were never proven
+// durable, so folding them into the index would report state a reopen
+// could not rebuild. Caller holds s.mu.
+func (s *Store) poisonLocked(err error) {
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.pending = nil
+	if reg := s.opt.Obs; reg != nil {
+		reg.Gauge("store_failed").Set(1)
+	}
+}
+
+// drainLocked folds every pending record a completed sync has proven
+// durable — written to gw with a ticket at or below the synced one —
+// into the index, in write order. Pending entries always belong to the
+// segment active at their write (rotation drains or poisons first), so
+// a front entry on a different GroupFile means gw already rotated and
+// drained. Caller holds s.mu.
+func (s *Store) drainLocked(gw *GroupFile, ticket int64) {
+	n := 0
+	for _, p := range s.pending {
+		if p.gw != gw || p.ticket > ticket {
+			break
+		}
+		s.applyDurableLocked(&p.rec)
+		n++
+	}
+	s.pending = s.pending[n:]
+}
+
+// applyDurableLocked folds one fsync-proven record into the index and
+// its counters. Caller holds s.mu.
+func (s *Store) applyDurableLocked(rec *Record) {
+	s.apply(rec)
 	s.records++
 	if rec.Type == TypeExecSnap {
 		s.sinceSnap = 0
@@ -354,9 +435,6 @@ func (s *Store) Append(rec Record) error {
 		}
 		reg.Gauge("store_passivated").Set(int64(s.passive))
 	}
-	gw := s.active
-	s.mu.Unlock()
-	return gw.Sync(ticket)
 }
 
 // rotate opens the next segment as active. Caller holds s.mu.
@@ -375,7 +453,15 @@ func (s *Store) rotate() error {
 	if s.opt.Obs != nil {
 		s.opt.Obs.Gauge("store_segments").Set(int64(len(s.segs)))
 	}
-	return old.Close()
+	if err := old.Close(); err != nil {
+		s.poisonLocked(err)
+		return err
+	}
+	// Close performed a final sync covering every line written, so all
+	// records still pending on the old segment are durable — fold them
+	// in before the new segment's appends start queueing.
+	s.drainLocked(old, math.MaxInt64)
+	return nil
 }
 
 // Compact rewrites the store as one fresh segment containing a merged
@@ -390,6 +476,20 @@ func (s *Store) Compact() (CompactStats, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return CompactStats{}, fmt.Errorf("store: %s: %w", s.dir, os.ErrClosed)
+	}
+	if s.failed != nil {
+		return CompactStats{}, s.failed
+	}
+	if len(s.pending) > 0 {
+		// In-flight appends have not reached the index yet; compaction
+		// snapshots the index and deletes the segments holding them, so
+		// force their group commit and fold them in first.
+		last := s.pending[len(s.pending)-1]
+		if err := last.gw.Sync(last.ticket); err != nil {
+			s.poisonLocked(err)
+			return CompactStats{}, err
+		}
+		s.drainLocked(last.gw, last.ticket)
 	}
 	stats := CompactStats{SegmentsBefore: len(s.segs), RecordsBefore: s.records}
 	next := s.segs[len(s.segs)-1] + 1
@@ -557,7 +657,7 @@ func (s *Store) Stats() Stats {
 			live++
 		}
 	}
-	return Stats{
+	st := Stats{
 		Segments:      len(s.segs),
 		Records:       s.records,
 		ReplayRecords: s.replayed,
@@ -565,6 +665,10 @@ func (s *Store) Stats() Stats {
 		Passivated:    s.passive,
 		SnapshotLag:   s.sinceSnap,
 	}
+	if s.failed != nil {
+		st.Failed = s.failed.Error()
+	}
+	return st
 }
 
 // Close syncs and closes the active segment.
@@ -575,5 +679,10 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.active.Close()
+	err := s.active.Close()
+	if err == nil && s.failed == nil {
+		// The final sync made every pending record durable.
+		s.drainLocked(s.active, math.MaxInt64)
+	}
+	return err
 }

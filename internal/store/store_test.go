@@ -310,6 +310,111 @@ func TestStoreTornTail(t *testing.T) {
 	}
 }
 
+// TestStoreTornTailCompleteRecord reproduces the subtler crash shape: a
+// single write() persisted the complete JSON of the final record but
+// not its trailing newline. The record was never acknowledged — Append
+// fsyncs the line and its newline as one write — so Open must treat it
+// as torn even though it parses. Keeping the file unterminated would
+// also let the next O_APPEND write concatenate onto the line, rendering
+// the segment unreadable (or silently dropping an acknowledged record)
+// on the restart after that.
+func TestStoreTornTailCompleteRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	appendAll(t, s,
+		Record{Type: TypeExecStart, ID: "a", Request: "<a/>"},
+		Record{Type: TypeStepDone, ID: "a", Node: "/f/s1"},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete JSON, no terminating newline: parseable but torn.
+	if _, err := f.WriteString(`{"type":"step.done","id":"a","node":"/f/s2"}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	s = mustOpen(t, dir, Options{})
+	if got := s.Stats().ReplayRecords; got != 2 {
+		t.Fatalf("replayed = %d, want unacknowledged tail discarded", got)
+	}
+	ent, _ := s.Entry("a")
+	if len(ent.Done) != 1 || ent.Done[0] != "/f/s1" {
+		t.Fatalf("done = %v, want /f/s2 dropped", ent.Done)
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() >= before.Size() {
+		t.Fatalf("unterminated tail not truncated: %d -> %d", before.Size(), after.Size())
+	}
+	// New appends land on a clean boundary: every line parses on the
+	// next reopen instead of merging with the torn record.
+	appendAll(t, s, Record{Type: TypeStepDone, ID: "a", Node: "/f/s3"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	ent, _ = s.Entry("a")
+	if len(ent.Done) != 2 || ent.Done[1] != "/f/s3" {
+		t.Fatalf("done after repair+append = %v", ent.Done)
+	}
+}
+
+// TestStoreCompactConcurrentAppend races Compact against appenders: an
+// acknowledged record must survive compaction swapping segments out
+// from under it (Compact flushes the pending group-commit queue into
+// the merged snapshots before deleting history).
+func TestStoreCompactConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentMaxBytes: 2048})
+	var wg sync.WaitGroup
+	const flows = 16
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("dgf-%06d", i)
+			appendAll(t, s,
+				Record{Type: TypeExecStart, ID: id, Request: "<r/>"},
+				Record{Type: TypeStepDone, ID: id, Node: "/f/a"},
+				Record{Type: TypeStepDone, ID: id, Node: "/f/b"},
+			)
+		}(i)
+	}
+	compacted := make(chan error, 1)
+	go func() {
+		for j := 0; j < 8; j++ {
+			if _, err := s.Compact(); err != nil {
+				compacted <- err
+				return
+			}
+		}
+		compacted <- nil
+	}()
+	wg.Wait()
+	if err := <-compacted; err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	for i := 0; i < flows; i++ {
+		id := fmt.Sprintf("dgf-%06d", i)
+		ent, ok := s.Entry(id)
+		if !ok || len(ent.Done) != 2 {
+			t.Fatalf("%s after compact race = %+v ok=%v", id, ent, ok)
+		}
+	}
+}
+
 // TestStoreCrashDuringCompaction verifies the temp-file + rename
 // discipline: a .tmp left by a crash mid-compaction is ignored and
 // removed at Open, and the old segments stay authoritative.

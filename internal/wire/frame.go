@@ -218,6 +218,9 @@ type StoreInfo struct {
 	// SnapshotLag is the number of records appended since the last
 	// snapshot.
 	SnapshotLag int `json:"snapshotLag"`
+	// Failed carries the sticky write/fsync error that poisoned the
+	// store, if any — a failed store rejects all further appends.
+	Failed string `json:"failed,omitempty"`
 	// Compaction reports the compaction a "compact" verb just ran
 	// (nil for "store").
 	Compaction *CompactionInfo `json:"compaction,omitempty"`

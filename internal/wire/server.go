@@ -665,6 +665,7 @@ func storeInfo(engine *matrix.Engine, st *store.Store) *StoreInfo {
 		Passivated:    stats.Passivated,
 		Resident:      len(engine.Executions()),
 		SnapshotLag:   stats.SnapshotLag,
+		Failed:        stats.Failed,
 	}
 }
 
