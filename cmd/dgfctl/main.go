@@ -13,6 +13,11 @@
 //	dgfctl -addr host:7401 store                  # flow-state store shape
 //	dgfctl -addr host:7401 compact                # compact the store
 //	dgfctl -lookup host:7400 peers                # federation roster
+//	dgfctl help submit                            # per-verb detail
+//
+// `dgfctl help -markdown` emits the verb table embedded in README.md's
+// CLI section; the two are kept in sync by regenerating the section
+// from that output.
 package main
 
 import (
@@ -29,31 +34,189 @@ import (
 	"datagridflow/internal/wire"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: dgfctl [-addr host:port] [-user name] <command> [args]
+// A verb is one dgfctl subcommand. The table is the single source of
+// truth for the usage screen, `dgfctl help <verb>`, and (via
+// `dgfctl help -markdown`) the CLI section of README.md.
+type verb struct {
+	name     string
+	synopsis string // argument synopsis, e.g. "submit [-async] <file.xml>"
+	summary  string // one line for the usage listing and the README table
+	detail   string // paragraph(s) for `dgfctl help <verb>`
+}
 
-commands:
-  submit [-async] <file.xml>   submit a DGL dataGridRequest document
-  status [-detail] <id>        query an execution, flow or step id
-  pause <id>                   suspend a running execution
-  resume <id>                  continue a paused execution
-  cancel <id>                  stop an execution
-  restart <id>                 re-run a failed execution, skipping
-                               already-succeeded steps
-  list                         list the server's executions
-  metrics                      fetch the server's metrics snapshot
-                               (docs/METRICS.md) over the control
-                               extension
-  store                        show the server's flow-state store:
-                               segments, record counts, snapshot lag,
-                               passivated vs resident executions
-  compact                      compact the server's store segments into
-                               one snapshot segment and report the run
-  peers                        list live peers from the -lookup server
-                               with liveness age and reported load
-  render [-dot] <file.xml>     render a DGL document as a tree (or DOT)
-`)
+var verbs = []verb{
+	{
+		name:     "submit",
+		synopsis: "submit [-async] <file.xml>",
+		summary:  "submit a DGL dataGridRequest document",
+		detail: `Reads and validates the document, then submits it as a kind-1 wire
+frame. A synchronous submit blocks until the flow completes and prints
+its status tree; -async (or async="true" in the document) returns an
+acknowledgement id immediately — poll it with "status". On a 1.4
+server the payload travels in the binary codec (docs/CODEC.md);
+against older servers it falls back to XML transparently.`,
+	},
+	{
+		name:     "status",
+		synopsis: "status [-detail] <id>",
+		summary:  "query an execution, flow or step id",
+		detail: `The id may name a whole execution, a subflow, or a single step —
+status is resolved at any granularity. -detail expands the full tree
+with per-step state, timing and errors. Querying a passivated
+execution resurrects it transparently from the flow-state store; on a
+peer network the query is routed to the owning peer.`,
+	},
+	{
+		name:     "pause",
+		synopsis: "pause <id>",
+		summary:  "suspend a running execution",
+		detail: `The execution stops starting new steps; steps already in flight run
+to completion. The paused state survives restarts and passivation.`,
+	},
+	{
+		name:     "resume",
+		synopsis: "resume <id>",
+		summary:  "continue a paused execution",
+		detail: `Clears the paused flag and lets the execution proceed from the step
+it was about to run. Resuming a passivated execution resurrects it
+first.`,
+	},
+	{
+		name:     "cancel",
+		synopsis: "cancel <id>",
+		summary:  "stop an execution",
+		detail: `The execution unwinds through its cancellation path and ends in the
+cancelled state. Cancellation is terminal — use "restart" to re-run.`,
+	},
+	{
+		name:     "restart",
+		synopsis: "restart <id>",
+		summary:  "re-run a failed execution, skipping succeeded steps",
+		detail: `Re-submits the original document under a fresh id, seeding the
+checkpoint skip-set from the failed run so already-succeeded steps are
+not repeated. Prints the new id.`,
+	},
+	{
+		name:     "list",
+		synopsis: "list",
+		summary:  "list the server's executions",
+		detail:   `One row per tracked execution: id, flow name, state, and user.`,
+	},
+	{
+		name:     "metrics",
+		synopsis: "metrics",
+		summary:  "fetch the server's metrics snapshot",
+		detail: `Fetches the observability snapshot (docs/METRICS.md) over the wire
+control extension and prints counters, gauges and histogram summaries
+as aligned name{labels} rows.`,
+	},
+	{
+		name:     "store",
+		synopsis: "store",
+		summary:  "show the server's flow-state store",
+		detail: `Prints the store's shape (docs/STORE.md): segment and record counts,
+last-open replay cost, live vs passivated vs resident executions, and
+the snapshot lag — how many records a crash right now would replay on
+top of snapshots. Reports a poisoned store's sticky failure.`,
+	},
+	{
+		name:     "compact",
+		synopsis: "compact",
+		summary:  "compact the store segments, then report",
+		detail: `Rewrites the store as one merged snapshot per live execution
+(docs/STORE.md), prints the compaction summary (segments and records
+before/after), then the same report as "store".`,
+	},
+	{
+		name:     "peers",
+		synopsis: "peers",
+		summary:  "list live peers from the -lookup server",
+		detail: `Talks to the lookup registry (-lookup, not -addr) and prints each
+live peer's address, liveness age, and reported load: inflight,
+queued, running, capacity (docs/FEDERATION.md).`,
+	},
+	{
+		name:     "render",
+		synopsis: "render [-dot] <file.xml>",
+		summary:  "render a DGL document as a tree (or DOT)",
+		detail: `Purely local — no server connection. Parses the document and prints
+its flow as an indented tree, or with -dot as a Graphviz digraph.`,
+	},
+	{
+		name:     "help",
+		synopsis: "help [-markdown] [verb]",
+		summary:  "show usage, per-verb detail, or the README table",
+		detail: `Without arguments, the usage screen. With a verb name, that verb's
+synopsis and detail. With -markdown, the verb table embedded in
+README.md's CLI section — regenerate the section from this output
+when verbs change; the CI docs job checks every verb is listed there.`,
+	},
+}
+
+func findVerb(name string) *verb {
+	for i := range verbs {
+		if verbs[i].name == name {
+			return &verbs[i]
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: dgfctl [-addr host:port] [-user name] <command> [args]\n\ncommands:\n")
+	for _, v := range verbs {
+		fmt.Fprintf(os.Stderr, "  %-28s %s\n", v.synopsis, v.summary)
+	}
+	fmt.Fprintf(os.Stderr, "\n\"dgfctl help <command>\" explains one command in detail.\n")
 	os.Exit(2)
+}
+
+// verbUsage reports a bad invocation of one verb: its synopsis and
+// detail, not the whole usage screen.
+func verbUsage(name string) {
+	v := findVerb(name)
+	fmt.Fprintf(os.Stderr, "usage: dgfctl [-addr host:port] [-user name] %s\n\n%s\n", v.synopsis, v.detail)
+	os.Exit(2)
+}
+
+// markdownTable renders the verb table as the GitHub-flavored markdown
+// embedded in README.md's CLI section.
+func markdownTable() string {
+	var b strings.Builder
+	b.WriteString("| verb | does |\n|---|---|\n")
+	for _, v := range verbs {
+		b.WriteString("| `" + v.synopsis + "` | " + v.summary + " |\n")
+	}
+	return b.String()
+}
+
+// extractOpt removes the first occurrence of opt from args, returning
+// the remaining args and whether it was present, so a verb's option is
+// accepted before or after its positional argument.
+func extractOpt(args []string, opt string) ([]string, bool) {
+	for i, a := range args {
+		if a == opt {
+			return append(append([]string{}, args[:i]...), args[i+1:]...), true
+		}
+	}
+	return args, false
+}
+
+func runHelp(args []string) {
+	args, markdown := extractOpt(args, "-markdown")
+	if markdown {
+		fmt.Print(markdownTable())
+		return
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	v := findVerb(args[0])
+	if v == nil {
+		fmt.Fprintf(os.Stderr, "dgfctl: unknown command %q\n\n", args[0])
+		usage()
+	}
+	fmt.Printf("usage: dgfctl [-addr host:port] [-user name] %s\n\n%s\n", v.synopsis, v.detail)
 }
 
 func main() {
@@ -67,16 +230,16 @@ func main() {
 		usage()
 	}
 
+	if args[0] == "help" {
+		runHelp(args[1:])
+		return
+	}
+
 	// render is purely local: no server connection needed.
 	if args[0] == "render" {
-		dot := false
-		rest := args[1:]
-		if len(rest) > 0 && rest[0] == "-dot" {
-			dot = true
-			rest = rest[1:]
-		}
+		rest, dot := extractOpt(args[1:], "-dot")
 		if len(rest) != 1 {
-			usage()
+			verbUsage("render")
 		}
 		data, err := os.ReadFile(rest[0])
 		if err != nil {
@@ -99,6 +262,9 @@ func main() {
 
 	// peers talks to the lookup registry, not a matrix server.
 	if args[0] == "peers" {
+		if len(args) != 1 {
+			verbUsage("peers")
+		}
 		lc, err := wire.DialLookup(*lookupAddr)
 		if err != nil {
 			log.Fatalf("dgfctl: %v", err)
@@ -122,22 +288,26 @@ func main() {
 		return
 	}
 
+	if findVerb(args[0]) == nil {
+		fmt.Fprintf(os.Stderr, "dgfctl: unknown command %q\n\n", args[0])
+		usage()
+	}
+
 	client, err := wire.Dial(*addr)
 	if err != nil {
 		log.Fatalf("dgfctl: %v", err)
 	}
 	defer client.Close()
+	// Negotiate up-front: a 1.2+ server multiplexes, a 1.4 server
+	// carries payloads in the binary codec (docs/CODEC.md). Any
+	// failure just leaves the session on the serial/text baseline.
+	_, _ = client.Hello()
 
 	switch args[0] {
 	case "submit":
-		async := false
-		rest := args[1:]
-		if len(rest) > 0 && rest[0] == "-async" {
-			async = true
-			rest = rest[1:]
-		}
+		rest, async := extractOpt(args[1:], "-async")
 		if len(rest) != 1 {
-			usage()
+			verbUsage("submit")
 		}
 		data, err := os.ReadFile(rest[0])
 		if err != nil {
@@ -163,14 +333,9 @@ func main() {
 		}
 		printStatus(resp.Status, 0)
 	case "status":
-		detail := false
-		rest := args[1:]
-		if len(rest) > 0 && rest[0] == "-detail" {
-			detail = true
-			rest = rest[1:]
-		}
+		rest, detail := extractOpt(args[1:], "-detail")
 		if len(rest) != 1 {
-			usage()
+			verbUsage("status")
 		}
 		st, err := client.Status(*user, rest[0], detail)
 		if err != nil {
@@ -179,7 +344,7 @@ func main() {
 		printStatus(st, 0)
 	case "pause", "resume", "cancel":
 		if len(args) != 2 {
-			usage()
+			verbUsage(args[0])
 		}
 		var err error
 		switch args[0] {
@@ -196,7 +361,7 @@ func main() {
 		fmt.Printf("%s: ok\n", args[0])
 	case "restart":
 		if len(args) != 2 {
-			usage()
+			verbUsage("restart")
 		}
 		id, err := client.Restart(args[1])
 		if err != nil {
@@ -237,8 +402,6 @@ func main() {
 				c.SegmentsBefore, c.RecordsBefore, c.RecordsKept, c.RecordsDropped)
 		}
 		printStore(info)
-	default:
-		usage()
 	}
 }
 

@@ -73,7 +73,12 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests across all connections (admission worker pool)")
 	maxUserQueue := flag.Int("max-queue", 256, "max admission waiters queued per user; excess requests are rejected with a capacity error")
 	serialOnly := flag.Bool("serial-only", false, "pin the wire protocol to pre-1.2 serial framing (no multiplexing)")
+	codecName := flag.String("codec", "json", "encoding for new journal/store writes: json or binary (docs/CODEC.md); existing files are sniffed and replay either way")
 	flag.Parse()
+	if *codecName != "json" && *codecName != "binary" {
+		log.Fatalf("matrixd: -codec must be json or binary, got %q", *codecName)
+	}
+	binaryCodec := *codecName == "binary"
 	if *name == "" {
 		*name = *peerName
 	} else if *peerName != "" && *peerName != *name {
@@ -168,7 +173,7 @@ func main() {
 				log.Printf("matrixd: recovered execution %s from journal", ex.ID)
 			}
 		}
-		journal, err := matrix.OpenJournal(*journalPath)
+		journal, err := matrix.OpenJournalOptions(*journalPath, matrix.JournalOptions{Binary: binaryCodec})
 		if err != nil {
 			log.Fatalf("matrixd: %v", err)
 		}
@@ -177,7 +182,7 @@ func main() {
 	}
 
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{Obs: grid.Obs()})
+		st, err := store.Open(*storeDir, store.Options{Obs: grid.Obs(), Binary: binaryCodec})
 		if err != nil {
 			log.Fatalf("matrixd: store: %v", err)
 		}

@@ -1,0 +1,264 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRecord() Record {
+	return Record{
+		Type:    TypeExecSnap,
+		ID:      "dgf-000042",
+		Time:    time.Unix(0, 1700000000123456789),
+		Request: "<dataGridRequest async=\"true\"></dataGridRequest>",
+		Node:    "/pipeline/stage-in",
+		Peer:    "peerB",
+		Err:     "",
+		Vars: map[string]string{
+			"chunk":  "/grid/data/chunk-07",
+			"target": "/grid/out",
+		},
+		Done:       []string{"/pipeline/stage-in", "/pipeline/transfer", "/pipeline/stage-in"},
+		Paused:     true,
+		Passivated: true,
+	}
+}
+
+// TestRecordRoundTrip pushes a fully-populated record and a minimal one
+// through encode/decode and wants structural equality.
+func TestRecordRoundTrip(t *testing.T) {
+	for _, rec := range []Record{
+		testRecord(),
+		{Type: TypeExecStart, ID: "dgf-000001", Time: time.Unix(12, 34)},
+	} {
+		e := GetEncoder()
+		AppendRecord(e, &rec)
+		got, err := DecodeRecord(e.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !recordsEqual(got, rec) {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+		}
+		PutEncoder(e)
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if !a.Time.Equal(b.Time) {
+		return false
+	}
+	a.Time, b.Time = time.Time{}, time.Time{}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestSymbolTableDeduplicates checks that a repeated string costs a
+// short reference the second time, not a second copy.
+func TestSymbolTableDeduplicates(t *testing.T) {
+	long := strings.Repeat("step-with-a-long-name", 3)
+	rec := Record{Type: TypeStepDone, ID: long, Node: long, Done: []string{long, long}}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	AppendRecord(e, &rec)
+	if n, want := len(e.Bytes()), 2*len(long); n >= want {
+		t.Fatalf("payload %d bytes, want < %d (symbol table did not deduplicate)", n, want)
+	}
+	got, err := DecodeRecord(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != long || got.Node != long || len(got.Done) != 2 || got.Done[1] != long {
+		t.Fatalf("decode after dedup = %+v", got)
+	}
+}
+
+// TestNestedMessageLengthPatch exercises the slow patch path: a nested
+// message over 127 bytes forces the placeholder to grow in place.
+func TestNestedMessageLengthPatch(t *testing.T) {
+	big := strings.Repeat("x", 4000)
+	rec := Record{Type: TypeExecSnap, ID: "dgf-1", Vars: map[string]string{"k": big}}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	AppendRecord(e, &rec)
+	got, err := DecodeRecord(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vars["k"] != big {
+		t.Fatalf("large nested value corrupted: got %d bytes", len(got.Vars["k"]))
+	}
+}
+
+// TestUnknownFieldSkip appends fields a MsgRecord decoder has never
+// heard of — every wire type, including an inline symbol definition
+// that a later known field references — and wants the known fields
+// back untouched.
+func TestUnknownFieldSkip(t *testing.T) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	e.Begin(MsgRecord)
+	e.Sym(1, TypeExecEnd)
+	e.Uint(90, 12345)                                 // unknown varint
+	e.Str(91, "future bytes")                         // unknown bytes
+	e.Msg(92, func(e *Encoder) { e.Str(1, "inner") }) // unknown message
+	e.Sym(93, "shared-symbol")                        // unknown symbol: defines table entry
+	e.Sym(2, "shared-symbol")                         // known field referencing it
+	e.Bool(10, true)
+
+	got, err := DecodeRecord(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeExecEnd || got.ID != "shared-symbol" || !got.Paused {
+		t.Fatalf("decode with unknown fields = %+v", got)
+	}
+}
+
+// TestDecoderRejectsGarbage feeds truncations and corruptions; all must
+// error, none may panic.
+func TestDecoderRejectsGarbage(t *testing.T) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	rec := testRecord()
+	AppendRecord(e, &rec)
+	good := e.Bytes()
+	for i := range good {
+		if _, err := DecodeRecord(good[:i]); err == nil && i < 3 {
+			t.Fatalf("truncation at %d decoded without error", i)
+		}
+		// Truncations past the header may decode cleanly if they fall on
+		// a field boundary — that is fine; we only require no panic.
+		_, _ = DecodeRecord(good[:i])
+	}
+	if _, err := DecodeRecord([]byte("{json}")); !errors.Is(err, ErrNotBinary) {
+		t.Fatalf("JSON payload error = %v, want ErrNotBinary", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[1] = 99
+	if _, err := DecodeRecord(bad); err == nil {
+		t.Fatal("future format version decoded without error")
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = MsgControl
+	if _, err := DecodeRecord(bad); err == nil {
+		t.Fatal("wrong message type decoded without error")
+	}
+}
+
+// TestFrameScanner writes three frames, reads them back, and then
+// checks torn-tail detection at every truncation point of the last
+// frame.
+func TestFrameScanner(t *testing.T) {
+	recs := []Record{
+		{Type: TypeExecStart, ID: "dgf-1", Request: "<dataGridRequest/>"},
+		{Type: TypeStepDone, ID: "dgf-1", Node: "/f/s1"},
+		testRecord(),
+	}
+	e := GetEncoder()
+	defer PutEncoder(e)
+	for i := range recs {
+		AppendRecordFrame(e, &recs[i])
+	}
+	stream := append([]byte(nil), e.Bytes()...)
+
+	sc := NewFrameScanner(bytes.NewReader(stream))
+	for i := range recs {
+		mt, payload, err := sc.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if mt != MsgRecord {
+			t.Fatalf("frame %d type = %d", i, mt)
+		}
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		if !recordsEqual(got, recs[i]) {
+			t.Fatalf("frame %d mismatch: %+v", i, got)
+		}
+	}
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+
+	// Find the offset of the last frame by re-scanning.
+	sc = NewFrameScanner(bytes.NewReader(stream))
+	var lastStart int64
+	for {
+		_, _, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastStart = sc.Offset()
+	}
+	for cut := int(lastStart) + 1; cut < len(stream); cut++ {
+		sc := NewFrameScanner(bytes.NewReader(stream[:cut]))
+		var err error
+		for {
+			_, _, err = sc.Next()
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut at %d: err = %v, want ErrTorn", cut, err)
+		}
+		if sc.Offset() != lastStart {
+			t.Fatalf("cut at %d: torn offset = %d, want %d", cut, sc.Offset(), lastStart)
+		}
+	}
+
+	// Corruption (bad magic mid-stream) is an error, not a torn tail.
+	bad := append([]byte(nil), stream...)
+	bad[lastStart] = '{'
+	sc = NewFrameScanner(bytes.NewReader(bad))
+	var err error
+	for {
+		_, _, err = sc.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == nil || errors.Is(err, ErrTorn) || err == io.EOF {
+		t.Fatalf("corrupt magic err = %v, want hard error", err)
+	}
+}
+
+// TestEncoderAccumulatesFrames checks that one encoder can hold many
+// frames back to back (the vectored-write path) with independent
+// string tables.
+func TestEncoderAccumulatesFrames(t *testing.T) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	a := Record{Type: TypeExecStart, ID: "dgf-1"}
+	b := Record{Type: TypeExecEnd, ID: "dgf-2"}
+	AppendRecordFrame(e, &a)
+	n := e.Len()
+	AppendRecordFrame(e, &b)
+	sc := NewFrameScanner(bytes.NewReader(e.Bytes()))
+	for _, want := range []Record{a, b} {
+		_, payload, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Type != want.Type {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+	}
+	if e.Len() <= n {
+		t.Fatal("second frame did not append")
+	}
+}

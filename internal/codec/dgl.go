@@ -1,0 +1,598 @@
+package codec
+
+import "datagridflow/internal/dgl"
+
+// Binary codecs for DGL documents — the payloads of KindDGL frames and
+// the per-item bodies inside batch envelopes. Replacing encoding/xml on
+// the submit path is where most of the wire win comes from: an XML
+// round trip (MarshalIndent + Unmarshal) costs an order of magnitude
+// more than these field loops, and the string table collapses the
+// repeated names (step names, variable names, operation types) a real
+// flow document is mostly made of.
+//
+// Field numbers are frozen per docs/CODEC.md: new fields append, old
+// numbers are never reused, decoders skip what they do not know.
+
+// Request field numbers (MsgRequest).
+const (
+	reqAsync = 1 // varint bool
+	reqMeta  = 2 // msg {1: createdBy sym, 2: createdAt sym, 3: description bytes}
+	reqUser  = 3 // msg {1: name sym, 2: vo sym}
+	reqFlow  = 4 // msg (flow)
+	reqQuery = 5 // msg {1: id sym, 2: detail bool}
+)
+
+// Flow field numbers (nested).
+const (
+	flowName = 1 // sym
+	flowVar  = 2 // repeated msg {1: name sym, 2: value bytes}
+	flowLgc  = 3 // msg (flowLogic)
+	flowSub  = 4 // repeated msg (flow)
+	flowStep = 5 // repeated msg (step)
+)
+
+// FlowLogic field numbers.
+const (
+	lgcControl = 1 // sym
+	lgcCond    = 2 // bytes
+	lgcIterate = 3 // msg
+	lgcRule    = 4 // repeated msg (rule)
+)
+
+// Iterate field numbers.
+const (
+	iterVar      = 1 // sym
+	iterParallel = 2 // varint bool
+	iterIn       = 3 // bytes
+	iterTimes    = 4 // zigzag varint
+	iterQuery    = 5 // msg (nsQuery)
+)
+
+// NSQuery field numbers.
+const (
+	nsqScope   = 1 // sym
+	nsqObjects = 2 // varint bool
+	nsqCond    = 3 // repeated msg {1: attr sym, 2: op sym, 3: value bytes}
+)
+
+// Rule field numbers.
+const (
+	ruleName   = 1 // sym
+	ruleCond   = 2 // bytes
+	ruleAction = 3 // repeated msg {1: name sym, 2: operation msg}
+)
+
+// Step field numbers.
+const (
+	stepName       = 1 // sym
+	stepOnError    = 2 // sym
+	stepRetries    = 3 // zigzag varint
+	stepBackoff    = 4 // sym
+	stepMaxBackoff = 5 // sym
+	stepTimeout    = 6 // sym
+	stepVar        = 7 // repeated msg {1: name sym, 2: value bytes}
+	stepRule       = 8 // repeated msg (rule)
+	stepOp         = 9 // msg (operation)
+)
+
+// Operation field numbers.
+const (
+	opType  = 1 // sym
+	opParam = 2 // repeated msg {1: name sym, 2: value bytes}
+)
+
+// Response field numbers (MsgResponse).
+const (
+	respAck    = 1 // msg {1: id sym, 2: status sym, 3: valid bool, 4: message bytes}
+	respStatus = 2 // msg (flowStatus)
+	respErr    = 3 // bytes
+)
+
+// FlowStatus field numbers.
+const (
+	fsID        = 1 // sym
+	fsName      = 2 // sym
+	fsKind      = 3 // sym
+	fsState     = 4 // sym
+	fsStarted   = 5 // sym
+	fsFinished  = 6 // sym
+	fsDelegated = 7 // sym
+	fsErr       = 8 // bytes
+	fsChild     = 9 // repeated msg (flowStatus)
+)
+
+// AppendRequest encodes a dgl.Request as a standalone payload.
+func AppendRequest(e *Encoder, req *dgl.Request) {
+	e.Begin(MsgRequest)
+	e.Bool(reqAsync, req.Async)
+	if req.Metadata != (dgl.DocumentMeta{}) {
+		e.Msg(reqMeta, func(e *Encoder) {
+			e.Sym(1, req.Metadata.CreatedBy)
+			e.Sym(2, req.Metadata.CreatedAt)
+			e.Str(3, req.Metadata.Description)
+		})
+	}
+	if req.User != (dgl.GridUser{}) {
+		e.Msg(reqUser, func(e *Encoder) {
+			e.Sym(1, req.User.Name)
+			e.Sym(2, req.User.VO)
+		})
+	}
+	if req.Flow != nil {
+		e.Msg(reqFlow, func(e *Encoder) { flowFields(e, req.Flow) })
+	}
+	if req.StatusQuery != nil {
+		e.Msg(reqQuery, func(e *Encoder) {
+			e.Sym(1, req.StatusQuery.ID)
+			e.Bool(2, req.StatusQuery.Detail)
+		})
+	}
+}
+
+func flowFields(e *Encoder, f *dgl.Flow) {
+	e.Sym(flowName, f.Name)
+	for i := range f.Variables {
+		v := &f.Variables[i]
+		e.Msg(flowVar, func(e *Encoder) {
+			e.Sym(1, v.Name)
+			e.Str(2, v.Value)
+		})
+	}
+	e.Msg(flowLgc, func(e *Encoder) { logicFields(e, &f.Logic) })
+	for i := range f.Flows {
+		sub := &f.Flows[i]
+		e.Msg(flowSub, func(e *Encoder) { flowFields(e, sub) })
+	}
+	for i := range f.Steps {
+		st := &f.Steps[i]
+		e.Msg(flowStep, func(e *Encoder) { stepFields(e, st) })
+	}
+}
+
+func logicFields(e *Encoder, l *dgl.FlowLogic) {
+	e.Sym(lgcControl, string(l.Control))
+	e.Str(lgcCond, l.Condition)
+	if l.Iterate != nil {
+		it := l.Iterate
+		e.Msg(lgcIterate, func(e *Encoder) {
+			e.Sym(iterVar, it.Var)
+			e.Bool(iterParallel, it.Parallel)
+			e.Str(iterIn, it.In)
+			if it.Times != 0 {
+				e.Int(iterTimes, int64(it.Times))
+			}
+			if it.Query != nil {
+				e.Msg(iterQuery, func(e *Encoder) { queryFields(e, it.Query) })
+			}
+		})
+	}
+	for i := range l.Rules {
+		r := &l.Rules[i]
+		e.Msg(lgcRule, func(e *Encoder) { ruleFields(e, r) })
+	}
+}
+
+func queryFields(e *Encoder, q *dgl.NSQuery) {
+	e.Sym(nsqScope, q.Scope)
+	e.Bool(nsqObjects, q.ObjectsOnly)
+	for i := range q.Conditions {
+		c := &q.Conditions[i]
+		e.Msg(nsqCond, func(e *Encoder) {
+			e.Sym(1, c.Attr)
+			e.Sym(2, c.Op)
+			e.Str(3, c.Value)
+		})
+	}
+}
+
+func ruleFields(e *Encoder, r *dgl.Rule) {
+	e.Sym(ruleName, r.Name)
+	e.Str(ruleCond, r.Condition)
+	for i := range r.Actions {
+		a := &r.Actions[i]
+		e.Msg(ruleAction, func(e *Encoder) {
+			e.Sym(1, a.Name)
+			if a.Operation != nil {
+				e.Msg(2, func(e *Encoder) { opFields(e, a.Operation) })
+			}
+		})
+	}
+}
+
+func stepFields(e *Encoder, st *dgl.Step) {
+	e.Sym(stepName, st.Name)
+	e.Sym(stepOnError, st.OnError)
+	if st.Retries != 0 {
+		e.Int(stepRetries, int64(st.Retries))
+	}
+	e.Sym(stepBackoff, st.Backoff)
+	e.Sym(stepMaxBackoff, st.MaxBackoff)
+	e.Sym(stepTimeout, st.Timeout)
+	for i := range st.Variables {
+		v := &st.Variables[i]
+		e.Msg(stepVar, func(e *Encoder) {
+			e.Sym(1, v.Name)
+			e.Str(2, v.Value)
+		})
+	}
+	for i := range st.Rules {
+		r := &st.Rules[i]
+		e.Msg(stepRule, func(e *Encoder) { ruleFields(e, r) })
+	}
+	e.Msg(stepOp, func(e *Encoder) { opFields(e, &st.Operation) })
+}
+
+func opFields(e *Encoder, op *dgl.Operation) {
+	e.Sym(opType, op.Type)
+	for i := range op.Params {
+		p := &op.Params[i]
+		e.Msg(opParam, func(e *Encoder) {
+			e.Sym(1, p.Name)
+			e.Str(2, p.Value)
+		})
+	}
+}
+
+// DecodeRequest decodes a MsgRequest payload.
+func DecodeRequest(payload []byte) (*dgl.Request, error) {
+	d, err := NewDecoder(payload, MsgRequest)
+	if err != nil {
+		return nil, err
+	}
+	req := &dgl.Request{}
+	for d.Next() {
+		switch d.Field() {
+		case reqAsync:
+			req.Async = d.Bool()
+		case reqMeta:
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						req.Metadata.CreatedBy = d.Sym()
+					case 2:
+						req.Metadata.CreatedAt = d.Sym()
+					case 3:
+						req.Metadata.Description = d.Str()
+					default:
+						d.Skip()
+					}
+				}
+			})
+		case reqUser:
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						req.User.Name = d.Sym()
+					case 2:
+						req.User.VO = d.Sym()
+					default:
+						d.Skip()
+					}
+				}
+			})
+		case reqFlow:
+			f := &dgl.Flow{}
+			d.Msg(func(d *Decoder) { decodeFlow(d, f) })
+			req.Flow = f
+		case reqQuery:
+			q := &dgl.StatusQuery{}
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						q.ID = d.Sym()
+					case 2:
+						q.Detail = d.Bool()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			req.StatusQuery = q
+		default:
+			d.Skip()
+		}
+	}
+	return req, d.Err()
+}
+
+func decodeFlow(d *Decoder, f *dgl.Flow) {
+	for d.Next() {
+		switch d.Field() {
+		case flowName:
+			f.Name = d.Sym()
+		case flowVar:
+			var v dgl.Variable
+			d.Msg(func(d *Decoder) { decodeVariable(d, &v) })
+			f.Variables = append(f.Variables, v)
+		case flowLgc:
+			d.Msg(func(d *Decoder) { decodeLogic(d, &f.Logic) })
+		case flowSub:
+			var sub dgl.Flow
+			d.Msg(func(d *Decoder) { decodeFlow(d, &sub) })
+			f.Flows = append(f.Flows, sub)
+		case flowStep:
+			var st dgl.Step
+			d.Msg(func(d *Decoder) { decodeStep(d, &st) })
+			f.Steps = append(f.Steps, st)
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeVariable(d *Decoder, v *dgl.Variable) {
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			v.Name = d.Sym()
+		case 2:
+			v.Value = d.Str()
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeLogic(d *Decoder, l *dgl.FlowLogic) {
+	for d.Next() {
+		switch d.Field() {
+		case lgcControl:
+			l.Control = dgl.Control(d.Sym())
+		case lgcCond:
+			l.Condition = d.Str()
+		case lgcIterate:
+			it := &dgl.Iterate{}
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case iterVar:
+						it.Var = d.Sym()
+					case iterParallel:
+						it.Parallel = d.Bool()
+					case iterIn:
+						it.In = d.Str()
+					case iterTimes:
+						it.Times = int(d.Int())
+					case iterQuery:
+						q := &dgl.NSQuery{}
+						d.Msg(func(d *Decoder) { decodeQuery(d, q) })
+						it.Query = q
+					default:
+						d.Skip()
+					}
+				}
+			})
+			l.Iterate = it
+		case lgcRule:
+			var r dgl.Rule
+			d.Msg(func(d *Decoder) { decodeRule(d, &r) })
+			l.Rules = append(l.Rules, r)
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeQuery(d *Decoder, q *dgl.NSQuery) {
+	for d.Next() {
+		switch d.Field() {
+		case nsqScope:
+			q.Scope = d.Sym()
+		case nsqObjects:
+			q.ObjectsOnly = d.Bool()
+		case nsqCond:
+			var c dgl.QueryCond
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						c.Attr = d.Sym()
+					case 2:
+						c.Op = d.Sym()
+					case 3:
+						c.Value = d.Str()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			q.Conditions = append(q.Conditions, c)
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeRule(d *Decoder, r *dgl.Rule) {
+	for d.Next() {
+		switch d.Field() {
+		case ruleName:
+			r.Name = d.Sym()
+		case ruleCond:
+			r.Condition = d.Str()
+		case ruleAction:
+			var a dgl.Action
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						a.Name = d.Sym()
+					case 2:
+						op := &dgl.Operation{}
+						d.Msg(func(d *Decoder) { decodeOp(d, op) })
+						a.Operation = op
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Actions = append(r.Actions, a)
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeStep(d *Decoder, st *dgl.Step) {
+	for d.Next() {
+		switch d.Field() {
+		case stepName:
+			st.Name = d.Sym()
+		case stepOnError:
+			st.OnError = d.Sym()
+		case stepRetries:
+			st.Retries = int(d.Int())
+		case stepBackoff:
+			st.Backoff = d.Sym()
+		case stepMaxBackoff:
+			st.MaxBackoff = d.Sym()
+		case stepTimeout:
+			st.Timeout = d.Sym()
+		case stepVar:
+			var v dgl.Variable
+			d.Msg(func(d *Decoder) { decodeVariable(d, &v) })
+			st.Variables = append(st.Variables, v)
+		case stepRule:
+			var r dgl.Rule
+			d.Msg(func(d *Decoder) { decodeRule(d, &r) })
+			st.Rules = append(st.Rules, r)
+		case stepOp:
+			d.Msg(func(d *Decoder) { decodeOp(d, &st.Operation) })
+		default:
+			d.Skip()
+		}
+	}
+}
+
+func decodeOp(d *Decoder, op *dgl.Operation) {
+	for d.Next() {
+		switch d.Field() {
+		case opType:
+			op.Type = d.Sym()
+		case opParam:
+			var p dgl.Param
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						p.Name = d.Sym()
+					case 2:
+						p.Value = d.Str()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			op.Params = append(op.Params, p)
+		default:
+			d.Skip()
+		}
+	}
+}
+
+// AppendResponse encodes a dgl.Response as a standalone payload.
+func AppendResponse(e *Encoder, resp *dgl.Response) {
+	e.Begin(MsgResponse)
+	if resp.Ack != nil {
+		a := resp.Ack
+		e.Msg(respAck, func(e *Encoder) {
+			e.Sym(1, a.ID)
+			e.Sym(2, a.Status)
+			e.Bool(3, a.Valid)
+			e.Str(4, a.Message)
+		})
+	}
+	if resp.Status != nil {
+		st := resp.Status
+		e.Msg(respStatus, func(e *Encoder) { statusFields(e, st) })
+	}
+	e.Str(respErr, resp.Error)
+}
+
+func statusFields(e *Encoder, st *dgl.FlowStatus) {
+	e.Sym(fsID, st.ID)
+	e.Sym(fsName, st.Name)
+	e.Sym(fsKind, st.Kind)
+	e.Sym(fsState, st.State)
+	e.Sym(fsStarted, st.Started)
+	e.Sym(fsFinished, st.Finished)
+	e.Sym(fsDelegated, st.Delegated)
+	e.Str(fsErr, st.Error)
+	for i := range st.Children {
+		c := &st.Children[i]
+		e.Msg(fsChild, func(e *Encoder) { statusFields(e, c) })
+	}
+}
+
+// DecodeResponse decodes a MsgResponse payload.
+func DecodeResponse(payload []byte) (*dgl.Response, error) {
+	d, err := NewDecoder(payload, MsgResponse)
+	if err != nil {
+		return nil, err
+	}
+	resp := &dgl.Response{}
+	for d.Next() {
+		switch d.Field() {
+		case respAck:
+			a := &dgl.Ack{}
+			d.Msg(func(d *Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						a.ID = d.Sym()
+					case 2:
+						a.Status = d.Sym()
+					case 3:
+						a.Valid = d.Bool()
+					case 4:
+						a.Message = d.Str()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			resp.Ack = a
+		case respStatus:
+			st := &dgl.FlowStatus{}
+			d.Msg(func(d *Decoder) { decodeStatus(d, st) })
+			resp.Status = st
+		case respErr:
+			resp.Error = d.Str()
+		default:
+			d.Skip()
+		}
+	}
+	return resp, d.Err()
+}
+
+func decodeStatus(d *Decoder, st *dgl.FlowStatus) {
+	for d.Next() {
+		switch d.Field() {
+		case fsID:
+			st.ID = d.Sym()
+		case fsName:
+			st.Name = d.Sym()
+		case fsKind:
+			st.Kind = d.Sym()
+		case fsState:
+			st.State = d.Sym()
+		case fsStarted:
+			st.Started = d.Sym()
+		case fsFinished:
+			st.Finished = d.Sym()
+		case fsDelegated:
+			st.Delegated = d.Sym()
+		case fsErr:
+			st.Error = d.Str()
+		case fsChild:
+			var c dgl.FlowStatus
+			d.Msg(func(d *Decoder) { decodeStatus(d, &c) })
+			st.Children = append(st.Children, c)
+		default:
+			d.Skip()
+		}
+	}
+}

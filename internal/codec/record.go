@@ -1,0 +1,188 @@
+package codec
+
+import (
+	"sort"
+	"time"
+)
+
+// Record is one lifecycle record of the matrix journal and the
+// flow-state store (internal/store aliases this type so both layers and
+// their tooling share one definition). A record serializes either as
+// one JSONL line (the legacy encoding, via the json tags) or as one
+// binary frame (AppendRecordFrame) — a segment or journal file holds
+// exactly one encoding, sniffed from its first byte.
+type Record struct {
+	Type string    `json:"type"`
+	ID   string    `json:"id"` // execution id
+	Time time.Time `json:"time"`
+	// Request holds the marshaled DGL request document (exec.start,
+	// exec.snap).
+	Request string `json:"request,omitempty"`
+	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
+	// (step.done, deleg.start, deleg.done).
+	Node string `json:"node,omitempty"`
+	// Peer names the remote peer that completed a delegated subflow
+	// (deleg.done).
+	Peer string `json:"peer,omitempty"`
+	// Err is the final error text, empty on success (exec.end).
+	Err string `json:"err,omitempty"`
+	// Vars snapshots the execution's root scope variables (exec.snap).
+	Vars map[string]string `json:"vars,omitempty"`
+	// Done lists the restart-stable node paths proven complete
+	// (exec.snap) — steps, skipped steps, and whole delegated subtrees.
+	Done []string `json:"done,omitempty"`
+	// Paused records whether the execution was paused when the record
+	// was written (exec.snap, exec.passivate); a resurrected execution
+	// re-enters the paused state.
+	Paused bool `json:"paused,omitempty"`
+	// Passivated marks a compaction-merged snapshot of a passivated
+	// execution (exec.snap written by Compact): one record carries both
+	// the snapshot and the passivation marker.
+	Passivated bool `json:"passivated,omitempty"`
+}
+
+// Record types. The first five are the journal's lifecycle types; the
+// rest are store extensions. Readers must ignore types they do not
+// know — old tooling skips snap/passivate/resurrect/prune lines.
+const (
+	TypeExecStart  = "exec.start"
+	TypeStepDone   = "step.done"
+	TypeDelegStart = "deleg.start"
+	TypeDelegDone  = "deleg.done"
+	TypeExecEnd    = "exec.end"
+
+	// TypeExecSnap is a self-contained snapshot: Request + Vars + Done
+	// (+ Paused). Replaying a snapshot supersedes every earlier record
+	// of the execution.
+	TypeExecSnap = "exec.snap"
+	// TypeExecPassivate marks the execution as evicted from engine
+	// memory; it is always preceded by a fresh exec.snap.
+	TypeExecPassivate = "exec.passivate"
+	// TypeExecResurrect marks a passivated execution as resident again
+	// (it is running; a crash before its exec.end must resume it).
+	TypeExecResurrect = "exec.resurrect"
+	// TypeExecPrune is the tombstone for Engine.Prune: compaction drops
+	// every record of a pruned execution, and recovery never resurrects
+	// it.
+	TypeExecPrune = "exec.prune"
+)
+
+// Record field numbers (MsgRecord). Frozen: new fields append, existing
+// numbers are never reused (docs/CODEC.md, "Versioning").
+const (
+	recType       = 1  // sym
+	recID         = 2  // sym
+	recTime       = 3  // zigzag varint, UnixNano; absent = zero time
+	recRequest    = 4  // bytes
+	recNode       = 5  // sym
+	recPeer       = 6  // sym
+	recErr        = 7  // bytes
+	recVar        = 8  // repeated msg {1: key sym, 2: value bytes}
+	recDone       = 9  // repeated sym
+	recPaused     = 10 // varint bool
+	recPassivated = 11 // varint bool
+)
+
+// AppendRecord encodes rec as a standalone payload (Begin layout).
+func AppendRecord(e *Encoder, rec *Record) {
+	e.Begin(MsgRecord)
+	recordFields(e, rec)
+}
+
+// AppendRecordFrame encodes rec as a self-delimiting frame for
+// append-only streams (store segments, the journal). Frames accumulate:
+// several calls on one encoder build one contiguous block, written (and
+// fsynced) in a single vectored append.
+func AppendRecordFrame(e *Encoder, rec *Record) {
+	mark := e.BeginFrame(MsgRecord)
+	recordFields(e, rec)
+	e.EndFrame(mark)
+}
+
+func recordFields(e *Encoder, rec *Record) {
+	e.Sym(recType, rec.Type)
+	e.Sym(recID, rec.ID)
+	if !rec.Time.IsZero() {
+		e.Int(recTime, rec.Time.UnixNano())
+	}
+	e.Str(recRequest, rec.Request)
+	e.Sym(recNode, rec.Node)
+	e.Sym(recPeer, rec.Peer)
+	e.Str(recErr, rec.Err)
+	if len(rec.Vars) > 0 {
+		keys := make([]string, 0, len(rec.Vars))
+		for k := range rec.Vars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			k := k
+			e.Msg(recVar, func(e *Encoder) {
+				e.Sym(1, k)
+				e.Str(2, rec.Vars[k])
+			})
+		}
+	}
+	for _, n := range rec.Done {
+		e.Sym(recDone, n)
+	}
+	e.Bool(recPaused, rec.Paused)
+	e.Bool(recPassivated, rec.Passivated)
+}
+
+// DecodeRecord decodes a MsgRecord payload (Begin layout, as returned
+// by FrameScanner.Next).
+func DecodeRecord(payload []byte) (Record, error) {
+	d, err := NewDecoder(payload, MsgRecord)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	for d.Next() {
+		switch d.Field() {
+		case recType:
+			rec.Type = d.Sym()
+		case recID:
+			rec.ID = d.Sym()
+		case recTime:
+			rec.Time = time.Unix(0, d.Int())
+		case recRequest:
+			rec.Request = d.Str()
+		case recNode:
+			rec.Node = d.Sym()
+		case recPeer:
+			rec.Peer = d.Sym()
+		case recErr:
+			rec.Err = d.Str()
+		case recVar:
+			// MsgEnter over the closure form: replay decodes millions of
+			// these and the escaping sub-decoder dominates its allocations.
+			var k, v string
+			end := d.MsgEnter()
+			for d.Next() {
+				switch d.Field() {
+				case 1:
+					k = d.Sym()
+				case 2:
+					v = d.Str()
+				default:
+					d.Skip()
+				}
+			}
+			d.MsgExit(end)
+			if rec.Vars == nil {
+				rec.Vars = make(map[string]string, 8)
+			}
+			rec.Vars[k] = v
+		case recDone:
+			rec.Done = append(rec.Done, d.Sym())
+		case recPaused:
+			rec.Paused = d.Bool()
+		case recPassivated:
+			rec.Passivated = d.Bool()
+		default:
+			d.Skip()
+		}
+	}
+	return rec, d.Err()
+}

@@ -1,0 +1,68 @@
+package codec
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchRecs() []Record {
+	now := time.Now()
+	recs := make([]Record, 256)
+	for i := range recs {
+		vars := make(map[string]string, 10)
+		for v := 0; v < 10; v++ {
+			vars[fmt.Sprintf("dataset.partition.%02d", v)] =
+				fmt.Sprintf("srb://vault.sdsc.edu/grid/run-%04d/part-%02d.dat", i%977, v)
+		}
+		done := make([]string, 12)
+		for s := range done {
+			done[s] = fmt.Sprintf("/lr/s%d", s)
+		}
+		recs[i] = Record{
+			Type: TypeExecSnap,
+			ID:   fmt.Sprintf("dgf-%06d", i%4096),
+			Time: now,
+			Request: `<dataGridRequest async="true"><userInfo><userName>bench</userName>` +
+				`<virtualOrganization>sdsc</virtualOrganization></userInfo>` +
+				`<dataGridFlow name="lr"><flowLogic control="sequential"/></dataGridFlow></dataGridRequest>`,
+			Node: "/lr/park",
+			Vars: vars,
+			Done: done,
+		}
+	}
+	return recs
+}
+
+func BenchmarkReplayJSONDecode(b *testing.B) {
+	recs := benchRecs()
+	lines := make([][]byte, len(recs))
+	for i := range recs {
+		lines[i], _ = json.Marshal(&recs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var r Record
+		if err := json.Unmarshal(lines[i%len(lines)], &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayBinaryDecode(b *testing.B) {
+	recs := benchRecs()
+	frames := make([][]byte, len(recs))
+	for i := range recs {
+		e := GetEncoder()
+		AppendRecord(e, &recs[i])
+		frames[i] = append([]byte(nil), e.Bytes()...)
+		PutEncoder(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRecord(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

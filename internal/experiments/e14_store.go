@@ -77,6 +77,19 @@ type StoreBenchReport struct {
 	// ResurrectedOK is 1 when a sampled passivated flow resurrected
 	// from the recovered store with its checkpoints intact.
 	ResurrectedOK int `json:"resurrectedOk"`
+
+	// The codec replay phase writes one identical synthetic snapshot
+	// stream to two fresh stores — JSONL and the 1.4 binary segment
+	// encoding — and times store.Open over each. CodecReplaySpeedup is
+	// JSON open time over binary open time, the gated quantity for the
+	// store half of the codec (docs/CODEC.md); the byte counts record
+	// the on-disk size win.
+	CodecReplayRecords int     `json:"codecReplayRecords"`
+	CodecJSONOpenMs    float64 `json:"codecJsonOpenMs"`
+	CodecBinOpenMs     float64 `json:"codecBinOpenMs"`
+	CodecJSONBytes     int64   `json:"codecJsonBytes"`
+	CodecBinBytes      int64   `json:"codecBinBytes"`
+	CodecReplaySpeedup float64 `json:"codecReplaySpeedup"`
 }
 
 // e14Dims sizes the run.
@@ -85,6 +98,105 @@ func e14Dims(s Scale) (flows, wave, steps int) {
 		return 50000, 2000, 12
 	}
 	return 300, 100, 12
+}
+
+// e14CodecRecords sizes the codec replay phase's synthetic stream.
+func e14CodecRecords(s Scale) int {
+	if s == Full {
+		return 40000
+	}
+	return 4000
+}
+
+// codecStream builds the codec phase's workload: snapshot records of
+// realistic shape — a request document, a dozen dataset variables, a
+// dozen completed steps — cycling over a bounded id population so the
+// replayed index stays store-sized while every record is decoded.
+func codecStream(n int) []store.Record {
+	now := time.Now()
+	recs := make([]store.Record, n)
+	for i := range recs {
+		vars := make(map[string]string, 10)
+		for v := 0; v < 10; v++ {
+			vars[fmt.Sprintf("dataset.partition.%02d", v)] =
+				fmt.Sprintf("srb://vault.sdsc.edu/grid/run-%04d/part-%02d.dat", i%977, v)
+		}
+		done := make([]string, 12)
+		for s := range done {
+			done[s] = fmt.Sprintf("/lr/s%d", s)
+		}
+		// The snapshot carries the execution's full DGL request document:
+		// for a long-run collection flow that is a multi-kilobyte,
+		// attribute-heavy XML body (one step per partition). Inside JSONL
+		// every attribute quote is escaped, which is exactly the asymmetry
+		// the binary encoding removes — the request rides as one
+		// length-prefixed byte run.
+		req := make([]byte, 0, 6<<10)
+		req = append(req, `<dataGridRequest async="true"><userInfo><userName>bench</userName>`+
+			`<virtualOrganization>sdsc</virtualOrganization></userInfo>`+
+			`<dataGridFlow name="lr"><flowLogic control="sequential">`...)
+		for s := 0; s < 24; s++ {
+			req = append(req, fmt.Sprintf(`<step name="partition-%02d"><op kind="replicate" `+
+				`src="srb://vault.sdsc.edu/home/collections/run-%04d/partition-%02d/objects.dat" `+
+				`dst="srb://mirror.npaci.edu/archive/run-%04d/partition-%02d/objects.dat" `+
+				`checksum="md5:%08x" replicas="3"/></step>`, s, i%977, s, i%977, s, uint32(i*31+s))...)
+		}
+		req = append(req, `</flowLogic></dataGridFlow></dataGridRequest>`...)
+		recs[i] = store.Record{
+			Type:    store.TypeExecSnap,
+			ID:      fmt.Sprintf("dgf-%06d", i%4096),
+			Time:    now.Add(time.Duration(i) * time.Millisecond),
+			Request: string(req),
+			Node:    "/lr/park",
+			Vars:    vars,
+			Done:    done,
+			Paused:  i%7 == 0,
+		}
+	}
+	return recs
+}
+
+// codecPhase writes recs to a fresh store in the given encoding via the
+// vectored batch path, then times a cold store.Open over the result.
+func codecPhase(dir string, recs []store.Record, binary bool) (openMs float64, size int64, err error) {
+	st, err := store.Open(dir, store.Options{Binary: binary})
+	if err != nil {
+		return 0, 0, err
+	}
+	const chunk = 512
+	for lo := 0; lo < len(recs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if err := st.AppendBatch(recs[lo:hi]); err != nil {
+			st.Close()
+			return 0, 0, err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return 0, 0, err
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, s := range segs {
+		if fi, serr := os.Stat(s); serr == nil {
+			size += fi.Size()
+		}
+	}
+	t0 := time.Now()
+	st2, err := store.Open(dir, store.Options{Binary: binary})
+	if err != nil {
+		return 0, 0, err
+	}
+	openMs = float64(time.Since(t0).Microseconds()) / 1000
+	defer st2.Close()
+	if got := st2.Stats().ReplayRecords; got != len(recs) {
+		return 0, 0, fmt.Errorf("E14 codec: replayed %d of %d records (binary=%v)", got, len(recs), binary)
+	}
+	return openMs, size, nil
 }
 
 // parkedFlow is the E14 workload: a dozen quick variable updates (the
@@ -350,6 +462,22 @@ func E14StoreBench(scale Scale) (*StoreBenchReport, error) {
 			rep.ResurrectedOK = 1
 		}
 	}
+
+	// Codec replay phase: the same synthetic snapshot stream through a
+	// JSONL store and a binary store, each timed through a cold Open.
+	recs := codecStream(e14CodecRecords(scale))
+	rep.CodecReplayRecords = len(recs)
+	rep.CodecJSONOpenMs, rep.CodecJSONBytes, err = codecPhase(filepath.Join(dir, "codec-json"), recs, false)
+	if err != nil {
+		return nil, err
+	}
+	rep.CodecBinOpenMs, rep.CodecBinBytes, err = codecPhase(filepath.Join(dir, "codec-bin"), recs, true)
+	if err != nil {
+		return nil, err
+	}
+	if rep.CodecBinOpenMs > 0 {
+		rep.CodecReplaySpeedup = rep.CodecJSONOpenMs / rep.CodecBinOpenMs
+	}
 	return rep, nil
 }
 
@@ -376,6 +504,11 @@ func E14Store(scale Scale) (*Report, error) {
 	if rep.ResurrectedOK == 1 {
 		r.Note("sampled passivated flow resurrected after restart with all %d burst steps checkpoint-complete", rep.StepsPerFlow)
 	}
+	r.Row(fmt.Sprintf("codec replay ms (%d records)", rep.CodecReplayRecords),
+		fmt.Sprintf("%.1f", rep.CodecJSONOpenMs), fmt.Sprintf("%.1f", rep.CodecBinOpenMs))
+	r.Note("binary segment codec: replay %.1fx faster than JSONL, %.0f%% of the bytes (%d -> %d)",
+		rep.CodecReplaySpeedup, 100*float64(rep.CodecBinBytes)/float64(max64(rep.CodecJSONBytes, 1)),
+		rep.CodecJSONBytes, rep.CodecBinBytes)
 	return r, nil
 }
 

@@ -16,7 +16,11 @@
 //
 //   - speedup_pipelined falls below -min-speedup (the protocol's
 //     headline claim: pipelining must hide at least that multiple of
-//     the per-request latency), or
+//     the per-request latency),
+//   - speedup_codec_async or speedup_codec_batch falls below
+//     -min-codec-speedup (the 1.4 binary codec's claim: at least that
+//     multiple of the text encodings on the variable-heavy workload,
+//     docs/CODEC.md), or
 //   - a gated speedup ratio drops more than -max-regress (fraction)
 //     below the committed baseline's ratio.
 //
@@ -26,6 +30,8 @@
 //
 //   - replayReduction (journal records / store replay records on
 //     restart) falls below -min-reduction,
+//   - codecReplaySpeedup (binary vs JSONL segment replay on identical
+//     snapshot streams) falls below -min-codec-speedup,
 //   - residentAfterSweep exceeds 1% of the flow population (passivation
 //     must actually evict idle flows from memory),
 //   - residentAfterRecovery exceeds the same bound (a restart must not
@@ -102,19 +108,31 @@ func table(rows []row, maxRegress float64) (string, int) {
 }
 
 // gate renders the wire old/new/delta table and counts gate failures.
-func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, int) {
+func gate(base, cur *loadgen.Report, maxRegress, minSpeedup, minCodec float64) (string, int) {
 	out, failures := table([]row{
 		{"speedup/pipelined", base.SpeedupPipelined, cur.SpeedupPipelined, "x", true},
 		{"speedup/batch", base.SpeedupBatch, cur.SpeedupBatch, "x", true},
+		{"speedup/codec-async", base.SpeedupCodecAsync, cur.SpeedupCodecAsync, "x", true},
+		{"speedup/codec-batch", base.SpeedupCodecBatch, cur.SpeedupCodecBatch, "x", true},
 		{"rps/serial", base.Serial.RPS, cur.Serial.RPS, "req/s", false},
 		{"rps/pipelined", base.Pipelined.RPS, cur.Pipelined.RPS, "req/s", false},
 		{"rps/batch", base.Batch.RPS, cur.Batch.RPS, "req/s", false},
+		{"rps/codec-async-bin", base.AsyncCodecBin.RPS, cur.AsyncCodecBin.RPS, "req/s", false},
+		{"rps/codec-batch-bin", base.BatchCodecBin.RPS, cur.BatchCodecBin.RPS, "req/s", false},
 		{"p99/pipelined", base.Pipelined.P99ms, cur.Pipelined.P99ms, "ms", false},
 	}, maxRegress)
 	var b strings.Builder
 	b.WriteString(out)
 	if cur.SpeedupPipelined < minSpeedup {
 		fmt.Fprintf(&b, "\nFAIL: speedup_pipelined %.2fx below the %.1fx floor\n", cur.SpeedupPipelined, minSpeedup)
+		failures++
+	}
+	if cur.SpeedupCodecAsync < minCodec {
+		fmt.Fprintf(&b, "\nFAIL: speedup_codec_async %.2fx below the %.1fx floor\n", cur.SpeedupCodecAsync, minCodec)
+		failures++
+	}
+	if cur.SpeedupCodecBatch < minCodec {
+		fmt.Fprintf(&b, "\nFAIL: speedup_codec_batch %.2fx below the %.1fx floor\n", cur.SpeedupCodecBatch, minCodec)
 		failures++
 	}
 	return b.String(), failures
@@ -124,9 +142,10 @@ func gate(base, cur *loadgen.Report, maxRegress, minSpeedup float64) (string, in
 // failures. The resident bound is absolute (1% of flows), not
 // baseline-relative: residency near zero makes percentage deltas
 // meaningless.
-func gateStore(base, cur *experiments.StoreBenchReport, maxRegress, minReduction float64) (string, int) {
+func gateStore(base, cur *experiments.StoreBenchReport, maxRegress, minReduction, minCodec float64) (string, int) {
 	out, failures := table([]row{
 		{"replay/reduction", base.ReplayReduction, cur.ReplayReduction, "x", true},
+		{"codec/replay", base.CodecReplaySpeedup, cur.CodecReplaySpeedup, "x", true},
 		{"replay/records", float64(base.StoreReplayRecords), float64(cur.StoreReplayRecords), "rec", false},
 		{"journal/records", float64(base.JournalRecords), float64(cur.JournalRecords), "rec", false},
 		{"resident/sweep", float64(base.ResidentAfterSweep), float64(cur.ResidentAfterSweep), "exec", false},
@@ -138,6 +157,10 @@ func gateStore(base, cur *experiments.StoreBenchReport, maxRegress, minReduction
 	b.WriteString(out)
 	if cur.ReplayReduction < minReduction {
 		fmt.Fprintf(&b, "\nFAIL: replay reduction %.2fx below the %.1fx floor\n", cur.ReplayReduction, minReduction)
+		failures++
+	}
+	if cur.CodecReplaySpeedup < minCodec {
+		fmt.Fprintf(&b, "\nFAIL: codec replay speedup %.2fx below the %.1fx floor\n", cur.CodecReplaySpeedup, minCodec)
 		failures++
 	}
 	residentMax := cur.Flows / 100
@@ -166,6 +189,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a gated ratio vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
 	minReduction := flag.Float64("min-reduction", 10.0, "absolute floor for the store's restart replay reduction")
+	minCodec := flag.Float64("min-codec-speedup", 5.0, "absolute floor for the binary codec's speedup ratios (wire async/batch, store replay)")
 	flag.Parse()
 	if *currentPath == "" && *storeCurrentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current is required")
@@ -183,7 +207,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: current: %v\n", err)
 			os.Exit(2)
 		}
-		out, n := gate(base, cur, *maxRegress, *minSpeedup)
+		out, n := gate(base, cur, *maxRegress, *minSpeedup, *minCodec)
 		fmt.Printf("== wire (%s) ==\n%s", *currentPath, out)
 		if n == 0 {
 			fmt.Printf("\nwire: OK (pipelined %.2fx >= %.1fx, ratios within %.0f%% of baseline)\n",
@@ -205,7 +229,7 @@ func main() {
 		if *currentPath != "" {
 			fmt.Println()
 		}
-		out, n := gateStore(base, cur, *maxRegress, *minReduction)
+		out, n := gateStore(base, cur, *maxRegress, *minReduction, *minCodec)
 		fmt.Printf("== store (%s) ==\n%s", *storeCurrentPath, out)
 		if n == 0 {
 			fmt.Printf("\nstore: OK (reduction %.2fx >= %.1fx, resident %d/%d, within %.0f%% of baseline)\n",

@@ -118,11 +118,19 @@ type Report struct {
 	Inflight    int    `json:"inflight"`
 	BatchSize   int    `json:"batch_size"`
 
-	Serial      ModeResult  `json:"serial"`
-	Pipelined   ModeResult  `json:"pipelined"`
-	AsyncSerial ModeResult  `json:"async_serial"`
-	Batch       ModeResult  `json:"batch"`
-	OpenLoop    *ModeResult `json:"open_loop,omitempty"`
+	Serial      ModeResult `json:"serial"`
+	Pipelined   ModeResult `json:"pipelined"`
+	AsyncSerial ModeResult `json:"async_serial"`
+	Batch       ModeResult `json:"batch"`
+	// The codec phases submit a variable-heavy flow asynchronously over
+	// identical muxed sessions, once pinned to the text encodings
+	// (DisableBinary) and once on the 1.4 binary codec — the pairwise
+	// comparison that isolates encode/decode cost (docs/CODEC.md).
+	AsyncCodecJSON ModeResult  `json:"async_codec_json"`
+	AsyncCodecBin  ModeResult  `json:"async_codec_bin"`
+	BatchCodecJSON ModeResult  `json:"batch_codec_json"`
+	BatchCodecBin  ModeResult  `json:"batch_codec_bin"`
+	OpenLoop       *ModeResult `json:"open_loop,omitempty"`
 	// Federated is present only when Options.FederatedPeers >= 2.
 	Federated      *ModeResult `json:"federated,omitempty"`
 	FederatedPeers int         `json:"federated_peers,omitempty"`
@@ -130,9 +138,13 @@ type Report struct {
 	// SpeedupPipelined is pipelined RPS over serial RPS: the latency-
 	// hiding win of multiplexed framing. SpeedupBatch is batch flows/s
 	// over async-serial flows/s: the framing-amortization win of the
-	// batch verb.
-	SpeedupPipelined float64 `json:"speedup_pipelined"`
-	SpeedupBatch     float64 `json:"speedup_batch"`
+	// batch verb. SpeedupCodecAsync and SpeedupCodecBatch are the binary
+	// codec's throughput over the text encodings on the same workload —
+	// the gated quantities for the 1.4 codec.
+	SpeedupPipelined  float64 `json:"speedup_pipelined"`
+	SpeedupBatch      float64 `json:"speedup_batch"`
+	SpeedupCodecAsync float64 `json:"speedup_codec_async"`
+	SpeedupCodecBatch float64 `json:"speedup_codec_batch"`
 }
 
 // String renders the report as the human-readable table dgfbench
@@ -149,6 +161,10 @@ func (r *Report) String() string {
 	line(r.Pipelined)
 	line(r.AsyncSerial)
 	line(r.Batch)
+	line(r.AsyncCodecJSON)
+	line(r.AsyncCodecBin)
+	line(r.BatchCodecJSON)
+	line(r.BatchCodecBin)
 	if r.OpenLoop != nil {
 		line(*r.OpenLoop)
 	}
@@ -157,6 +173,8 @@ func (r *Report) String() string {
 	}
 	b = fmt.Appendf(b, "speedup: pipelined/serial = %.2fx, batch/async-serial = %.2fx\n",
 		r.SpeedupPipelined, r.SpeedupBatch)
+	b = fmt.Appendf(b, "codec:   async bin/json = %.2fx, batch bin/json = %.2fx\n",
+		r.SpeedupCodecAsync, r.SpeedupCodecBatch)
 	return string(b)
 }
 
@@ -196,6 +214,61 @@ func (h *harness) close() { h.server.Close() }
 func sleepFlow(d time.Duration) dgl.Flow {
 	return dgl.NewFlow("load").
 		Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": d.String()})).Flow()
+}
+
+// codecFlow is the codec-phase workload: a flow whose document is
+// dominated by variables — realistic datagrid requests carry dataset
+// paths, replica locations and transfer parameters as flow variables —
+// so the phase measures request encode/decode cost, not step execution
+// (the single step is a noop).
+func codecFlow() dgl.Flow {
+	b := dgl.NewFlow("codec-load")
+	for i := 0; i < 8; i++ {
+		// Few variables, large values: the engine's per-entry scope cost
+		// stays flat (string headers are copied, not bytes) while the
+		// text encodings pay escape-and-parse per byte — isolating the
+		// codec's advantage on realistic replica-catalog payloads.
+		locs := make([]byte, 0, 8<<10)
+		for r := 0; r < 60; r++ {
+			if r > 0 {
+				locs = append(locs, ',')
+			}
+			locs = append(locs, fmt.Sprintf(
+				"srb://replica-%02d.npaci.edu/home/collections/run-2026/partition-%02d/objects.dat?replica=%d&checksum=md5:%08x&verify=true",
+				r, i, r, uint32(i*131+r))...)
+		}
+		b.Var(fmt.Sprintf("dataset.partition.%02d", i), string(locs))
+	}
+	return b.Step("op", dgl.Op(dgl.OpNoop, nil)).Flow()
+}
+
+// batchLoop closed-loops SubmitBatch over the clients for one window,
+// counting each batch item as a request.
+func batchLoop(clients []*wire.Client, reqs []*dgl.Request, window time.Duration) (time.Duration, *collector) {
+	col := &collector{}
+	deadline := time.Now().Add(window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *wire.Client) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resps, err := c.SubmitBatch(context.Background(), "bench", reqs)
+				if err != nil {
+					col.fail()
+					return
+				}
+				per := time.Since(t0) / time.Duration(len(resps))
+				for range resps {
+					col.ok(per)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start), col
 }
 
 // collector accumulates per-request latencies across workers.
@@ -442,31 +515,80 @@ func Run(opts Options) (*Report, error) {
 	for i := range reqs {
 		reqs[i] = dgl.NewAsyncRequest("bench", "", flow)
 	}
-	batchCol := &collector{}
-	deadline := time.Now().Add(opts.Duration)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for _, c := range muxClients {
-		wg.Add(1)
-		go func(c *wire.Client) {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				t0 := time.Now()
-				resps, err := c.SubmitBatch(context.Background(), "bench", reqs)
-				if err != nil {
-					batchCol.fail()
-					return
-				}
-				per := time.Since(t0) / time.Duration(len(resps))
-				for range resps {
-					batchCol.ok(per)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	rep.Batch = batchCol.result("batch", time.Since(start))
+	elapsed, col = batchLoop(muxClients, reqs, opts.Duration)
+	rep.Batch = col.result("batch", elapsed)
 	h.engine.Prune(0)
+
+	// Phases 4b/4c — codec: the variable-heavy workload submitted
+	// asynchronously and in batches over paired muxed sessions, text
+	// encodings vs the 1.4 binary codec. Everything else — framing,
+	// connection count, inflight — is identical, so the RPS ratio is the
+	// codec's win alone. A steady-state pruner runs throughout: each
+	// completed carrier flow retains its (large) variable map until
+	// pruned, and without continuous pruning the faster encoding would
+	// measure its own heap growth instead of encode/decode cost — a
+	// long-run grid prunes finished flows continuously anyway.
+	cflow := codecFlow()
+	codecReq := func(c *wire.Client) error {
+		_, err := c.SubmitAsync("bench", cflow)
+		return err
+	}
+	// The codec phases run a longer window than the protocol phases:
+	// the carrier requests are large, so per-window sample counts are
+	// lower and a single GC pause would otherwise swing the ratio.
+	codecWindow := 2 * opts.Duration
+	codecReqs := make([]*dgl.Request, opts.BatchSize)
+	for i := range codecReqs {
+		codecReqs[i] = dgl.NewAsyncRequest("bench", "", cflow)
+	}
+	pruneStop := make(chan struct{})
+	var pruneWG sync.WaitGroup
+	pruneWG.Add(1)
+	go func() {
+		defer pruneWG.Done()
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-pruneStop:
+				return
+			case <-t.C:
+				h.engine.Prune(0)
+			}
+		}
+	}()
+	for _, phase := range []struct {
+		binary     bool
+		asyncRes   *ModeResult
+		batchRes   *ModeResult
+		asyncLabel string
+		batchLabel string
+	}{
+		{false, &rep.AsyncCodecJSON, &rep.BatchCodecJSON, "async-codec-json", "batch-codec-json"},
+		{true, &rep.AsyncCodecBin, &rep.BatchCodecBin, "async-codec-bin", "batch-codec-bin"},
+	} {
+		clients, err := dialN(h.addr, opts.Conns, true)
+		if err != nil {
+			closeAll(muxClients)
+			return nil, err
+		}
+		if !phase.binary {
+			for _, c := range clients {
+				c.DisableBinary()
+			}
+		}
+		runtime.GC() // level the heap between paired phases
+		elapsed, col = closedLoop(clients, opts.Inflight, codecWindow, codecReq)
+		*phase.asyncRes = col.result(phase.asyncLabel, elapsed)
+		h.engine.Prune(0)
+		runtime.GC()
+		elapsed, col = batchLoop(clients, codecReqs, codecWindow)
+		*phase.batchRes = col.result(phase.batchLabel, elapsed)
+		h.engine.Prune(0)
+		closeAll(clients)
+	}
+	close(pruneStop)
+	pruneWG.Wait()
 
 	// Phase 5 — open loop: fire sync requests at TargetRPS over the
 	// muxed connections regardless of completions, so queueing delay
@@ -522,6 +644,12 @@ func Run(opts Options) (*Report, error) {
 	}
 	if rep.AsyncSerial.RPS > 0 {
 		rep.SpeedupBatch = rep.Batch.RPS / rep.AsyncSerial.RPS
+	}
+	if rep.AsyncCodecJSON.RPS > 0 {
+		rep.SpeedupCodecAsync = rep.AsyncCodecBin.RPS / rep.AsyncCodecJSON.RPS
+	}
+	if rep.BatchCodecJSON.RPS > 0 {
+		rep.SpeedupCodecBatch = rep.BatchCodecBin.RPS / rep.BatchCodecJSON.RPS
 	}
 	return rep, nil
 }

@@ -3,9 +3,12 @@ package matrix
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 
+	"datagridflow/internal/codec"
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/provenance"
@@ -31,12 +34,23 @@ import (
 // attach a store.Store with SetStore — the flat journal stays as the
 // simple single-file option and the wire-compatible baseline.
 type Journal struct {
-	g *store.GroupFile
+	g      *store.GroupFile
+	binary bool
 }
 
-// journalRecord is one JSONL line. The encoding is shared with the
+// JournalOptions tunes a journal.
+type JournalOptions struct {
+	// Binary writes records as internal/codec binary frames instead of
+	// JSONL (docs/CODEC.md). A journal file holds one encoding: when the
+	// file already has content, its sniffed encoding wins over this
+	// option, so an existing JSONL journal keeps appending JSONL.
+	Binary bool
+}
+
+// journalRecord is one journal record. The encoding is shared with the
 // flow-state store (internal/store), so a journal file and a store
-// segment are the same format.
+// segment are the same format — JSONL or binary frames, sniffed from
+// the file's first byte.
 type journalRecord = store.Record
 
 // Journal record types. deleg.start marks a subflow handed to the
@@ -58,13 +72,34 @@ const (
 	journalExecPrune     = store.TypeExecPrune
 )
 
-// OpenJournal opens (creating if needed) an append-mode journal file.
+// OpenJournal opens (creating if needed) an append-mode JSONL journal
+// file (an existing file keeps its sniffed encoding).
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalOptions(path, JournalOptions{})
+}
+
+// OpenJournalOptions opens a journal with explicit options.
+func OpenJournalOptions(path string, opt JournalOptions) (*Journal, error) {
+	binary := opt.Binary
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		// Sticky encoding: never mix encodings within one file.
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: open journal: %w", err)
+		}
+		var b [1]byte
+		_, rerr := io.ReadFull(f, b[:])
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("matrix: open journal: %w", rerr)
+		}
+		binary = b[0] == codec.Magic
+	}
 	g, err := store.OpenGroupFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("matrix: open journal: %w", err)
 	}
-	return &Journal{g: g}, nil
+	return &Journal{g: g, binary: binary}, nil
 }
 
 // Close flushes and closes the journal file.
@@ -78,6 +113,13 @@ func (j *Journal) Path() string { return j.g.Path() }
 // process must not lose acknowledged step completions. Concurrent
 // appenders share a group commit.
 func (j *Journal) append(rec journalRecord) error {
+	if j.binary {
+		enc := codec.GetEncoder()
+		codec.AppendRecordFrame(enc, &rec)
+		err := j.g.AppendRaw(enc.Bytes())
+		codec.PutEncoder(enc)
+		return err
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -170,6 +212,8 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 		return nil, fmt.Errorf("%w: journal %s: %v", dgferr.ErrNotFound, path, err)
 	}
 	defer f.Close()
+	// The body below folds records regardless of encoding;
+	// scanJournalRecords sniffs JSONL vs binary frames per file.
 	type pending struct {
 		req        *dgl.Request
 		skip       map[string]bool
@@ -177,25 +221,14 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 	}
 	open := map[string]*pending{}
 	var order []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec journalRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("%w: journal %s line %d: %v", dgferr.ErrInvalid, path, line, err)
-		}
+	fold := func(rec *journalRecord, line int) error {
 		switch rec.Type {
 		case journalExecStart:
 			// Decode only: validation runs below against this engine's
 			// full operation registry, not the built-ins alone.
 			req, err := dgl.DecodeRequest([]byte(rec.Request))
 			if err != nil {
-				return nil, fmt.Errorf("%w: journal %s line %d: %v", dgferr.ErrInvalid, path, line, err)
+				return fmt.Errorf("%w: journal %s record %d: %v", dgferr.ErrInvalid, path, line, err)
 			}
 			open[rec.ID] = &pending{req: req, skip: map[string]bool{}}
 			order = append(order, rec.ID)
@@ -214,9 +247,10 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 		case journalExecEnd, journalExecPrune:
 			delete(open, rec.ID)
 		}
+		return nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("matrix: journal %s: %w", path, err)
+	if err := scanJournalRecords(path, f, fold); err != nil {
+		return nil, err
 	}
 	var out []*Execution
 	for _, id := range order {
@@ -241,4 +275,54 @@ func (e *Engine) RecoverFromJournal(path string) ([]*Execution, error) {
 		out = append(out, next)
 	}
 	return out, nil
+}
+
+// scanJournalRecords streams every record of a journal file into fold,
+// sniffing the encoding from the first byte: JSONL or binary frames. A
+// torn trailing binary frame — a crash mid-append — ends the scan
+// cleanly, mirroring how JSONL recovery treats an unterminated final
+// line (the scanner simply never yields it as a complete record).
+func scanJournalRecords(path string, f *os.File, fold func(*journalRecord, int) error) error {
+	r := bufio.NewReaderSize(f, 1<<20)
+	if first, err := r.Peek(1); err == nil && first[0] == codec.Magic {
+		sc := codec.NewFrameScanner(r)
+		n := 0
+		for {
+			_, payload, err := sc.Next()
+			if err == io.EOF || errors.Is(err, codec.ErrTorn) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("matrix: journal %s: %w", path, err)
+			}
+			n++
+			rec, err := codec.DecodeRecord(payload)
+			if err != nil {
+				return fmt.Errorf("%w: journal %s record %d: %v", dgferr.ErrInvalid, path, n, err)
+			}
+			if err := fold(&rec, n); err != nil {
+				return err
+			}
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%w: journal %s line %d: %v", dgferr.ErrInvalid, path, line, err)
+		}
+		if err := fold(&rec, line); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("matrix: journal %s: %w", path, err)
+	}
+	return nil
 }

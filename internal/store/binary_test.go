@@ -1,0 +1,226 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datagridflow/internal/codec"
+)
+
+// TestStoreBinaryAppendReplay round-trips a lifecycle through a binary
+// store and a reopen.
+func TestStoreBinaryAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Binary: true})
+	appendAll(t, s,
+		Record{Type: TypeExecStart, ID: "dgf-1", Request: "<dataGridRequest/>"},
+		Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/a"},
+		Record{Type: TypeExecSnap, ID: "dgf-2", Request: "<dataGridRequest/>",
+			Vars: map[string]string{"k": "v"}, Done: []string{"/f/a"}, Paused: true},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The segment on disk must actually be binary.
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !codec.IsBinary(data) {
+		t.Fatalf("segment is not binary: % x", data[:min(8, len(data))])
+	}
+
+	s2 := mustOpen(t, dir, Options{Binary: true})
+	defer s2.Close()
+	if got := s2.Stats().ReplayRecords; got != 3 {
+		t.Fatalf("replayed %d records, want 3", got)
+	}
+	ent, ok := s2.Entry("dgf-2")
+	if !ok || ent.Vars["k"] != "v" || !ent.Paused || len(ent.Done) != 1 {
+		t.Fatalf("dgf-2 entry = %+v, %v", ent, ok)
+	}
+	ent, ok = s2.Entry("dgf-1")
+	if !ok || ent.Request != "<dataGridRequest/>" {
+		t.Fatalf("dgf-1 entry = %+v, %v", ent, ok)
+	}
+}
+
+// TestStoreBinaryAppendBatch checks the vectored write path: one block,
+// one group commit, every record indexed and replayable.
+func TestStoreBinaryAppendBatch(t *testing.T) {
+	for _, binary := range []bool{true, false} {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{Binary: binary})
+		recs := append(lifecycle("dgf-1"),
+			Record{Type: TypeExecStart, ID: "dgf-2", Request: "<dataGridRequest/>"},
+			Record{Type: TypeStepDone, ID: "dgf-2", Node: "/f/a"},
+		)
+		if err := s.AppendBatch(recs); err != nil {
+			t.Fatalf("binary=%v: %v", binary, err)
+		}
+		if got := s.Stats().Records; got != len(recs) {
+			t.Fatalf("binary=%v: records = %d, want %d", binary, got, len(recs))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2 := mustOpen(t, dir, Options{Binary: binary})
+		if got := s2.Stats().ReplayRecords; got != len(recs) {
+			t.Fatalf("binary=%v: replayed %d, want %d", binary, got, len(recs))
+		}
+		ent, ok := s2.Entry("dgf-2")
+		if !ok || len(ent.Done) != 1 {
+			t.Fatalf("binary=%v: dgf-2 = %+v, %v", binary, ent, ok)
+		}
+		s2.Close()
+	}
+}
+
+// TestStoreJSONDirectoryReplaysUnderBinary opens a directory written
+// entirely in JSONL with Binary set: the old segments must replay
+// unchanged, new appends must land in a fresh binary segment, and a
+// compaction must leave a single binary segment.
+func TestStoreJSONDirectoryReplaysUnderBinary(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	appendAll(t, s, lifecycle("dgf-1")...)
+	appendAll(t, s,
+		Record{Type: TypeExecStart, ID: "dgf-2", Request: "<dataGridRequest/>"},
+		Record{Type: TypeStepDone, ID: "dgf-2", Node: "/f/a"},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{Binary: true})
+	if got := s2.Stats().ReplayRecords; got != 6 {
+		t.Fatalf("replayed %d, want 6", got)
+	}
+	// The non-empty JSONL tail was sealed: appends go to a new segment.
+	if got := s2.Stats().Segments; got != 2 {
+		t.Fatalf("segments after mixed open = %d, want 2", got)
+	}
+	appendAll(t, s2, Record{Type: TypeStepDone, ID: "dgf-2", Node: "/f/b"})
+	data, err := os.ReadFile(filepath.Join(dir, segName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !codec.IsBinary(data) {
+		t.Fatal("new active segment is not binary")
+	}
+	// Compaction converts the survivors to the configured encoding.
+	if _, err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments after compact = %v", segs)
+	}
+	data, err = os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !codec.IsBinary(data) {
+		t.Fatal("compacted segment is not binary")
+	}
+	s3 := mustOpen(t, dir, Options{Binary: true})
+	defer s3.Close()
+	ent, ok := s3.Entry("dgf-2")
+	if !ok || len(ent.Done) != 2 {
+		t.Fatalf("dgf-2 after convert+compact = %+v, %v", ent, ok)
+	}
+	if _, ok := s3.Entry("dgf-1"); ok {
+		t.Fatal("ended dgf-1 survived compaction")
+	}
+}
+
+// TestStoreBinaryDirectoryReplaysUnderJSON is the reverse migration:
+// a binary directory reopened with Binary unset keeps working.
+func TestStoreBinaryDirectoryReplaysUnderJSON(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Binary: true})
+	appendAll(t, s,
+		Record{Type: TypeExecStart, ID: "dgf-1", Request: "<dataGridRequest/>"},
+		Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/a"},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := s2.Stats().ReplayRecords; got != 2 {
+		t.Fatalf("replayed %d, want 2", got)
+	}
+	appendAll(t, s2, Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/b"})
+	ent, _ := s2.Entry("dgf-1")
+	if len(ent.Done) != 2 {
+		t.Fatalf("entry = %+v", ent)
+	}
+}
+
+// TestStoreBinaryTornTail truncates the active binary segment
+// mid-frame and wants the reopen to discard the torn tail, repair the
+// file, and accept new appends.
+func TestStoreBinaryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Binary: true})
+	appendAll(t, s,
+		Record{Type: TypeExecStart, ID: "dgf-1", Request: "<dataGridRequest/>"},
+		Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/a"},
+		Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/b"},
+	)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{Binary: true})
+	if got := s2.Stats().ReplayRecords; got != 2 {
+		t.Fatalf("replayed %d, want 2 (torn frame discarded)", got)
+	}
+	ent, _ := s2.Entry("dgf-1")
+	if len(ent.Done) != 1 || ent.Done[0] != "/f/a" {
+		t.Fatalf("entry = %+v", ent)
+	}
+	appendAll(t, s2, Record{Type: TypeStepDone, ID: "dgf-1", Node: "/f/c"})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{Binary: true})
+	defer s3.Close()
+	ent, _ = s3.Entry("dgf-1")
+	if len(ent.Done) != 2 {
+		t.Fatalf("entry after repair+append = %+v", ent)
+	}
+}
+
+// TestStoreBinaryRotation drives the active binary segment over
+// SegmentMaxBytes and wants clean rotation and full replay.
+func TestStoreBinaryRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Binary: true, SegmentMaxBytes: 256})
+	for i := 0; i < 8; i++ {
+		appendAll(t, s, lifecycle(segName(i))...)
+	}
+	if got := s.Stats().Segments; got < 2 {
+		t.Fatalf("segments = %d, want rotation", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{Binary: true})
+	defer s2.Close()
+	if got := s2.Stats().ReplayRecords; got != 32 {
+		t.Fatalf("replayed %d, want 32", got)
+	}
+}

@@ -26,11 +26,13 @@ type GroupFile struct {
 	path string
 	size int64
 
-	writeSeq int64 // lines written
-	syncSeq  int64 // lines proven on disk
+	writeSeq int64 // records written
+	syncSeq  int64 // records proven on disk
 	syncing  bool
 	closed   bool
 	err      error // sticky: first write/sync failure poisons the file
+
+	wbuf []byte // reused staging buffer, guarded by mu
 
 	reg *obs.Registry
 }
@@ -74,19 +76,45 @@ func (g *GroupFile) Size() int64 {
 func (g *GroupFile) Write(line []byte) (int64, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.wbuf = append(g.wbuf[:0], line...)
+	g.wbuf = append(g.wbuf, '\n')
+	return g.writeLocked(g.wbuf, 1)
+}
+
+// WriteRaw appends one pre-framed record as-is (no newline — binary
+// frames are self-delimiting) and returns its commit ticket.
+func (g *GroupFile) WriteRaw(frame []byte) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writeLocked(frame, 1)
+}
+
+// WriteBlock appends a block of pre-serialized records — JSONL lines or
+// binary frames, already framed by the caller — in ONE write syscall,
+// and returns a commit ticket covering all of them. This is the
+// vectored-write path: a batch encodes N records into one buffer, pays
+// one write and (via Sync) one shared fsync, yet each record still
+// counts toward the group-commit record metrics.
+func (g *GroupFile) WriteBlock(block []byte, records int64) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writeLocked(block, records)
+}
+
+func (g *GroupFile) writeLocked(b []byte, records int64) (int64, error) {
 	if g.closed {
 		return 0, fmt.Errorf("store: %s: %w", g.path, os.ErrClosed)
 	}
 	if g.err != nil {
 		return 0, g.err
 	}
-	if _, err := g.f.Write(append(line, '\n')); err != nil {
+	if _, err := g.f.Write(b); err != nil {
 		g.err = err
 		g.cond.Broadcast()
 		return 0, err
 	}
-	g.size += int64(len(line)) + 1
-	g.writeSeq++
+	g.size += int64(len(b))
+	g.writeSeq += records
 	return g.writeSeq, nil
 }
 
@@ -133,6 +161,16 @@ func (g *GroupFile) Sync(ticket int64) error {
 // Append writes one line and blocks until it is durable — Write + Sync.
 func (g *GroupFile) Append(line []byte) error {
 	ticket, err := g.Write(line)
+	if err != nil {
+		return err
+	}
+	return g.Sync(ticket)
+}
+
+// AppendRaw writes one pre-framed record and blocks until it is
+// durable — WriteRaw + Sync.
+func (g *GroupFile) AppendRaw(frame []byte) error {
+	ticket, err := g.WriteRaw(frame)
 	if err != nil {
 		return err
 	}

@@ -17,70 +17,35 @@
 //     them on demand (status query, trigger firing, wire request or
 //     federation delegation — see internal/matrix).
 //
-// The record encoding is the journal's JSONL encoding (one JSON object
-// per line), so a store segment is readable by the same tooling as a
-// journal file and the engine writes both through one code path.
+// A segment holds records in one of two encodings, sniffed from the
+// file's first byte when the store opens: the journal's JSONL encoding
+// (one JSON object per line, readable by the same tooling as a journal
+// file) or the binary frame encoding of internal/codec (docs/CODEC.md),
+// which replays several times faster and is the default for new
+// segments when Options.Binary is set. A directory may mix encodings
+// segment by segment — existing JSON directories replay unchanged.
 package store
 
-import "time"
+import "datagridflow/internal/codec"
 
-// Record is one JSONL line of the store (and of the matrix journal —
-// the encodings are identical by construction; internal/matrix aliases
-// this type). The lifecycle types from the journal are retained
-// unchanged; the store adds snapshot, passivation, resurrection and
-// tombstone types.
-type Record struct {
-	Type string    `json:"type"`
-	ID   string    `json:"id"` // execution id
-	Time time.Time `json:"time"`
-	// Request holds the marshaled DGL request document (exec.start,
-	// exec.snap).
-	Request string `json:"request,omitempty"`
-	// Node is the restart-stable node path, e.g. "/pipeline/stage-in"
-	// (step.done, deleg.start, deleg.done).
-	Node string `json:"node,omitempty"`
-	// Peer names the remote peer that completed a delegated subflow
-	// (deleg.done).
-	Peer string `json:"peer,omitempty"`
-	// Err is the final error text, empty on success (exec.end).
-	Err string `json:"err,omitempty"`
-	// Vars snapshots the execution's root scope variables (exec.snap).
-	Vars map[string]string `json:"vars,omitempty"`
-	// Done lists the restart-stable node paths proven complete
-	// (exec.snap) — steps, skipped steps, and whole delegated subtrees.
-	Done []string `json:"done,omitempty"`
-	// Paused records whether the execution was paused when the record
-	// was written (exec.snap, exec.passivate); a resurrected execution
-	// re-enters the paused state.
-	Paused bool `json:"paused,omitempty"`
-	// Passivated marks a compaction-merged snapshot of a passivated
-	// execution (exec.snap written by Compact): one record carries both
-	// the snapshot and the passivation marker.
-	Passivated bool `json:"passivated,omitempty"`
-}
+// Record is one lifecycle record of the store (and of the matrix
+// journal — the encodings are identical by construction). The
+// definition lives in internal/codec so the binary and JSONL encoders
+// share it; this alias keeps store.Record the canonical name for the
+// storage layers.
+type Record = codec.Record
 
-// Record types. The first five are the journal's lifecycle types; the
-// rest are store extensions. Readers must ignore types they do not
-// know — old tooling skips snap/passivate/resurrect/prune lines.
+// Record types, re-exported from internal/codec (see codec.Record for
+// the semantics of each).
 const (
-	TypeExecStart  = "exec.start"
-	TypeStepDone   = "step.done"
-	TypeDelegStart = "deleg.start"
-	TypeDelegDone  = "deleg.done"
-	TypeExecEnd    = "exec.end"
+	TypeExecStart  = codec.TypeExecStart
+	TypeStepDone   = codec.TypeStepDone
+	TypeDelegStart = codec.TypeDelegStart
+	TypeDelegDone  = codec.TypeDelegDone
+	TypeExecEnd    = codec.TypeExecEnd
 
-	// TypeExecSnap is a self-contained snapshot: Request + Vars + Done
-	// (+ Paused). Replaying a snapshot supersedes every earlier record
-	// of the execution.
-	TypeExecSnap = "exec.snap"
-	// TypeExecPassivate marks the execution as evicted from engine
-	// memory; it is always preceded by a fresh exec.snap.
-	TypeExecPassivate = "exec.passivate"
-	// TypeExecResurrect marks a passivated execution as resident again
-	// (it is running; a crash before its exec.end must resume it).
-	TypeExecResurrect = "exec.resurrect"
-	// TypeExecPrune is the tombstone for Engine.Prune: compaction drops
-	// every record of a pruned execution, and recovery never resurrects
-	// it.
-	TypeExecPrune = "exec.prune"
+	TypeExecSnap      = codec.TypeExecSnap
+	TypeExecPassivate = codec.TypeExecPassivate
+	TypeExecResurrect = codec.TypeExecResurrect
+	TypeExecPrune     = codec.TypeExecPrune
 )

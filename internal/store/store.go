@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"datagridflow/internal/codec"
 	"datagridflow/internal/obs"
 )
 
@@ -26,10 +28,18 @@ type Options struct {
 	// Obs receives the store_* metrics (docs/METRICS.md). Optional;
 	// Engine.SetStore attaches its registry when nil.
 	Obs *obs.Registry
+	// Binary writes new segments in the internal/codec binary frame
+	// encoding instead of JSONL (docs/CODEC.md). Existing segments keep
+	// their encoding — Open sniffs each file's first byte — and a
+	// non-empty active segment in the other encoding is sealed and a
+	// fresh one started, so a directory converts incrementally (fully on
+	// the next Compact) and can always be reopened with either setting.
+	Binary bool
 }
 
-// Store is a directory of journal-encoded segment files plus an
-// in-memory index of every execution's live state. All appends go to
+// Store is a directory of segment files (JSONL or binary-framed,
+// sniffed per file — see Options.Binary) plus an in-memory index of
+// every execution's live state. All appends go to
 // the active (highest-numbered) segment through a group-committed
 // writer; Compact collapses the whole directory into one fresh segment
 // holding a snapshot per live execution.
@@ -178,6 +188,17 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	if len(s.segs) == 0 {
 		s.segs = []int{1}
+	} else {
+		// A segment holds exactly one encoding. If the tail segment is
+		// non-empty and in the other encoding, seal it and start a fresh
+		// one — its records were already replayed above.
+		bin, empty, err := sniffEncoding(filepath.Join(dir, segName(s.segs[len(s.segs)-1])))
+		if err != nil {
+			return nil, err
+		}
+		if !empty && bin != opt.Binary {
+			s.segs = append(s.segs, s.segs[len(s.segs)-1]+1)
+		}
 	}
 	active, err := OpenGroupFile(filepath.Join(dir, segName(s.segs[len(s.segs)-1])))
 	if err != nil {
@@ -210,8 +231,29 @@ func (s *Store) SetObs(reg *obs.Registry) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// replaySegment folds one segment file into the index. When repair is
-// set a torn trailing line is truncated off the file.
+// sniffEncoding reports whether the file holds binary frames (first
+// byte is codec.Magic) or JSONL, and whether it is empty.
+func sniffEncoding(path string) (binary, empty bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var b [1]byte
+	n, err := f.Read(b[:])
+	if n == 0 {
+		if err == io.EOF || err == nil {
+			return false, true, nil
+		}
+		return false, false, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return b[0] == codec.Magic, false, nil
+}
+
+// replaySegment folds one segment file into the index, sniffing the
+// encoding from the file's first byte. When repair is set a torn tail —
+// an unterminated JSONL line or a truncated binary frame — is truncated
+// off the file.
 func (s *Store) replaySegment(path string, repair bool) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -219,6 +261,9 @@ func (s *Store) replaySegment(path string, repair bool) error {
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
+	if first, err := r.Peek(1); err == nil && first[0] == codec.Magic {
+		return s.replayBinarySegment(path, r, repair)
+	}
 	var offset, lineStart int64
 	line := 0
 	for {
@@ -253,7 +298,7 @@ func (s *Store) replaySegment(path string, repair bool) error {
 					// this is real corruption, not a crash artifact.
 					return fmt.Errorf("store: %s line %d: %v", path, line, uerr)
 				}
-				s.apply(&rec)
+				s.apply(&rec, true)
 				s.replayed++
 			}
 		}
@@ -266,9 +311,48 @@ func (s *Store) replaySegment(path string, repair bool) error {
 	}
 }
 
+// replayBinarySegment folds a binary segment into the index. The frame
+// scanner's torn/corrupt distinction mirrors the JSONL rules: a
+// truncated trailing frame is the unacknowledged tail of a crash
+// mid-append and is discarded (truncated away when repair is set); a
+// complete frame that fails to decode is real corruption.
+func (s *Store) replayBinarySegment(path string, r io.Reader, repair bool) error {
+	sc := codec.NewFrameScanner(r)
+	n := 0
+	for {
+		_, payload, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, codec.ErrTorn) {
+			s.torn++
+			if repair {
+				if terr := os.Truncate(path, sc.Offset()); terr != nil {
+					return fmt.Errorf("store: truncate torn tail of %s: %w", path, terr)
+				}
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		n++
+		rec, err := codec.DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("store: %s frame %d: %v", path, n, err)
+		}
+		s.apply(&rec, true)
+		s.replayed++
+	}
+}
+
 // apply folds one record into the index. Caller holds s.mu (or is
-// single-threaded replay).
-func (s *Store) apply(rec *Record) {
+// single-threaded replay). owned means rec's reference fields (the
+// Vars map) belong to the store — replay passes true because decoded
+// records are discarded right after apply, which lets a snapshot's
+// variable map be adopted instead of copied; the append path passes
+// false because its maps are still aliased by the caller.
+func (s *Store) apply(rec *Record, owned bool) {
 	st := s.index[rec.ID]
 	if st == nil {
 		if rec.Type != TypeExecStart && rec.Type != TypeExecSnap {
@@ -299,9 +383,13 @@ func (s *Store) apply(rec *Record) {
 		if rec.Request != "" {
 			st.req = rec.Request
 		}
-		st.vars = make(map[string]string, len(rec.Vars))
-		for k, v := range rec.Vars {
-			st.vars[k] = v
+		if owned && rec.Vars != nil {
+			st.vars = rec.Vars
+		} else {
+			st.vars = make(map[string]string, len(rec.Vars))
+			for k, v := range rec.Vars {
+				st.vars[k] = v
+			}
 		}
 		st.done = make(map[string]bool, len(rec.Done))
 		for _, n := range rec.Done {
@@ -346,10 +434,65 @@ func (s *Store) apply(rec *Record) {
 // fsync poisons the store instead of letting the index run ahead of
 // what a reopen would rebuild.
 func (s *Store) Append(rec Record) error {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return err
+	var data []byte
+	var enc *codec.Encoder
+	if s.opt.Binary {
+		enc = codec.GetEncoder()
+		codec.AppendRecordFrame(enc, &rec)
+		data = enc.Bytes()
+	} else {
+		var err error
+		data, err = json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
 	}
+	err := s.appendBlock(data, []Record{rec})
+	if enc != nil {
+		codec.PutEncoder(enc)
+	}
+	return err
+}
+
+// AppendBatch writes many records durably in one shot: the whole batch
+// is serialized into one block, appended with a single write syscall
+// (GroupFile.WriteBlock) and covered by one shared fsync. On the binary
+// encoding this is the vectored-write fast path store replay benchmarks
+// exercise; on JSONL it still collapses N syscalls into one.
+func (s *Store) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var block []byte
+	var enc *codec.Encoder
+	if s.opt.Binary {
+		enc = codec.GetEncoder()
+		for i := range recs {
+			codec.AppendRecordFrame(enc, &recs[i])
+		}
+		block = enc.Bytes()
+	} else {
+		for i := range recs {
+			data, err := json.Marshal(recs[i])
+			if err != nil {
+				return err
+			}
+			block = append(block, data...)
+			block = append(block, '\n')
+		}
+	}
+	err := s.appendBlock(block, recs)
+	if enc != nil {
+		codec.PutEncoder(enc)
+	}
+	return err
+}
+
+// appendBlock appends one serialized block covering recs (in order) and
+// blocks until its group commit. The caller owns the block buffer; it
+// is not retained past the write.
+func (s *Store) appendBlock(block []byte, recs []Record) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -359,20 +502,22 @@ func (s *Store) Append(rec Record) error {
 		s.mu.Unlock()
 		return s.failed
 	}
-	if s.active.Size() > 0 && s.active.Size()+int64(len(data)) > s.opt.SegmentMaxBytes {
+	if s.active.Size() > 0 && s.active.Size()+int64(len(block)) > s.opt.SegmentMaxBytes {
 		if err := s.rotate(); err != nil {
 			s.mu.Unlock()
 			return err
 		}
 	}
 	gw := s.active
-	ticket, err := gw.Write(data)
+	ticket, err := gw.WriteBlock(block, int64(len(recs)))
 	if err != nil {
 		s.poisonLocked(err)
 		s.mu.Unlock()
 		return err
 	}
-	s.pending = append(s.pending, pendingRec{gw: gw, ticket: ticket, rec: rec})
+	for i := range recs {
+		s.pending = append(s.pending, pendingRec{gw: gw, ticket: ticket, rec: recs[i]})
+	}
 	s.mu.Unlock()
 	if err := gw.Sync(ticket); err != nil {
 		s.mu.Lock()
@@ -421,7 +566,7 @@ func (s *Store) drainLocked(gw *GroupFile, ticket int64) {
 // applyDurableLocked folds one fsync-proven record into the index and
 // its counters. Caller holds s.mu.
 func (s *Store) applyDurableLocked(rec *Record) {
-	s.apply(rec)
+	s.apply(rec, false)
 	s.records++
 	if rec.Type == TypeExecSnap {
 		s.sinceSnap = 0
@@ -503,6 +648,11 @@ func (s *Store) Compact() (CompactStats, error) {
 	now := s.opt.Now()
 	kept := 0
 	var liveOrder []string
+	var enc *codec.Encoder
+	if s.opt.Binary {
+		enc = codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+	}
 	for _, id := range s.order {
 		st := s.index[id]
 		if st == nil || st.ended || st.pruned {
@@ -514,9 +664,19 @@ func (s *Store) Compact() (CompactStats, error) {
 			Request: st.req, Vars: st.vars, Done: sortedKeys(st.done),
 			Paused: st.paused, Passivated: st.passivated,
 		}
-		data, err := json.Marshal(rec)
-		if err == nil {
-			_, err = w.Write(append(data, '\n'))
+		// The replacement segment is written in the configured encoding:
+		// compacting is also how a JSONL directory finishes converting.
+		var err error
+		if enc != nil {
+			enc.Reset()
+			codec.AppendRecordFrame(enc, &rec)
+			_, err = w.Write(enc.Bytes())
+		} else {
+			var data []byte
+			data, err = json.Marshal(rec)
+			if err == nil {
+				_, err = w.Write(append(data, '\n'))
+			}
 		}
 		if err != nil {
 			f.Close()

@@ -1,0 +1,321 @@
+package wire
+
+import (
+	"encoding/json"
+
+	"datagridflow/internal/codec"
+)
+
+// Binary codecs for the wire's JSON envelope types (Control, Batch,
+// Delegate and their results). The DGL documents themselves are encoded
+// by internal/codec's Request/Response codecs; the envelopes here carry
+// those payloads as opaque blobs, each sniffed independently — a binary
+// batch may legally contain XML items and vice versa, which is what
+// lets a server mirror per-item encodings exactly.
+//
+// Field numbers are frozen (docs/CODEC.md, "Versioning").
+
+func appendControl(e *codec.Encoder, c *Control) {
+	e.Begin(codec.MsgControl)
+	e.Sym(1, c.Op)
+	e.Sym(2, c.ID)
+	e.Sym(3, c.Proto)
+}
+
+func decodeControl(payload []byte) (Control, error) {
+	d, err := codec.NewDecoder(payload, codec.MsgControl)
+	if err != nil {
+		return Control{}, err
+	}
+	var c Control
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			c.Op = d.Sym()
+		case 2:
+			c.ID = d.Sym()
+		case 3:
+			c.Proto = d.Sym()
+		default:
+			d.Skip()
+		}
+	}
+	return c, d.Err()
+}
+
+func appendControlResult(e *codec.Encoder, r *ControlResult) {
+	e.Begin(codec.MsgControlResult)
+	e.Bool(1, r.OK)
+	e.Sym(2, r.ID)
+	e.Str(3, r.Error)
+	e.Sym(4, r.Proto)
+	for i := range r.Executions {
+		x := &r.Executions[i]
+		e.Msg(5, func(e *codec.Encoder) {
+			e.Sym(1, x.ID)
+			e.Sym(2, x.Name)
+			e.Sym(3, x.State)
+			e.Sym(4, x.User)
+		})
+	}
+	// Metrics stay a JSON blob: obs.Snapshot is operator-facing and
+	// cold-path, not worth a binary schema.
+	e.Blob(6, r.Metrics)
+	if r.Store != nil {
+		s := r.Store
+		e.Msg(7, func(e *codec.Encoder) {
+			e.Uint(1, uint64(s.Segments))
+			e.Uint(2, uint64(s.Records))
+			e.Uint(3, uint64(s.ReplayRecords))
+			e.Uint(4, uint64(s.Live))
+			e.Uint(5, uint64(s.Passivated))
+			e.Uint(6, uint64(s.Resident))
+			e.Uint(7, uint64(s.SnapshotLag))
+			e.Str(8, s.Failed)
+			if c := s.Compaction; c != nil {
+				e.Msg(9, func(e *codec.Encoder) {
+					e.Uint(1, uint64(c.SegmentsBefore))
+					e.Uint(2, uint64(c.RecordsBefore))
+					e.Uint(3, uint64(c.RecordsKept))
+					e.Uint(4, uint64(c.RecordsDropped))
+				})
+			}
+		})
+	}
+}
+
+func decodeControlResult(payload []byte) (ControlResult, error) {
+	d, err := codec.NewDecoder(payload, codec.MsgControlResult)
+	if err != nil {
+		return ControlResult{}, err
+	}
+	var r ControlResult
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			r.OK = d.Bool()
+		case 2:
+			r.ID = d.Sym()
+		case 3:
+			r.Error = d.Str()
+		case 4:
+			r.Proto = d.Sym()
+		case 5:
+			var x ExecutionInfo
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						x.ID = d.Sym()
+					case 2:
+						x.Name = d.Sym()
+					case 3:
+						x.State = d.Sym()
+					case 4:
+						x.User = d.Sym()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Executions = append(r.Executions, x)
+		case 6:
+			r.Metrics = json.RawMessage(append([]byte(nil), d.Blob()...))
+		case 7:
+			s := &StoreInfo{}
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						s.Segments = int(d.Uint())
+					case 2:
+						s.Records = int(d.Uint())
+					case 3:
+						s.ReplayRecords = int(d.Uint())
+					case 4:
+						s.Live = int(d.Uint())
+					case 5:
+						s.Passivated = int(d.Uint())
+					case 6:
+						s.Resident = int(d.Uint())
+					case 7:
+						s.SnapshotLag = int(d.Uint())
+					case 8:
+						s.Failed = d.Str()
+					case 9:
+						c := &CompactionInfo{}
+						d.Msg(func(d *codec.Decoder) {
+							for d.Next() {
+								switch d.Field() {
+								case 1:
+									c.SegmentsBefore = int(d.Uint())
+								case 2:
+									c.RecordsBefore = int(d.Uint())
+								case 3:
+									c.RecordsKept = int(d.Uint())
+								case 4:
+									c.RecordsDropped = int(d.Uint())
+								default:
+									d.Skip()
+								}
+							}
+						})
+						s.Compaction = c
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Store = s
+		default:
+			d.Skip()
+		}
+	}
+	return r, d.Err()
+}
+
+// appendBatch encodes a batch envelope whose items are pre-encoded
+// request payloads (binary or XML — each is sniffed independently on
+// the receiving side).
+func appendBatch(e *codec.Encoder, user string, items [][]byte) {
+	appendBatchStart(e, user)
+	for _, it := range items {
+		appendBatchItem(e, it)
+	}
+}
+
+// appendBatchStart / appendBatchItem are the streaming form of
+// appendBatch: items are appended as they are encoded, so the caller
+// never collects (and re-copies) the full item set.
+func appendBatchStart(e *codec.Encoder, user string) {
+	e.Begin(codec.MsgBatch)
+	e.Sym(1, user)
+}
+
+func appendBatchItem(e *codec.Encoder, item []byte) {
+	e.Blob(2, item)
+}
+
+// decodeBatch returns the envelope's user and its item payloads. The
+// item slices alias the frame payload — valid for the request's
+// handling, which never outlives the frame. Transient decode: the
+// envelope is almost entirely item blobs, and the shared-string copy a
+// regular decoder takes up front would duplicate all of them to back
+// the one user symbol.
+func decodeBatch(payload []byte) (user string, items [][]byte, err error) {
+	d, derr := codec.NewDecoderTransient(payload, codec.MsgBatch)
+	if derr != nil {
+		return "", nil, derr
+	}
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			user = d.Sym()
+		case 2:
+			items = append(items, d.Blob())
+		default:
+			d.Skip()
+		}
+	}
+	return user, items, d.Err()
+}
+
+// appendBatchResult encodes a batch reply whose responses are
+// pre-encoded response payloads, positionally matching the request.
+func appendBatchResult(e *codec.Encoder, ok bool, errText string, responses [][]byte) {
+	e.Begin(codec.MsgBatchResult)
+	e.Bool(1, ok)
+	e.Str(2, errText)
+	for _, r := range responses {
+		e.Blob(3, r)
+	}
+}
+
+func decodeBatchResult(payload []byte) (ok bool, errText string, responses [][]byte, err error) {
+	d, derr := codec.NewDecoderTransient(payload, codec.MsgBatchResult)
+	if derr != nil {
+		return false, "", nil, derr
+	}
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			ok = d.Bool()
+		case 2:
+			errText = d.Str()
+		case 3:
+			responses = append(responses, d.Blob())
+		default:
+			d.Skip()
+		}
+	}
+	return ok, errText, responses, d.Err()
+}
+
+// appendDelegate encodes a delegation envelope. The embedded request
+// document stays in whatever encoding the federation produced (XML
+// today): delegation is not a hot path, and keeping the document
+// opaque means provenance and journals see the same bytes both sides.
+func appendDelegate(e *codec.Encoder, dl *Delegate) {
+	e.Begin(codec.MsgDelegate)
+	e.Sym(1, dl.User)
+	e.Blob(2, []byte(dl.Request))
+	e.Sym(3, dl.Origin)
+	e.Sym(4, dl.ParentExec)
+	e.Sym(5, dl.ParentNode)
+}
+
+func decodeDelegate(payload []byte) (Delegate, error) {
+	d, err := codec.NewDecoder(payload, codec.MsgDelegate)
+	if err != nil {
+		return Delegate{}, err
+	}
+	var dl Delegate
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			dl.User = d.Sym()
+		case 2:
+			dl.Request = string(d.Blob())
+		case 3:
+			dl.Origin = d.Sym()
+		case 4:
+			dl.ParentExec = d.Sym()
+		case 5:
+			dl.ParentNode = d.Sym()
+		default:
+			d.Skip()
+		}
+	}
+	return dl, d.Err()
+}
+
+func appendDelegateResult(e *codec.Encoder, r *DelegateResult) {
+	e.Begin(codec.MsgDelegateResult)
+	e.Bool(1, r.OK)
+	e.Str(2, r.Error)
+	e.Sym(3, r.ID)
+	e.Blob(4, []byte(r.Status))
+}
+
+func decodeDelegateResult(payload []byte) (DelegateResult, error) {
+	d, err := codec.NewDecoder(payload, codec.MsgDelegateResult)
+	if err != nil {
+		return DelegateResult{}, err
+	}
+	var r DelegateResult
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			r.OK = d.Bool()
+		case 2:
+			r.Error = d.Str()
+		case 3:
+			r.ID = d.Sym()
+		case 4:
+			r.Status = string(d.Blob())
+		default:
+			d.Skip()
+		}
+	}
+	return r, d.Err()
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datagridflow/internal/codec"
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
@@ -47,9 +48,15 @@ type Client struct {
 	readErr error // terminal: set once the mux read loop exits
 	// serverMajor/serverMinor record the version the server advertised
 	// in the hello reply (zero before Hello) — the feature gate for
-	// delegation.
+	// delegation and the binary codec.
 	serverMajor int
 	serverMinor int
+	// binary is set by Hello when both ends speak >= 1.4 (and
+	// DisableBinary wasn't called): requests are encoded with
+	// internal/codec instead of XML/JSON. Responses are always decoded
+	// by sniffing, so the flag only governs what this client sends.
+	binary    bool
+	binaryOff bool
 }
 
 // muxReply is one matched response delivered to a pipelined waiter.
@@ -95,6 +102,25 @@ func (c *Client) Muxed() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.muxed
+}
+
+// Binary reports whether Hello negotiated the binary codec on this
+// connection (both ends >= 1.4 and DisableBinary not called).
+func (c *Client) Binary() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.binary
+}
+
+// DisableBinary pins this client to the legacy text encodings (XML
+// requests, JSON envelopes) even against a 1.4 server — an interop and
+// benchmarking knob. Safe at any point: calling it after Hello stops
+// binary encoding from the next request on.
+func (c *Client) DisableBinary() {
+	c.mu.Lock()
+	c.binaryOff = true
+	c.binary = false
+	c.mu.Unlock()
 }
 
 // roundTrip performs one request-response, dispatching on the session
@@ -283,9 +309,17 @@ func (c *Client) Submit(req *dgl.Request) (*dgl.Response, error) {
 // round trip and cancellation interrupts in-flight I/O (serial mode)
 // or abandons the pipelined request (mux mode).
 func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
-	data, err := dgl.Marshal(req)
-	if err != nil {
-		return nil, err
+	var data []byte
+	if c.Binary() {
+		enc := codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+		codec.AppendRequest(enc, req)
+		data = enc.Bytes()
+	} else {
+		var err error
+		if data, err = dgl.Marshal(req); err != nil {
+			return nil, err
+		}
 	}
 	kind, payload, err := c.roundTrip(ctx, KindDGL, data)
 	if err != nil {
@@ -293,6 +327,15 @@ func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Resp
 	}
 	if kind != KindDGL {
 		return nil, errors.New("wire: unexpected frame kind in response")
+	}
+	return parseResponsePayload(payload)
+}
+
+// parseResponsePayload sniffs a DGL response payload's encoding —
+// servers mirror the request encoding, but decoding never assumes.
+func parseResponsePayload(payload []byte) (*dgl.Response, error) {
+	if codec.IsBinary(payload) {
+		return codec.DecodeResponse(payload)
 	}
 	return dgl.ParseResponse(payload)
 }
@@ -320,17 +363,37 @@ func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Reque
 		}
 		return out, nil
 	}
-	b := Batch{User: user, Requests: make([]string, len(reqs))}
-	for i, req := range reqs {
-		data, err := dgl.Marshal(req)
-		if err != nil {
-			return nil, fmt.Errorf("wire: batch item %d: %w", i, err)
+	var payload []byte
+	if c.Binary() {
+		// Binary envelope with binary items: each item is encoded into a
+		// pooled scratch encoder and streamed straight into the envelope —
+		// one copy per item. Collecting the items first would copy every
+		// payload twice, which dominates batch CPU once items carry
+		// multi-kilobyte variable sets.
+		enc := codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+		appendBatchStart(enc, user)
+		ie := codec.GetEncoder()
+		for _, req := range reqs {
+			ie.Reset()
+			codec.AppendRequest(ie, req)
+			appendBatchItem(enc, ie.Bytes())
 		}
-		b.Requests[i] = string(data)
-	}
-	payload, err := json.Marshal(b)
-	if err != nil {
-		return nil, err
+		codec.PutEncoder(ie)
+		payload = enc.Bytes()
+	} else {
+		b := Batch{User: user, Requests: make([]string, len(reqs))}
+		for i, req := range reqs {
+			data, err := dgl.Marshal(req)
+			if err != nil {
+				return nil, fmt.Errorf("wire: batch item %d: %w", i, err)
+			}
+			b.Requests[i] = string(data)
+		}
+		var err error
+		if payload, err = json.Marshal(b); err != nil {
+			return nil, err
+		}
 	}
 	kind, resp, err := c.roundTrip(ctx, KindBatch, payload)
 	if err != nil {
@@ -339,19 +402,33 @@ func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Reque
 	if kind != KindBatch {
 		return nil, errors.New("wire: unexpected frame kind in batch response")
 	}
-	var res BatchResult
-	if err := json.Unmarshal(resp, &res); err != nil {
-		return nil, fmt.Errorf("wire: bad batch reply: %w", err)
+	var ok bool
+	var errText string
+	var docs [][]byte
+	if codec.IsBinary(resp) {
+		if ok, errText, docs, err = decodeBatchResult(resp); err != nil {
+			return nil, fmt.Errorf("wire: bad batch reply: %w", err)
+		}
+	} else {
+		var res BatchResult
+		if err := json.Unmarshal(resp, &res); err != nil {
+			return nil, fmt.Errorf("wire: bad batch reply: %w", err)
+		}
+		ok, errText = res.OK, res.Error
+		docs = make([][]byte, len(res.Responses))
+		for i, d := range res.Responses {
+			docs[i] = []byte(d)
+		}
 	}
-	if !res.OK {
-		return nil, dgferr.Decode(res.Error)
+	if !ok {
+		return nil, dgferr.Decode(errText)
 	}
-	if len(res.Responses) != len(reqs) {
-		return nil, fmt.Errorf("wire: batch reply has %d items, want %d", len(res.Responses), len(reqs))
+	if len(docs) != len(reqs) {
+		return nil, fmt.Errorf("wire: batch reply has %d items, want %d", len(docs), len(reqs))
 	}
 	out := make([]*dgl.Response, len(reqs))
-	for i, doc := range res.Responses {
-		r, err := dgl.ParseResponse([]byte(doc))
+	for i, doc := range docs {
+		r, err := parseResponsePayload(doc)
 		if err != nil {
 			return nil, fmt.Errorf("wire: batch reply item %d: %w", i, err)
 		}
@@ -425,9 +502,17 @@ func (c *Client) control(op, id string) (ControlResult, error) {
 }
 
 func (c *Client) controlMsg(ctx context.Context, msg Control) (ControlResult, error) {
-	data, err := json.Marshal(msg)
-	if err != nil {
-		return ControlResult{}, err
+	var data []byte
+	if c.Binary() {
+		enc := codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+		appendControl(enc, &msg)
+		data = enc.Bytes()
+	} else {
+		var err error
+		if data, err = json.Marshal(msg); err != nil {
+			return ControlResult{}, err
+		}
 	}
 	kind, payload, err := c.roundTrip(ctx, KindControl, data)
 	if err != nil {
@@ -437,7 +522,11 @@ func (c *Client) controlMsg(ctx context.Context, msg Control) (ControlResult, er
 		return ControlResult{}, errors.New("wire: unexpected frame kind in response")
 	}
 	var res ControlResult
-	if err := json.Unmarshal(payload, &res); err != nil {
+	if codec.IsBinary(payload) {
+		if res, err = decodeControlResult(payload); err != nil {
+			return ControlResult{}, err
+		}
+	} else if err := json.Unmarshal(payload, &res); err != nil {
 		return ControlResult{}, err
 	}
 	if !res.OK && res.Error != "" {
@@ -497,6 +586,10 @@ func (c *Client) Hello() (serverProto string, err error) {
 		if major, minor, perr := ParseProtoVersion(res.Proto); perr == nil {
 			c.mu.Lock()
 			c.serverMajor, c.serverMinor = major, minor
+			// Both ends >= 1.4: switch the hot paths to the binary codec
+			// (docs/CODEC.md). The hello exchange itself always rides
+			// JSON — it is what discovers whether binary is safe.
+			c.binary = !c.binaryOff && BinarySupported(major, minor)
 			c.mu.Unlock()
 			if MuxSupported(major, minor) {
 				// Both ends speak >= 1.2: the server switched to mux framing
@@ -542,9 +635,17 @@ func (c *Client) Delegate(ctx context.Context, d Delegate) (*DelegateResult, err
 		return nil, fmt.Errorf("%w: server does not accept delegate frames (need >= %s)",
 			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, delegateMinor))
 	}
-	payload, err := json.Marshal(d)
-	if err != nil {
-		return nil, err
+	var payload []byte
+	if c.Binary() {
+		enc := codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+		appendDelegate(enc, &d)
+		payload = enc.Bytes()
+	} else {
+		var err error
+		if payload, err = json.Marshal(d); err != nil {
+			return nil, err
+		}
 	}
 	kind, resp, err := c.roundTrip(ctx, KindDelegate, payload)
 	if err != nil {
@@ -554,7 +655,11 @@ func (c *Client) Delegate(ctx context.Context, d Delegate) (*DelegateResult, err
 		return nil, errors.New("wire: unexpected frame kind in delegate response")
 	}
 	var res DelegateResult
-	if err := json.Unmarshal(resp, &res); err != nil {
+	if codec.IsBinary(resp) {
+		if res, err = decodeDelegateResult(resp); err != nil {
+			return nil, fmt.Errorf("wire: bad delegate reply: %w", err)
+		}
+	} else if err := json.Unmarshal(resp, &res); err != nil {
 		return nil, fmt.Errorf("wire: bad delegate reply: %w", err)
 	}
 	if !res.OK {

@@ -28,10 +28,15 @@ import (
 )
 
 // Frame kinds.
+// Each kind has a legacy text payload (XML for DGL documents, JSON for
+// everything else) and, on protocol >= 1.4 sessions, a binary codec
+// payload (internal/codec, docs/CODEC.md). The receiver sniffs the
+// payload's first byte — binary starts with 0xDF, which no XML or JSON
+// document can — and mirrors the request's encoding in its reply.
 const (
-	// KindDGL frames carry XML DGL documents.
+	// KindDGL frames carry DGL request/response documents.
 	KindDGL byte = 1
-	// KindControl frames carry JSON control verbs.
+	// KindControl frames carry control verbs.
 	KindControl byte = 2
 	// KindBatch frames carry a JSON batch envelope of N DGL requests
 	// (one submission round trip for many flows). Batch frames are a
@@ -92,12 +97,20 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 3
+	ProtoMinor = 4
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
 	// delegateMinor is the minimum minor version that accepts
 	// KindDelegate frames (federated subflow execution).
 	delegateMinor = 3
+	// binaryMinor is the minimum minor version that accepts binary
+	// (internal/codec) payloads inside kind 1-4 frames. Negotiation is
+	// per payload, not per session: hello stays JSON in both directions,
+	// and after a >= 1.4 hello either end may send binary — the receiver
+	// sniffs each payload's first byte and mirrors the encoding in its
+	// reply, so 1.3-and-older peers transparently stay on JSON. See
+	// docs/CODEC.md and docs/WIRE.md, "Version negotiation".
+	binaryMinor = 4
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
@@ -112,6 +125,12 @@ func MuxSupported(major, minor int) bool {
 // construction.
 func DelegateSupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= delegateMinor
+}
+
+// BinarySupported reports whether a peer advertising major.minor
+// accepts binary codec payloads (same major, minor >= 1.4).
+func BinarySupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= binaryMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"datagridflow/internal/codec"
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/fault"
@@ -251,33 +252,25 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		started := s.engine.Clock().Now()
 		o.StartSpan("request", k, remote, nil)
-		var data []byte
-		upgrade := false
-		switch kind {
-		case KindDGL:
-			resp := s.serveDGL(ctx, payload)
-			data, err = dgl.Marshal(resp)
-		case KindBatch:
-			res := s.serveBatch(ctx, payload)
-			data, err = json.Marshal(res)
-		case KindControl:
-			var res ControlResult
-			res, upgrade = s.serveControl(payload)
-			data, err = json.Marshal(res)
-		case KindDelegate:
-			res := s.serveDelegate(ctx, payload)
-			data, err = json.Marshal(res)
-		default:
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation
 		}
+		data, enc, upgrade, err := s.handleFrame(ctx, kind, payload, false)
 		if err != nil {
+			if enc != nil {
+				codec.PutEncoder(enc)
+			}
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "encode-error"})
 			return
 		}
 		o.Histogram("wire_request_seconds", "type", k).Observe(s.engine.Clock().Now().Sub(started).Seconds())
 		o.EndSpan("request", k, remote, map[string]string{"outcome": "ok"})
-		if err := WriteFrame(conn, kind, data); err != nil {
+		werr := WriteFrame(conn, kind, data)
+		if enc != nil {
+			codec.PutEncoder(enc)
+		}
+		if werr != nil {
 			return
 		}
 		o.Counter("wire_frames_out_total", "kind", k).Inc()
@@ -330,23 +323,11 @@ func (s *Server) handleMuxFrame(ctx context.Context, conn net.Conn, writeMu *syn
 	k := kindName(kind)
 	started := s.engine.Clock().Now()
 	o.StartSpan("request", k, remote, nil)
-	var data []byte
-	var err error
-	switch kind {
-	case KindDGL:
-		resp := s.serveDGL(ctx, payload)
-		data, err = dgl.Marshal(resp)
-	case KindControl:
-		res, _ := s.serveControl(payload) // no re-upgrade on a muxed session
-		data, err = json.Marshal(res)
-	case KindBatch:
-		res := s.serveBatch(ctx, payload)
-		data, err = json.Marshal(res)
-	case KindDelegate:
-		res := s.serveDelegate(ctx, payload)
-		data, err = json.Marshal(res)
-	}
+	data, enc, _, err := s.handleFrame(ctx, kind, payload, true) // no re-upgrade on a muxed session
 	if err != nil {
+		if enc != nil {
+			codec.PutEncoder(enc)
+		}
 		o.EndSpan("request", k, remote, map[string]string{"outcome": "encode-error"})
 		conn.Close() // mirror serial behaviour: an unmarshalable response severs
 		return
@@ -356,11 +337,104 @@ func (s *Server) handleMuxFrame(ctx context.Context, conn net.Conn, writeMu *syn
 	writeMu.Lock()
 	err = WriteMuxFrame(conn, kind, id, data)
 	writeMu.Unlock()
+	if enc != nil {
+		codec.PutEncoder(enc)
+	}
 	if err != nil {
 		return // connection gone; the read loop will notice too
 	}
 	o.Counter("wire_frames_out_total", "kind", k).Inc()
 	o.Counter("wire_bytes_out_total").Add(int64(len(data)) + muxHeaderLen)
+}
+
+// binaryOK reports whether this server's advertised version admits
+// binary payloads (>= 1.4).
+func (s *Server) binaryOK() bool { return s.minor() >= binaryMinor }
+
+// handleFrame services one frame payload — shared by the serial loop
+// and the mux dispatcher. The response mirrors the request's encoding:
+// a binary payload gets a binary reply, a legacy payload gets XML/JSON.
+// When enc is non-nil, data aliases its buffer and the caller must
+// codec.PutEncoder(enc) after writing (or on error). muxed suppresses
+// the hello upgrade, which is meaningless on an already-muxed session.
+func (s *Server) handleFrame(ctx context.Context, kind byte, payload []byte, muxed bool) (data []byte, enc *codec.Encoder, upgrade bool, err error) {
+	o := s.engine.Obs()
+	bin := codec.IsBinary(payload)
+	if bin && !s.binaryOK() {
+		// Binary frames against a pre-1.4 server are a negotiation bug,
+		// not grounds to sever: answer with a protocol-class error in the
+		// legacy encoding, which every client can read (responses are
+		// sniffed, never assumed).
+		perr := dgferr.Encode(fmt.Errorf(
+			"%w: binary payloads need protocol >= %s, server advertises %s",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, binaryMinor), s.proto()))
+		switch kind {
+		case KindDGL:
+			data, err = dgl.Marshal(&dgl.Response{Error: perr})
+		case KindControl:
+			data, err = json.Marshal(ControlResult{Error: perr})
+		case KindBatch:
+			data, err = json.Marshal(BatchResult{Error: perr})
+		case KindDelegate:
+			data, err = json.Marshal(DelegateResult{Error: perr})
+		}
+		return data, nil, false, err
+	}
+	if !bin && s.binaryOK() && kind != KindControl {
+		// A legacy payload on a binary-capable server: a pre-1.4 peer, or
+		// a client pinned to the text encoding. Control frames don't
+		// count — hello negotiation always rides JSON.
+		o.Counter("codec_fallback_total", "kind", kindName(kind)).Inc()
+	}
+	switch kind {
+	case KindDGL:
+		resp := s.serveDGL(ctx, payload)
+		if bin {
+			enc = codec.GetEncoder()
+			codec.AppendResponse(enc, resp)
+			data = enc.Bytes()
+		} else {
+			data, err = dgl.Marshal(resp)
+		}
+	case KindControl:
+		var res ControlResult
+		res, upgrade = s.serveControl(payload)
+		if muxed {
+			upgrade = false
+		}
+		if bin {
+			enc = codec.GetEncoder()
+			appendControlResult(enc, &res)
+			data = enc.Bytes()
+		} else {
+			data, err = json.Marshal(res)
+		}
+	case KindBatch:
+		data, enc, err = s.serveBatch(ctx, payload)
+	case KindDelegate:
+		res := s.serveDelegate(ctx, payload)
+		if bin {
+			enc = codec.GetEncoder()
+			appendDelegateResult(enc, &res)
+			data = enc.Bytes()
+		} else {
+			data, err = json.Marshal(res)
+		}
+	}
+	if enc != nil && err == nil {
+		o.Counter("codec_encode_bytes_total").Add(int64(len(data)))
+	}
+	return data, enc, upgrade, err
+}
+
+// decodeRequestPayload sniffs a DGL request payload's encoding and
+// decodes accordingly: binary via internal/codec, anything else via the
+// XML parser.
+func decodeRequestPayload(payload []byte) (*dgl.Request, error) {
+	if codec.IsBinary(payload) {
+		return codec.DecodeRequest(payload)
+	}
+	return dgl.DecodeRequest(payload)
 }
 
 // admit runs a request through the admission scheduler, tracking the
@@ -388,7 +462,7 @@ func (s *Server) release() {
 // services it. Errors become error responses rather than dropped
 // connections — clients always get an answer per request.
 func (s *Server) serveDGL(ctx context.Context, payload []byte) *dgl.Response {
-	req, err := dgl.DecodeRequest(payload)
+	req, err := decodeRequestPayload(payload)
 	if err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
@@ -418,34 +492,79 @@ func (s *Server) dispatchDGL(req *dgl.Request) *dgl.Response {
 // serveBatch services a KindBatch frame: N DGL requests in one frame,
 // answered positionally. The whole batch occupies one admission slot
 // (it is one frame of one user); items fail independently via per-item
-// error responses.
-func (s *Server) serveBatch(ctx context.Context, payload []byte) BatchResult {
-	var b Batch
-	if err := json.Unmarshal(payload, &b); err != nil {
-		return BatchResult{Error: dgferr.Encode(
-			fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, err))}
+// error responses. The reply envelope mirrors the request envelope's
+// encoding, and each item's response mirrors that item's encoding —
+// a binary envelope may legally carry XML items. Returns encoded reply
+// bytes directly (per-item encodings vary, so the caller can't encode);
+// the same enc contract as handleFrame applies.
+func (s *Server) serveBatch(ctx context.Context, payload []byte) ([]byte, *codec.Encoder, error) {
+	bin := codec.IsBinary(payload)
+	fail := func(ferr error) ([]byte, *codec.Encoder, error) {
+		if bin {
+			enc := codec.GetEncoder()
+			appendBatchResult(enc, false, dgferr.Encode(ferr), nil)
+			return enc.Bytes(), enc, nil
+		}
+		data, jerr := json.Marshal(BatchResult{Error: dgferr.Encode(ferr)})
+		return data, nil, jerr
 	}
-	if err := s.admit(ctx, b.User); err != nil {
-		return BatchResult{Error: dgferr.Encode(err)}
+	var user string
+	var items [][]byte
+	if bin {
+		var derr error
+		user, items, derr = decodeBatch(payload)
+		if derr != nil {
+			return fail(fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, derr))
+		}
+	} else {
+		var b Batch
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return fail(fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, err))
+		}
+		user = b.User
+		items = make([][]byte, len(b.Requests))
+		for i, r := range b.Requests {
+			items[i] = []byte(r)
+		}
+	}
+	if err := s.admit(ctx, user); err != nil {
+		return fail(err)
 	}
 	defer s.release()
-	out := make([]string, len(b.Requests))
-	for i, doc := range b.Requests {
+	out := make([][]byte, len(items))
+	for i, doc := range items {
 		var resp *dgl.Response
-		req, err := dgl.DecodeRequest([]byte(doc))
+		req, err := decodeRequestPayload(doc)
 		if err != nil {
 			resp = &dgl.Response{Error: dgferr.Encode(err)}
 		} else {
 			resp = s.dispatchDGL(req)
+		}
+		if codec.IsBinary(doc) {
+			ie := codec.GetEncoder()
+			codec.AppendResponse(ie, resp)
+			out[i] = append([]byte(nil), ie.Bytes()...)
+			codec.PutEncoder(ie)
+			continue
 		}
 		data, err := dgl.Marshal(resp)
 		if err != nil {
 			data, _ = dgl.Marshal(&dgl.Response{Error: dgferr.Encode(
 				fmt.Errorf("%w: encoding batch item %d: %v", dgferr.ErrInvalid, i, err))})
 		}
-		out[i] = string(data)
+		out[i] = data
 	}
-	return BatchResult{OK: true, Responses: out}
+	if bin {
+		enc := codec.GetEncoder()
+		appendBatchResult(enc, true, "", out)
+		return enc.Bytes(), enc, nil
+	}
+	strs := make([]string, len(out))
+	for i, d := range out {
+		strs[i] = string(d)
+	}
+	data, err := json.Marshal(BatchResult{OK: true, Responses: strs})
+	return data, nil, err
 }
 
 // serveDelegate services a KindDelegate frame: run the embedded subflow
@@ -467,12 +586,19 @@ func (s *Server) serveDelegate(ctx context.Context, payload []byte) DelegateResu
 			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, delegateMinor), s.proto()))}
 	}
 	var d Delegate
-	if err := json.Unmarshal(payload, &d); err != nil {
+	if codec.IsBinary(payload) {
+		var derr error
+		if d, derr = decodeDelegate(payload); derr != nil {
+			outcome("invalid")
+			return DelegateResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: bad delegate frame: %v", dgferr.ErrInvalid, derr))}
+		}
+	} else if err := json.Unmarshal(payload, &d); err != nil {
 		outcome("invalid")
 		return DelegateResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: bad delegate frame: %v", dgferr.ErrInvalid, err))}
 	}
-	req, err := dgl.DecodeRequest([]byte(d.Request))
+	req, err := decodeRequestPayload([]byte(d.Request))
 	if err != nil {
 		outcome("invalid")
 		return DelegateResult{Error: dgferr.Encode(
@@ -541,7 +667,12 @@ func (s *Server) serveDelegate(ctx context.Context, payload []byte) DelegateResu
 // the result is ignored by the caller — no double upgrade.)
 func (s *Server) serveControl(payload []byte) (res ControlResult, upgrade bool) {
 	var c Control
-	if err := json.Unmarshal(payload, &c); err != nil {
+	if codec.IsBinary(payload) {
+		var err error
+		if c, err = decodeControl(payload); err != nil {
+			return ControlResult{Error: "bad control frame: " + err.Error()}, false
+		}
+	} else if err := json.Unmarshal(payload, &c); err != nil {
 		return ControlResult{Error: "bad control frame: " + err.Error()}, false
 	}
 	if c.Op == "hello" {
