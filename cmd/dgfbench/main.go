@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E14):
+// Command dgfbench regenerates the reproduction's experiments (E1–E15):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -11,6 +11,7 @@
 //	dgfbench -metrics=false   # suppress the engine metrics snapshot
 //	dgfbench -load -o BENCH_wire.json    # wire-protocol load experiment
 //	dgfbench -store -o BENCH_store.json  # flow-state store experiment
+//	dgfbench -shard -o BENCH_shard.json  # sharded-ownership experiment
 //
 // With -load the experiments are skipped and the wire load harness
 // (internal/loadgen) runs instead: serial vs pipelined vs batch
@@ -22,6 +23,12 @@
 // the same CI job gates on: restart replay reduction and resident
 // executions for a large population of mostly-idle long-run flows
 // (docs/STORE.md).
+//
+// With -shard the sharded-ownership experiment (E15) runs alone and its
+// machine-readable report is written as the BENCH_shard.json artifact
+// the same CI job gates on: any-peer submit scaling at 1/2/4 peers vs a
+// single-owner funnel, and kill-one-owner lease failover
+// (docs/FEDERATION.md, "Sharded ownership").
 //
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
@@ -43,21 +50,27 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E14")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E15")
 	storeBench := flag.Bool("store", false, "run the flow-state store experiment (E14) and write its JSON report")
+	shardBench := flag.Bool("shard", false, "run the sharded-ownership experiment (E15) and write its JSON report")
 	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
-	out := flag.String("o", "", "with -load/-store: write the report JSON to this file (default stdout only)")
+	shardPeers := flag.Int("shard-peers", 0, "with -load: add a sharded any-peer phase over this many peers (0 skips; docs/FEDERATION.md)")
+	out := flag.String("o", "", "with -load/-store/-shard: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
-		runLoad(*small, *fedPeers, *out)
+		runLoad(*small, *fedPeers, *shardPeers, *out)
 		return
 	}
 	if *storeBench {
 		runStore(*small, *out)
+		return
+	}
+	if *shardBench {
+		runShard(*small, *out)
 		return
 	}
 
@@ -100,12 +113,13 @@ func main() {
 }
 
 // runLoad executes the wire load harness and writes the report.
-func runLoad(small bool, fedPeers int, out string) {
+func runLoad(small bool, fedPeers, shardPeers int, out string) {
 	opts := loadgen.Defaults()
 	if small {
 		opts = loadgen.SmallDefaults()
 	}
 	opts.FederatedPeers = fedPeers
+	opts.ShardedPeers = shardPeers
 	t0 := time.Now()
 	rep, err := loadgen.Run(opts)
 	if err != nil {
@@ -114,9 +128,15 @@ func runLoad(small bool, fedPeers int, out string) {
 	}
 	fmt.Print(rep.String())
 	fmt.Printf("(load completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	writeReport("load", rep, out)
+}
+
+// writeReport marshals a benchmark report and writes it to out (stdout
+// when out is empty).
+func writeReport(mode string, rep any, out string) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dgfbench: %s: %v\n", mode, err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
@@ -125,7 +145,7 @@ func runLoad(small bool, fedPeers int, out string) {
 		return
 	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "dgfbench: load: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dgfbench: %s: %v\n", mode, err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", out)
@@ -148,19 +168,26 @@ func runStore(small bool, out string) {
 		rep.Flows, rep.JournalRecords, rep.StoreReplayRecords, rep.ReplayReduction,
 		rep.Flows, rep.ResidentAfterSweep, rep.JournalScanMs, rep.StoreOpenMs+rep.RecoverMs)
 	fmt.Printf("(store bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
-	data, err := json.MarshalIndent(rep, "", "  ")
+	writeReport("store", rep, out)
+}
+
+// runShard executes the sharded-ownership benchmark (E15) and writes
+// the BENCH_shard.json report.
+func runShard(small bool, out string) {
+	scale := experiments.Full
+	if small {
+		scale = experiments.Small
+	}
+	t0 := time.Now()
+	rep, err := experiments.E15ShardBench(scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dgfbench: store: %v\n", err)
+		fmt.Fprintf(os.Stderr, "dgfbench: shard: %v\n", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
-	if out == "" {
-		fmt.Printf("%s", data)
-		return
-	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "dgfbench: store: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("any-peer: %.0f/%.0f/%.0f flows/sec at 1/2/4 peers (%.2fx at 4), single-owner %.0f (%.2fx); failover takeover %.0fms, accepted %d, errors %d, replayed %d\n",
+		rep.Rate1, rep.Rate2, rep.Rate4, rep.Speedup4,
+		rep.RateSingleOwner, rep.SpeedupVsSingleOwner,
+		rep.FailoverMs, rep.AcceptedDuringFailover, rep.FailoverSubmitErrors, rep.ReplayedFromGenesis)
+	fmt.Printf("(shard bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	writeReport("shard", rep, out)
 }

@@ -21,6 +21,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +30,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"datagridflow/internal/dgferr"
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
@@ -47,14 +51,17 @@ type verb struct {
 var verbs = []verb{
 	{
 		name:     "submit",
-		synopsis: "submit [-async] <file.xml>",
+		synopsis: "submit [-async] [-local] <file.xml>",
 		summary:  "submit a DGL dataGridRequest document",
 		detail: `Reads and validates the document, then submits it as a kind-1 wire
 frame. A synchronous submit blocks until the flow completes and prints
 its status tree; -async (or async="true" in the document) returns an
-acknowledgement id immediately — poll it with "status". On a 1.4
-server the payload travels in the binary codec (docs/CODEC.md);
-against older servers it falls back to XML transparently.`,
+acknowledgement id immediately — poll it with "status". On a sharded
+network any peer accepts the submit and routes it to the shard owner
+(docs/FEDERATION.md); -local pins the flow to the connected server
+instead. On a 1.4+ server the payload travels in the binary codec
+(docs/CODEC.md); against older servers it falls back to XML
+transparently.`,
 	},
 	{
 		name:     "status",
@@ -64,7 +71,9 @@ against older servers it falls back to XML transparently.`,
 status is resolved at any granularity. -detail expands the full tree
 with per-step state, timing and errors. Querying a passivated
 execution resurrects it transparently from the flow-state store; on a
-peer network the query is routed to the owning peer.`,
+peer network the query is routed to the owning peer, and on a sharded
+network an id the server cannot resolve is auto-followed: dgfctl asks
+"owner", dials the owning peer, and retries there.`,
 	},
 	{
 		name:     "pause",
@@ -126,6 +135,16 @@ top of snapshots. Reports a poisoned store's sticky failure.`,
 		detail: `Rewrites the store as one merged snapshot per live execution
 (docs/STORE.md), prints the compaction summary (segments and records
 before/after), then the same report as "store".`,
+	},
+	{
+		name:     "owner",
+		synopsis: "owner <id>",
+		summary:  "resolve which peer owns a flow or execution id",
+		detail: `Asks a sharded server (wire 1.5, docs/FEDERATION.md) which peer owns
+the given execution id or "user/flowName" routing key, printing the
+owning peer, its address, the shard, and how it was resolved: tracked
+(accepted on that peer), prefix (the id's "peer:" prefix), or ring
+(consistent-hash placement of the routing key).`,
 	},
 	{
 		name:     "peers",
@@ -306,6 +325,7 @@ func main() {
 	switch args[0] {
 	case "submit":
 		rest, async := extractOpt(args[1:], "-async")
+		rest, local := extractOpt(rest, "-local")
 		if len(rest) != 1 {
 			verbUsage("submit")
 		}
@@ -317,31 +337,63 @@ func main() {
 		if err != nil {
 			log.Fatalf("dgfctl: %v", err)
 		}
+		var opts []wire.SubmitOption
 		if async {
-			req.Async = true
+			opts = append(opts, wire.WithAsync())
 		}
-		resp, err := client.Submit(req)
+		if local {
+			opts = append(opts, wire.WithRoute(wire.RouteLocal))
+		}
+		res, err := client.Submit(context.Background(), req, opts...)
 		if err != nil {
 			log.Fatalf("dgfctl: %v", err)
 		}
-		if resp.Error != "" {
-			log.Fatalf("dgfctl: server: %s", resp.Error)
+		if serr := res.Err(); serr != nil {
+			log.Fatalf("dgfctl: server: %v", serr)
 		}
-		if resp.Ack != nil {
-			fmt.Printf("accepted: id=%s status=%s\n", resp.Ack.ID, resp.Ack.Status)
+		if ack := res.Response.Ack; ack != nil && ack.Valid {
+			fmt.Printf("accepted: id=%s status=%s\n", ack.ID, ack.Status)
 			return
 		}
-		printStatus(resp.Status, 0)
+		printStatus(res.Response.Status, 0)
 	case "status":
 		rest, detail := extractOpt(args[1:], "-detail")
 		if len(rest) != 1 {
 			verbUsage("status")
 		}
 		st, err := client.Status(*user, rest[0], detail)
+		if err != nil && errors.Is(err, dgferr.ErrNotFound) {
+			// Auto-follow on a sharded network: ask the server who owns
+			// the id, dial the owner, and retry there.
+			if info, oerr := client.Owner(rest[0]); oerr == nil && info.Addr != "" && info.Addr != *addr {
+				if oc, derr := wire.Dial(info.Addr); derr == nil {
+					defer oc.Close()
+					_, _ = oc.Hello()
+					if ost, serr := oc.Status(*user, rest[0], detail); serr == nil {
+						fmt.Printf("(followed to owner %s at %s)\n", info.Peer, info.Addr)
+						st, err = ost, nil
+					}
+				}
+			}
+		}
 		if err != nil {
 			log.Fatalf("dgfctl: %v", err)
 		}
 		printStatus(st, 0)
+	case "owner":
+		if len(args) != 2 {
+			verbUsage("owner")
+		}
+		info, err := client.Owner(args[1])
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		shardCol := fmt.Sprintf("%d", info.Shard)
+		if info.Shard < 0 {
+			shardCol = "-"
+		}
+		fmt.Printf("%-16s %-22s %-6s %s\n", "PEER", "ADDRESS", "SHARD", "SOURCE")
+		fmt.Printf("%-16s %-22s %-6s %s\n", info.Peer, info.Addr, shardCol, info.Source)
 	case "pause", "resume", "cancel":
 		if len(args) != 2 {
 			verbUsage(args[0])

@@ -8,6 +8,7 @@
 //
 //	lookupd -addr :7400
 //	lookupd -addr :7400 -ttl 30s              # evict silent peers sooner
+//	lookupd -addr :7400 -shards 64            # shard-lease authority (sharded networks)
 //	lookupd -addr :7400 -metrics-addr :7480   # JSON metrics + pprof
 package main
 
@@ -26,11 +27,16 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
 	ttl := flag.Duration("ttl", wire.DefaultLookupTTL, "liveness TTL: peers silent for longer are evicted (0 disables)")
+	shards := flag.Int("shards", 0, "shard count of a sharded network: the registry becomes the lease authority (0 disables; must match matrixd -shards)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics and pprof on this address (empty disables)")
 	flag.Parse()
 
 	srv := wire.NewLookupServer()
 	srv.SetTTL(*ttl)
+	if *shards > 0 {
+		srv.SetShards(*shards)
+		fmt.Printf("lookupd: shard-lease authority for %d shards\n", *shards)
+	}
 	if *metricsAddr != "" {
 		msrv, maddr, err := obs.Serve(*metricsAddr, obs.Default())
 		if err != nil {

@@ -11,6 +11,7 @@
 //	matrixd -name matrixA -lookup host:7400      # join a peer network
 //	matrixd -peer-name matrixA -lookup host:7400 # same (alias)
 //	matrixd -placement locality -heartbeat 2s    # federation tuning
+//	matrixd -shards 64 -lookup host:7400         # sharded flow ownership
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
 //	matrixd -journal /var/lib/matrix.journal     # crash recovery
@@ -45,6 +46,7 @@ import (
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/shard"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/store"
 	"datagridflow/internal/trigger"
@@ -59,6 +61,7 @@ func main() {
 	lookup := flag.String("lookup", "", "lookup server address to register with")
 	placement := flag.String("placement", "least-loaded", "federation placement policy: least-loaded, round-robin or locality (docs/FEDERATION.md)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "federation heartbeat interval (lookup lease renewal and load gossip)")
+	shards := flag.Int("shards", 0, "shard count for consistent-hash flow ownership (0 disables; requires -lookup and a lookupd started with the same -shards)")
 	infraPath := flag.String("infra", "", "infrastructure description XML (default: demo topology)")
 	triggerPath := flag.String("triggers", "", "trigger definitions XML to install at startup")
 	provPath := flag.String("prov", "", "provenance log file (default: in-memory)")
@@ -263,6 +266,19 @@ func main() {
 			log.Fatal("matrixd: -lookup requires -name")
 		}
 		peer := wire.NewPeerConfig(*name, engine, srvCfg)
+		if *shards > 0 {
+			mgr := shard.NewManager(shard.Config{
+				Self:   *name,
+				Shards: *shards,
+				Obs:    grid.Obs(),
+				Resident: func(execID string) bool {
+					_, ok := engine.Execution(execID)
+					return ok
+				},
+			})
+			peer.EnableSharding(mgr)
+			log.Printf("matrixd: sharded ownership enabled (%d shards)", *shards)
+		}
 		var err error
 		bound, err = peer.Start(*addr, *lookup)
 		if err != nil {

@@ -49,6 +49,7 @@ import (
 	"datagridflow/internal/namespace"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/shard"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/trigger"
 	"datagridflow/internal/vfs"
@@ -350,7 +351,42 @@ type (
 	MatrixPeer = wire.Peer
 	// LookupServer is the peer registry.
 	LookupServer = wire.LookupServer
+	// SubmitOption configures one MatrixClient.Submit call (WithAsync,
+	// WithBatch, WithRoute, WithUser).
+	SubmitOption = wire.SubmitOption
+	// SubmitResult is the unified reply of MatrixClient.Submit.
+	SubmitResult = wire.SubmitResult
+	// RouteMode is a submission's shard-placement preference.
+	RouteMode = wire.RouteMode
+	// ShardManager reconciles a peer's shard leases against the ring.
+	ShardManager = shard.Manager
+	// ShardConfig tunes a ShardManager.
+	ShardConfig = shard.Config
 )
+
+// Shard-routing modes for WithRoute.
+const (
+	// RouteAuto forwards a submission to its shard owner (the default
+	// on sharded peers).
+	RouteAuto = wire.RouteAuto
+	// RouteLocal pins a submission to the connected peer.
+	RouteLocal = wire.RouteLocal
+)
+
+// WithAsync submits asynchronously, acknowledging with an execution id.
+func WithAsync() SubmitOption { return wire.WithAsync() }
+
+// WithBatch adds requests answered positionally in one round trip.
+func WithBatch(reqs ...*Request) SubmitOption { return wire.WithBatch(reqs...) }
+
+// WithRoute sets the submission's shard-placement preference.
+func WithRoute(mode RouteMode) SubmitOption { return wire.WithRoute(mode) }
+
+// WithUser names the identity a batch is accounted to.
+func WithUser(name string) SubmitOption { return wire.WithUser(name) }
+
+// NewShardManager builds a shard manager for MatrixPeer.EnableSharding.
+func NewShardManager(cfg ShardConfig) *ShardManager { return shard.NewManager(cfg) }
 
 // NewMatrixServer wraps an engine for network service.
 func NewMatrixServer(e *Engine) *MatrixServer { return wire.NewServer(e) }

@@ -9,6 +9,7 @@ package datagridflow
 // paper's production pilots (UCSD Libraries, SCEC) in test form.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -93,14 +94,14 @@ func TestIntegrationSCECPipelineOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Submit(req)
+	res, err := client.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Error != "" || resp.Ack == nil || !resp.Ack.Valid {
-		t.Fatalf("submit = %+v", resp)
+	if serr := res.Err(); serr != nil || res.ID == "" {
+		t.Fatalf("submit = %+v (err %v)", res.Response, serr)
 	}
-	exec, ok := engine.Execution(resp.Ack.ID)
+	exec, ok := engine.Execution(res.ID)
 	if !ok {
 		t.Fatal("execution untracked")
 	}
@@ -109,7 +110,7 @@ func TestIntegrationSCECPipelineOverWire(t *testing.T) {
 	}
 
 	// Status over the wire at the per-file iteration granularity.
-	st, err := client.Status("jonw", resp.Ack.ID+"/scec-pipeline/per-file", true)
+	st, err := client.Status("jonw", res.ID+"/scec-pipeline/per-file", true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ const (
 	reqUser  = 3 // msg {1: name sym, 2: vo sym}
 	reqFlow  = 4 // msg (flow)
 	reqQuery = 5 // msg {1: id sym, 2: detail bool}
+	reqRoute = 6 // sym ("auto"/"local"), sharded-routing preference
 )
 
 // Flow field numbers (nested).
@@ -127,6 +128,7 @@ func AppendRequest(e *Encoder, req *dgl.Request) {
 			e.Bool(2, req.StatusQuery.Detail)
 		})
 	}
+	e.Sym(reqRoute, req.Route)
 }
 
 func flowFields(e *Encoder, f *dgl.Flow) {
@@ -291,6 +293,8 @@ func DecodeRequest(payload []byte) (*dgl.Request, error) {
 				}
 			})
 			req.StatusQuery = q
+		case reqRoute:
+			req.Route = d.Sym()
 		default:
 			d.Skip()
 		}

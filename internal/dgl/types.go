@@ -43,12 +43,27 @@ const (
 	Switch Control = "switch"
 )
 
+// Route preference values (Request.Route) on sharded networks.
+const (
+	// RouteAuto lets the accepting peer forward the flow to its shard
+	// owner — the default for an empty Route.
+	RouteAuto = "auto"
+	// RouteLocal pins the flow to the accepting peer; the sharding
+	// layer neither forwards it nor rejects it for foreign ownership.
+	RouteLocal = "local"
+)
+
 // Request is a DGL Data Grid Request (Figure 2).
 type Request struct {
 	XMLName xml.Name `xml:"dataGridRequest"`
 	// Async requests are acknowledged immediately with a request id; the
 	// flow executes in the background and is polled via FlowStatusQuery.
 	Async bool `xml:"async,attr,omitempty"`
+	// Route is the submission's placement preference on a sharded
+	// datagridflow network: RouteAuto (or empty) lets the accepting
+	// peer forward the flow to its shard owner, RouteLocal pins it to
+	// the accepting peer. Non-sharded deployments ignore it.
+	Route string `xml:"route,attr,omitempty"`
 	// Metadata documents the request itself.
 	Metadata DocumentMeta `xml:"documentMetadata"`
 	// User identifies the submitting grid user and virtual organization.

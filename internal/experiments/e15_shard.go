@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/dgms"
+	"datagridflow/internal/matrix"
+	"datagridflow/internal/namespace"
+	"datagridflow/internal/obs"
+	"datagridflow/internal/shard"
+	"datagridflow/internal/sim"
+	"datagridflow/internal/vfs"
+	"datagridflow/internal/wire"
+)
+
+// E15Shard quantifies sharded flow ownership (docs/FEDERATION.md,
+// "Sharded ownership"):
+//
+//   - Any-peer scaling: a fixed per-peer client population submits
+//     synchronous sleep flows to its local peer; the wire layer routes
+//     each to its shard owner. Aggregate throughput at 1, 2 and 4 peers
+//     measures how submission AND execution spread over the network.
+//     The "single-owner" row is the counterfactual: the same 4-peer
+//     network and the same offered load, but every shard leased to one
+//     peer — the funnel sharding exists to remove.
+//   - Failover: the owner of half the key space is killed without
+//     drain. Submissions keyed to its shards must keep succeeding
+//     (accepted locally by the surviving peer) throughout, the
+//     survivor must take the leases over within the registry TTL, and
+//     none of the dead peer's completed flows may be re-executed —
+//     placement moves, history does not ("no replay from genesis").
+func E15Shard(s Scale) (*Report, error) {
+	rep, err := E15ShardBench(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID: "E15", Title: "sharded ownership — any-peer submit scaling & owner failover",
+		Header: []string{"scenario", "peers", "flows/sec", "speedup", "routed/local"},
+	}
+	r.Row("any-peer", "1", fmt.Sprintf("%.0f", rep.Rate1), "1.00x", "-")
+	r.Row("any-peer", "2", fmt.Sprintf("%.0f", rep.Rate2), fmt.Sprintf("%.2fx", rep.Speedup2), "-")
+	r.Row("any-peer", "4", fmt.Sprintf("%.0f", rep.Rate4), fmt.Sprintf("%.2fx", rep.Speedup4),
+		fmt.Sprintf("%d/%d", rep.Routed4, rep.Local4))
+	r.Row("single-owner", "4", fmt.Sprintf("%.0f", rep.RateSingleOwner),
+		fmt.Sprintf("%.2fx", rep.SpeedupVsSingleOwner), "(sharded/single-owner)")
+	r.Row("failover", "2", "-",
+		fmt.Sprintf("takeover %.0fms", rep.FailoverMs),
+		fmt.Sprintf("accepted %d, errors %d, replayed %d",
+			rep.AcceptedDuringFailover, rep.FailoverSubmitErrors, rep.ReplayedFromGenesis))
+	r.Note("workload: %d sync flows per phase, one %gms sleep step each; %d shards; per-peer admission %d, %d submit workers per peer (workers < admission so two-slot routed submissions cannot deadlock)",
+		rep.FlowsPerPhase, rep.StepMs, rep.Shards, rep.Capacity, rep.WorkersPerPeer)
+	r.Note("single-owner row: same 4-peer network and offered load, every shard leased to peer 1 — throughput collapses to that peer's admission capacity")
+	r.Note("failover: owner killed without drain; lease takeover bounded by the registry TTL (%gms here); submissions during the window fall back to local accepts (shard_routes_total{outcome=failover})",
+		rep.FailoverTTLMs)
+	return r, nil
+}
+
+// ShardBenchReport is the machine-readable artifact `dgfbench -shard`
+// writes as BENCH_shard.json; the CI bench job gates on it
+// (internal/infra/benchgate, docs/BENCH.md).
+type ShardBenchReport struct {
+	Small          bool    `json:"small"`
+	Shards         int     `json:"shards"`
+	Capacity       int     `json:"capacity"`
+	WorkersPerPeer int     `json:"workers_per_peer"`
+	FlowsPerPhase  int     `json:"flows_per_phase"`
+	StepMs         float64 `json:"step_ms"`
+
+	Rate1           float64 `json:"rate_1peer"`
+	Rate2           float64 `json:"rate_2peer"`
+	Rate4           float64 `json:"rate_4peer"`
+	RateSingleOwner float64 `json:"rate_single_owner"`
+	// Speedup2/Speedup4 are any-peer throughput over the 1-peer run.
+	// SpeedupVsSingleOwner is the 4-peer sharded run over the 4-peer
+	// single-owner run — the gated scaling ratios.
+	Speedup2             float64 `json:"speedup_2peer"`
+	Speedup4             float64 `json:"speedup_4peer"`
+	SpeedupVsSingleOwner float64 `json:"speedup_vs_single_owner"`
+	// Routed4/Local4 split the 4-peer run's submissions by routing
+	// outcome on the accepting peers.
+	Routed4 int64 `json:"routed_submits_4peer"`
+	Local4  int64 `json:"local_submits_4peer"`
+
+	// FailoverMs is kill → survivor holds the dead owner's lease
+	// (bounded by FailoverTTLMs, the registry TTL of the run).
+	FailoverMs             float64 `json:"failover_ms"`
+	FailoverTTLMs          float64 `json:"failover_ttl_ms"`
+	TakeoverOwned          bool    `json:"takeover_owned"`
+	AcceptedDuringFailover int     `json:"accepted_during_failover"`
+	FailoverSubmitErrors   int     `json:"failover_submit_errors"`
+	// ReplayedFromGenesis counts the dead owner's completed flows found
+	// re-executing on the survivor after takeover — must be 0.
+	ReplayedFromGenesis int `json:"replayed_from_genesis"`
+}
+
+// E15ShardBench runs the sharded-ownership experiment and returns the
+// machine-readable report.
+func E15ShardBench(s Scale) (*ShardBenchReport, error) {
+	rep := &ShardBenchReport{
+		Small: s == Small,
+		// Per-peer slot demand under routing is ~1.75x workers (every
+		// worker holds its acceptor slot while the owner executes, and
+		// routed-in executions hold owner slots), so capacity is sized
+		// ~2x workers: the sharded runs stay unthrottled while the
+		// single-owner counterfactual — whole network funneled through
+		// one peer's admission — saturates.
+		Shards:         pick(s, 32, 64),
+		Capacity:       pick(s, 12, 20),
+		WorkersPerPeer: pick(s, 6, 10),
+		FlowsPerPhase:  pick(s, 120, 400),
+		StepMs:         float64(pick(s, 4, 8)),
+	}
+
+	// Any-peer scaling at 1, 2, 4 peers.
+	rates := map[int]float64{}
+	for _, n := range []int{1, 2, 4} {
+		cl, err := newShardCluster(n, rep, 0)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := cl.runPhase(rep)
+		if n == 4 {
+			rep.Routed4, rep.Local4 = cl.routeSplit()
+		}
+		cl.close()
+		if err != nil {
+			return nil, err
+		}
+		rates[n] = rate
+	}
+	rep.Rate1, rep.Rate2, rep.Rate4 = rates[1], rates[2], rates[4]
+	if rep.Rate1 > 0 {
+		rep.Speedup2 = rep.Rate2 / rep.Rate1
+		rep.Speedup4 = rep.Rate4 / rep.Rate1
+	}
+
+	// Single-owner counterfactual: 4 peers, all shards on the first.
+	cl, err := newShardCluster(4, rep, 0)
+	if err != nil {
+		return nil, err
+	}
+	cl.funnelTo(0)
+	rate, err := cl.runPhase(rep)
+	cl.close()
+	if err != nil {
+		return nil, err
+	}
+	rep.RateSingleOwner = rate
+	if rate > 0 {
+		rep.SpeedupVsSingleOwner = rep.Rate4 / rate
+	}
+
+	// Failover.
+	if err := runShardFailover(s, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// shardPeer is one member of an in-process sharded cluster.
+type shardPeer struct {
+	name   string
+	reg    *obs.Registry
+	engine *matrix.Engine
+	peer   *wire.Peer
+}
+
+type shardCluster struct {
+	lookup *wire.LookupServer
+	peers  []*shardPeer
+}
+
+// newShardCluster stands up a shard-lease lookup plus n sharded peers
+// on loopback TCP and settles ring ownership deterministically (two
+// rebalance rounds, no heartbeat timers). ttl > 0 arms registry
+// eviction for the failover run.
+func newShardCluster(n int, rep *ShardBenchReport, ttl time.Duration) (*shardCluster, error) {
+	cl := &shardCluster{lookup: wire.NewLookupServer()}
+	cl.lookup.SetShards(rep.Shards)
+	if ttl > 0 {
+		cl.lookup.SetTTL(ttl)
+	}
+	lookupAddr, err := cl.lookup.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		p, err := newShardPeer(fmt.Sprintf("shard%c", 'A'+i), lookupAddr, rep)
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		cl.peers = append(cl.peers, p)
+	}
+	cl.settle()
+	return cl, nil
+}
+
+func newShardPeer(name, lookupAddr string, rep *ShardBenchReport) (*shardPeer, error) {
+	reg := obs.NewRegistry()
+	// Real clock: the sleep step must consume wall time for admission
+	// capacity to be the resource that scales with peers.
+	g := dgms.New(dgms.Options{Obs: reg, Clock: sim.RealClock{}})
+	if err := g.RegisterResource(vfs.New(name+"-disk", name, vfs.Disk, 0)); err != nil {
+		return nil, err
+	}
+	if err := g.CreateCollectionAll(g.Admin(), "/grid"); err != nil {
+		return nil, err
+	}
+	if err := g.Namespace().SetPermission("/grid", "*", namespace.PermWrite); err != nil {
+		return nil, err
+	}
+	e := matrix.NewEngineConfig(g, matrix.Config{IDPrefix: name + ":", MaxParallel: 64})
+	p := wire.NewPeerConfig(name, e, wire.ServerConfig{MaxInflight: rep.Capacity})
+	p.EnableSharding(shard.NewManager(shard.Config{
+		Self:   name,
+		Shards: rep.Shards,
+		Obs:    reg,
+		Resident: func(id string) bool {
+			_, ok := e.Execution(id)
+			return ok
+		},
+	}))
+	if _, err := p.Start("127.0.0.1:0", lookupAddr); err != nil {
+		return nil, err
+	}
+	return &shardPeer{name: name, reg: reg, engine: e, peer: p}, nil
+}
+
+// settle runs two rebalance rounds over the full roster: the first
+// releases what the ring moved away, the second claims what the first
+// freed.
+func (cl *shardCluster) settle() {
+	var names []string
+	for _, p := range cl.peers {
+		names = append(names, p.name)
+	}
+	for range [2]int{} {
+		for _, p := range cl.peers {
+			p.peer.RebalanceShards(names)
+		}
+	}
+}
+
+// funnelTo re-leases every shard to one peer — the single-owner
+// counterfactual topology.
+func (cl *shardCluster) funnelTo(i int) {
+	owner := cl.peers[i]
+	var all []int
+	for s := 0; s < owner.peer.ShardManager().Shards(); s++ {
+		all = append(all, s)
+	}
+	for j, p := range cl.peers {
+		if j != i {
+			p.peer.RebalanceShards([]string{owner.name}) // ring of one: drain everything
+		}
+	}
+	owners, err := owner.peer.Lookup().ClaimShards(owner.name, all)
+	if err != nil {
+		return
+	}
+	for _, p := range cl.peers {
+		p.peer.ShardManager().SetOwners(owners)
+	}
+}
+
+func (cl *shardCluster) close() {
+	for _, p := range cl.peers {
+		p.peer.Close()
+	}
+	cl.lookup.Close()
+}
+
+// routeSplit sums the accepting peers' routed vs locally-accepted
+// submissions.
+func (cl *shardCluster) routeSplit() (routed, local int64) {
+	for _, p := range cl.peers {
+		routed += p.reg.Counter("shard_routes_total", "outcome", "routed").Value()
+		local += p.reg.Counter("shard_routes_total", "outcome", "local").Value()
+	}
+	return routed, local
+}
+
+// runPhase drives FlowsPerPhase synchronous sleep flows through the
+// cluster — WorkersPerPeer closed-loop workers per peer, each submitting
+// to its local peer over a multiplexed session, flow names and users
+// spread uniformly over the key space — and returns flows/sec.
+func (cl *shardCluster) runPhase(rep *ShardBenchReport) (float64, error) {
+	sleep := time.Duration(rep.StepMs * float64(time.Millisecond))
+	var next atomic.Int64
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	clients := make([]*wire.Client, len(cl.peers))
+	for i, p := range cl.peers {
+		c, err := wire.Dial(p.peer.Addr())
+		if err == nil {
+			_, err = c.Hello()
+		}
+		if err != nil {
+			for _, prev := range clients {
+				if prev != nil {
+					prev.Close()
+				}
+			}
+			return 0, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	t0 := time.Now()
+	for _, c := range clients {
+		for w := 0; w < rep.WorkersPerPeer; w++ {
+			wg.Add(1)
+			go func(c *wire.Client) {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i > int64(rep.FlowsPerPhase) {
+						return
+					}
+					flow := dgl.NewFlow(fmt.Sprintf("job%d", i)).
+						Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": sleep.String()})).Flow()
+					req := dgl.NewRequest(fmt.Sprintf("u%d", i%16), "", flow)
+					res, err := c.Submit(context.Background(), req)
+					if err != nil || res.Err() != nil {
+						failed.Add(1)
+					}
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if n := failed.Load(); n > 0 {
+		return 0, fmt.Errorf("e15: %d of %d submissions failed", n, rep.FlowsPerPhase)
+	}
+	return float64(rep.FlowsPerPhase) / wall.Seconds(), nil
+}
+
+// runShardFailover kills the owner of half the key space and measures
+// availability and lease takeover on the survivor.
+func runShardFailover(s Scale, rep *ShardBenchReport) error {
+	ttl := time.Duration(pick(s, 300, 500)) * time.Millisecond
+	rep.FailoverTTLMs = float64(ttl) / float64(time.Millisecond)
+	cl, err := newShardCluster(2, rep, ttl)
+	if err != nil {
+		return err
+	}
+	defer cl.close()
+	a, b := cl.peers[0], cl.peers[1]
+
+	// Warm flows on B: completed executions whose ids must NOT reappear
+	// on A after the takeover.
+	cb, err := wire.Dial(b.peer.Addr())
+	if err != nil {
+		return err
+	}
+	if _, err := cb.Hello(); err != nil {
+		cb.Close()
+		return err
+	}
+	warm := pick(s, 8, 24)
+	var warmIDs []string
+	for i := 0; len(warmIDs) < warm && i < 4096; i++ {
+		name := fmt.Sprintf("warm%d", i)
+		if !b.peer.ShardManager().Owns(b.peer.ShardManager().ShardOf(wire.RoutingKey("user", name))) {
+			continue
+		}
+		flow := dgl.NewFlow(name).
+			Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": "1ms"})).Flow()
+		res, err := cb.Submit(context.Background(), dgl.NewRequest("user", "", flow),
+			wire.WithRoute(wire.RouteLocal))
+		if err != nil || res.Err() != nil {
+			cb.Close()
+			return fmt.Errorf("e15: warm flow: %v / %v", err, res.Err())
+		}
+		if res.Response.Status != nil {
+			warmIDs = append(warmIDs, res.Response.Status.ID)
+		}
+	}
+	cb.Close()
+
+	// Kill B without drain: server down, leases left live until the TTL.
+	b.peer.Server().Close()
+
+	// A flow name keyed to a B-owned shard keeps being submitted through
+	// A until A holds the lease. Every submission must succeed — the
+	// survivor accepts locally while the lease is still B's.
+	victim := ""
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("after%d", i)
+		if h, _, ok := a.peer.ShardManager().OwnerOf(wire.RoutingKey("user", name)); ok && h == b.name {
+			victim = name
+			break
+		}
+	}
+	if victim == "" {
+		return fmt.Errorf("e15: no key routes to the dead owner")
+	}
+	ca, err := wire.Dial(a.peer.Addr())
+	if err != nil {
+		return err
+	}
+	defer ca.Close()
+	if _, err := ca.Hello(); err != nil {
+		return err
+	}
+	sh := a.peer.ShardManager().ShardOf(wire.RoutingKey("user", victim))
+	t0 := time.Now()
+	deadline := t0.Add(ttl + 5*time.Second)
+	for !a.peer.ShardManager().Owns(sh) {
+		if time.Now().After(deadline) {
+			break
+		}
+		flow := dgl.NewFlow(victim).
+			Step("op", dgl.Op(dgl.OpSleep, map[string]string{"duration": "1ms"})).Flow()
+		res, err := ca.Submit(context.Background(), dgl.NewRequest("user", "", flow))
+		if err != nil || res.Err() != nil {
+			rep.FailoverSubmitErrors++
+		} else {
+			rep.AcceptedDuringFailover++
+		}
+		// The federation heartbeat would drive this; here it ticks inline.
+		a.peer.RebalanceShards([]string{a.name})
+		time.Sleep(20 * time.Millisecond)
+	}
+	rep.FailoverMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	rep.TakeoverOwned = a.peer.ShardManager().Owns(sh)
+
+	// History stayed where it was: none of B's completed flows run on A.
+	for _, id := range warmIDs {
+		if _, resident := a.engine.Execution(id); resident {
+			rep.ReplayedFromGenesis++
+		}
+	}
+	return nil
+}

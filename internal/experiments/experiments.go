@@ -106,6 +106,7 @@ func All() []struct {
 		{"E12", E12FaultSweep},
 		{"E13", E13Federation},
 		{"E14", E14Store},
+		{"E15", E15Shard},
 	}
 }
 

@@ -158,6 +158,17 @@ func (f *Federation) beat() {
 	f.mu.Lock()
 	f.gossip = infos
 	f.mu.Unlock()
+	// Sharded networks: the heartbeat doubles as the rebalance tick.
+	// Membership just refreshed, so re-derive the desired shard set and
+	// claim/drain the difference — this is how ownership fails over to
+	// surviving peers after a death and spreads back out after a join.
+	if f.peer.ShardManager() != nil {
+		members := make([]string, 0, len(infos))
+		for _, info := range infos {
+			members = append(members, info.Name)
+		}
+		f.peer.RebalanceShards(members)
+	}
 }
 
 // load snapshots this peer's self-reported figures: admission pool

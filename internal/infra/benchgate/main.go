@@ -4,8 +4,10 @@
 //
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json
 //	go run ./internal/infra/benchgate -store-baseline BENCH_store.json -store-current store.json
+//	go run ./internal/infra/benchgate -shard-baseline BENCH_shard.json -shard-current shard.json
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json \
-//	    -store-baseline BENCH_store.json -store-current store.json
+//	    -store-baseline BENCH_store.json -store-current store.json \
+//	    -shard-baseline BENCH_shard.json -shard-current shard.json
 //
 // Wire gate (-baseline/-current, the BENCH_wire.json load report): the
 // gated quantities are the report's speedup *ratios* (pipelined/serial,
@@ -38,7 +40,26 @@
 //     re-inflate passivated flows), or
 //   - replayReduction drops more than -max-regress below the baseline.
 //
-// Either gate runs when its -*current flag is given; at least one is
+// Shard gate (-shard-baseline/-shard-current, the BENCH_shard.json E15
+// report): gates the sharded-ownership claims (docs/FEDERATION.md,
+// "Sharded ownership"). A run fails when
+//
+//   - speedup_4peer (any-peer throughput at 4 sharded peers over 1
+//     peer) falls below -min-shard-scaling,
+//   - a gated scaling ratio (speedup_2peer, speedup_4peer,
+//     speedup_vs_single_owner) drops more than -max-regress below the
+//     baseline,
+//   - failover_ms exceeds the baseline by more than
+//     -max-failover-regress (fraction) — lease takeover after an owner
+//     death must stay bounded by the registry TTL, or
+//   - the failover invariants break: the survivor did not take the
+//     dead owner's lease, a submission errored during the takeover
+//     window (any-peer submit must stay available), or a completed
+//     flow of the dead owner was re-executed on the survivor
+//     (replayed_from_genesis must be 0 — placement moves, history does
+//     not).
+//
+// Each gate runs when its -*current flag is given; at least one is
 // required. Output is a benchstat-style old/new/delta table per gate.
 // stdlib only.
 package main
@@ -72,6 +93,18 @@ func loadStore(path string) (*experiments.StoreBenchReport, error) {
 		return nil, err
 	}
 	var rep experiments.StoreBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func loadShard(path string) (*experiments.ShardBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.ShardBenchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -181,18 +214,66 @@ func gateStore(base, cur *experiments.StoreBenchReport, maxRegress, minReduction
 	return b.String(), failures
 }
 
+// gateShard renders the shard old/new/delta table and counts gate
+// failures. Scaling ratios gate the usual ratio-first way; failover
+// time gates against its own regression bound (it is bounded by the
+// registry TTL, not machine speed, so -max-regress would be too tight),
+// and the failover invariants are absolute.
+func gateShard(base, cur *experiments.ShardBenchReport, maxRegress, minScaling, maxFailoverRegress float64) (string, int) {
+	out, failures := table([]row{
+		{"speedup/2peer", base.Speedup2, cur.Speedup2, "x", true},
+		{"speedup/4peer", base.Speedup4, cur.Speedup4, "x", true},
+		{"speedup/vs-funnel", base.SpeedupVsSingleOwner, cur.SpeedupVsSingleOwner, "x", true},
+		{"rate/1peer", base.Rate1, cur.Rate1, "f/s", false},
+		{"rate/4peer", base.Rate4, cur.Rate4, "f/s", false},
+		{"rate/single-owner", base.RateSingleOwner, cur.RateSingleOwner, "f/s", false},
+		{"failover/takeover", base.FailoverMs, cur.FailoverMs, "ms", false},
+		{"failover/accepted", float64(base.AcceptedDuringFailover), float64(cur.AcceptedDuringFailover), "req", false},
+	}, maxRegress)
+	var b strings.Builder
+	b.WriteString(out)
+	if cur.Speedup4 < minScaling {
+		fmt.Fprintf(&b, "\nFAIL: speedup_4peer %.2fx below the %.1fx floor\n", cur.Speedup4, minScaling)
+		failures++
+	}
+	if base.FailoverMs > 0 && cur.FailoverMs > base.FailoverMs*(1+maxFailoverRegress) {
+		fmt.Fprintf(&b, "\nFAIL: failover takeover %.0fms exceeds baseline %.0fms by more than %.0f%%\n",
+			cur.FailoverMs, base.FailoverMs, maxFailoverRegress*100)
+		failures++
+	}
+	if !cur.TakeoverOwned {
+		fmt.Fprintf(&b, "\nFAIL: survivor never took over the dead owner's lease\n")
+		failures++
+	}
+	if cur.FailoverSubmitErrors > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d submissions errored during the failover window (any-peer submit must stay available)\n",
+			cur.FailoverSubmitErrors)
+		failures++
+	}
+	if cur.ReplayedFromGenesis > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d of the dead owner's completed flows replayed from genesis on the survivor\n",
+			cur.ReplayedFromGenesis)
+		failures++
+	}
+	return b.String(), failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed wire baseline report")
 	currentPath := flag.String("current", "", "fresh wire report to judge (enables the wire gate)")
 	storeBaselinePath := flag.String("store-baseline", "BENCH_store.json", "committed store baseline report")
 	storeCurrentPath := flag.String("store-current", "", "fresh store report to judge (enables the store gate)")
+	shardBaselinePath := flag.String("shard-baseline", "BENCH_shard.json", "committed shard baseline report")
+	shardCurrentPath := flag.String("shard-current", "", "fresh shard report to judge (enables the shard gate)")
 	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a gated ratio vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
 	minReduction := flag.Float64("min-reduction", 10.0, "absolute floor for the store's restart replay reduction")
 	minCodec := flag.Float64("min-codec-speedup", 5.0, "absolute floor for the binary codec's speedup ratios (wire async/batch, store replay)")
+	minShardScaling := flag.Float64("min-shard-scaling", 2.0, "absolute floor for any-peer throughput scaling at 4 sharded peers (speedup_4peer)")
+	maxFailoverRegress := flag.Float64("max-failover-regress", 1.0, "max allowed fractional growth of the failover takeover time vs baseline")
 	flag.Parse()
-	if *currentPath == "" && *storeCurrentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current is required")
+	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current is required")
 		os.Exit(2)
 	}
 	failures := 0
@@ -234,6 +315,28 @@ func main() {
 		if n == 0 {
 			fmt.Printf("\nstore: OK (reduction %.2fx >= %.1fx, resident %d/%d, within %.0f%% of baseline)\n",
 				cur.ReplayReduction, *minReduction, cur.ResidentAfterSweep, cur.Flows, *maxRegress*100)
+		}
+		failures += n
+	}
+	if *shardCurrentPath != "" {
+		base, err := loadShard(*shardBaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: shard baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadShard(*shardCurrentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: shard current: %v\n", err)
+			os.Exit(2)
+		}
+		if *currentPath != "" || *storeCurrentPath != "" {
+			fmt.Println()
+		}
+		out, n := gateShard(base, cur, *maxRegress, *minShardScaling, *maxFailoverRegress)
+		fmt.Printf("== shard (%s) ==\n%s", *shardCurrentPath, out)
+		if n == 0 {
+			fmt.Printf("\nshard: OK (4-peer scaling %.2fx >= %.1fx, failover %.0fms, accepted %d, replayed 0)\n",
+				cur.Speedup4, *minShardScaling, cur.FailoverMs, cur.AcceptedDuringFailover)
 		}
 		failures += n
 	}

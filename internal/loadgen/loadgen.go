@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datagridflow/internal/dgl"
@@ -33,6 +34,7 @@ import (
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/namespace"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/shard"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/vfs"
 	"datagridflow/internal/wire"
@@ -65,6 +67,12 @@ type Options struct {
 	// default) skips the phase, leaving the BENCH_wire.json schema
 	// unchanged.
 	FederatedPeers int
+	// ShardedPeers adds an optional sharded any-peer phase: a shard-lease
+	// lookup plus this many sharded peers, with sync sleep flows
+	// submitted to every peer and routed to their shard owners
+	// (docs/FEDERATION.md, "Sharded ownership"). 0 (the default) skips
+	// the phase.
+	ShardedPeers int
 }
 
 // Defaults is the full-scale preset.
@@ -134,6 +142,9 @@ type Report struct {
 	// Federated is present only when Options.FederatedPeers >= 2.
 	Federated      *ModeResult `json:"federated,omitempty"`
 	FederatedPeers int         `json:"federated_peers,omitempty"`
+	// Sharded is present only when Options.ShardedPeers >= 2.
+	Sharded      *ModeResult `json:"sharded,omitempty"`
+	ShardedPeers int         `json:"sharded_peers,omitempty"`
 
 	// SpeedupPipelined is pipelined RPS over serial RPS: the latency-
 	// hiding win of multiplexed framing. SpeedupBatch is batch flows/s
@@ -170,6 +181,9 @@ func (r *Report) String() string {
 	}
 	if r.Federated != nil {
 		line(*r.Federated)
+	}
+	if r.Sharded != nil {
+		line(*r.Sharded)
 	}
 	b = fmt.Appendf(b, "speedup: pipelined/serial = %.2fx, batch/async-serial = %.2fx\n",
 		r.SpeedupPipelined, r.SpeedupBatch)
@@ -389,6 +403,85 @@ func runFederated(opts Options) (*ModeResult, error) {
 	col.latencies = scaled
 	col.mu.Unlock()
 	res := col.result(fmt.Sprintf("federated:%d", opts.FederatedPeers), elapsed)
+	return &res, nil
+}
+
+// runSharded stands up a shard-lease lookup plus ShardedPeers sharded
+// peers and closed-loops synchronous sleep flows against every peer at
+// once: users rotate so the routing keys spread over the shard space,
+// and each peer routes what it does not own to the owner (wire 1.5
+// kind-5 frames). RPS counts completed flows network-wide — the
+// any-peer submit capacity of the sharded topology.
+func runSharded(opts Options) (*ModeResult, error) {
+	const shards = 32
+	lookup := wire.NewLookupServer()
+	lookup.SetShards(shards)
+	lookupAddr, err := lookup.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer lookup.Close()
+	var peers []*wire.Peer
+	var names []string
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	var clients []*wire.Client
+	for i := 0; i < opts.ShardedPeers; i++ {
+		h, err := newHarness(opts)
+		if err != nil {
+			closeAll(clients)
+			return nil, err
+		}
+		h.server.Close() // the peer brings its own listener
+		name := fmt.Sprintf("bench%d", i)
+		engine := h.engine
+		peer := wire.NewPeerConfig(name, engine, wire.ServerConfig{MaxInflight: opts.MaxInflight})
+		peer.EnableSharding(shard.NewManager(shard.Config{
+			Self:   name,
+			Shards: shards,
+			Resident: func(id string) bool {
+				_, ok := engine.Execution(id)
+				return ok
+			},
+		}))
+		addr, err := peer.Start("127.0.0.1:0", lookupAddr)
+		if err != nil {
+			closeAll(clients)
+			return nil, err
+		}
+		peers = append(peers, peer)
+		names = append(names, name)
+		cs, err := dialN(addr, opts.Conns, true)
+		if err != nil {
+			closeAll(clients)
+			return nil, err
+		}
+		clients = append(clients, cs...)
+	}
+	defer closeAll(clients)
+	// Two rebalance rounds settle ring ownership deterministically: the
+	// first releases what the ring moved away, the second claims it.
+	for range [2]int{} {
+		for _, p := range peers {
+			p.RebalanceShards(names)
+		}
+	}
+	flow := sleepFlow(opts.StepLatency)
+	var seq atomic.Int64
+	elapsed, col := closedLoop(clients, opts.Inflight, opts.Duration, func(c *wire.Client) error {
+		// Rotating users spread the routing keys over the shard space, so
+		// submissions fan out to every owner instead of one shard.
+		req := dgl.NewRequest(fmt.Sprintf("bench%d", seq.Add(1)%64), "", flow)
+		res, err := c.Submit(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		return res.Err()
+	})
+	res := col.result(fmt.Sprintf("sharded:%d", opts.ShardedPeers), elapsed)
 	return &res, nil
 }
 
@@ -637,6 +730,17 @@ func Run(opts Options) (*Report, error) {
 		}
 		rep.Federated = fed
 		rep.FederatedPeers = opts.FederatedPeers
+	}
+
+	// Phase 7 (optional) — sharded: sync sleep flows submitted to every
+	// peer of a sharded topology and routed to their shard owners.
+	if opts.ShardedPeers >= 2 {
+		sh, err := runSharded(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sharded = sh
+		rep.ShardedPeers = opts.ShardedPeers
 	}
 
 	if rep.Serial.RPS > 0 {

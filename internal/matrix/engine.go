@@ -91,6 +91,9 @@ type Engine struct {
 	journal  *Journal
 	store    *store.Store
 	deleg    Delegator
+	// ownCheck, when set (SetOwnershipCheck), vets flow submissions
+	// against shard ownership before an execution is created.
+	ownCheck func(req *dgl.Request) error
 }
 
 // NewEngine creates an engine over the grid with default configuration.
@@ -127,6 +130,18 @@ func (e *Engine) Clock() sim.Clock { return e.grid.Clock() }
 // Obs returns the grid's observability registry — the sink for the
 // engine's metrics and trace spans (see docs/METRICS.md).
 func (e *Engine) Obs() *obs.Registry { return e.grid.Obs() }
+
+// SetOwnershipCheck installs a pre-admission hook consulted on every
+// flow submission, after validation and before an execution exists.
+// The sharding layer uses it to refuse auto-routed flows whose shard
+// this engine no longer owns (a drain can race the routing decision);
+// the hook must pass pinned ("local") and unrouted submissions so
+// triggers and direct engine callers are unaffected. Nil removes it.
+func (e *Engine) SetOwnershipCheck(check func(req *dgl.Request) error) {
+	e.mu.Lock()
+	e.ownCheck = check
+	e.mu.Unlock()
+}
 
 // RegisterOp adds (or replaces) a handler for an operation type — the
 // extension point for domain-specific DGL operations.
@@ -185,6 +200,14 @@ func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
 	}
 	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
 		return nil, err
+	}
+	e.mu.RLock()
+	check := e.ownCheck
+	e.mu.RUnlock()
+	if check != nil {
+		if err := check(req); err != nil {
+			return nil, err
+		}
 	}
 	exec := e.newExecution(req, nil)
 	if req.Async {

@@ -82,6 +82,15 @@ func appendControlResult(e *codec.Encoder, r *ControlResult) {
 			}
 		})
 	}
+	if o := r.Owner; o != nil {
+		e.Msg(8, func(e *codec.Encoder) {
+			e.Sym(1, o.ID)
+			e.Sym(2, o.Peer)
+			e.Sym(3, o.Addr)
+			e.Uint(4, uint64(o.Shard))
+			e.Sym(5, o.Source)
+		})
+	}
 }
 
 func decodeControlResult(payload []byte) (ControlResult, error) {
@@ -167,6 +176,27 @@ func decodeControlResult(payload []byte) (ControlResult, error) {
 				}
 			})
 			r.Store = s
+		case 8:
+			o := &OwnerInfo{}
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						o.ID = d.Sym()
+					case 2:
+						o.Peer = d.Sym()
+					case 3:
+						o.Addr = d.Sym()
+					case 4:
+						o.Shard = int(d.Uint())
+					case 5:
+						o.Source = d.Sym()
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Owner = o
 		default:
 			d.Skip()
 		}

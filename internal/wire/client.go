@@ -31,7 +31,9 @@ import (
 // network. A connection lost with requests in flight fails every one
 // of them with a resource-down class error — never a hang.
 type Client struct {
-	conn net.Conn
+	// addr is the dial target, retained so Redial can re-establish the
+	// session after a connection drop.
+	addr string
 	// timeout bounds each request in nanoseconds (atomic: SetTimeout
 	// may race with in-flight round trips).
 	timeout atomic.Int64
@@ -41,11 +43,17 @@ type Client struct {
 	writeMu sync.Mutex
 
 	mu      sync.Mutex
+	conn    net.Conn
 	muxed   bool
 	closed  bool
 	nextID  uint64
 	pending map[uint64]chan muxReply
-	readErr error // terminal: set once the mux read loop exits
+	readErr error // terminal until Redial: set once the mux read loop exits
+	// helloed records that Hello negotiated at least once, so Redial
+	// knows to re-run the handshake: negotiated state (mux, binary
+	// codec, server version) belongs to a connection, not the client,
+	// and must be refreshed on every new conn.
+	helloed bool
 	// serverMajor/serverMinor record the version the server advertised
 	// in the hello reply (zero before Hello) — the feature gate for
 	// delegation and the binary codec.
@@ -78,7 +86,7 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{addr: addr, conn: conn}, nil
 }
 
 // SetTimeout bounds every subsequent request (write + read) by d on the
@@ -92,8 +100,18 @@ func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	conn := c.conn
 	c.mu.Unlock()
-	return c.conn.Close()
+	return conn.Close()
+}
+
+// current returns the live connection. Frame I/O additionally holds
+// writeMu, which Redial also takes — so a round trip never straddles a
+// connection swap.
+func (c *Client) current() net.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
 }
 
 // Muxed reports whether Hello negotiated the multiplexed protocol on
@@ -148,6 +166,7 @@ func (c *Client) roundTrip(ctx context.Context, kind byte, payload []byte) (byte
 // caller holds writeMu. The context's deadline/cancellation and the
 // client timeout apply to the connection for the duration.
 func (c *Client) serialRoundTripLocked(ctx context.Context, kind byte, payload []byte) (byte, []byte, error) {
+	conn := c.current()
 	deadline := time.Time{}
 	if d := time.Duration(c.timeout.Load()); d > 0 {
 		deadline = time.Now().Add(d)
@@ -155,16 +174,16 @@ func (c *Client) serialRoundTripLocked(ctx context.Context, kind byte, payload [
 	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
 		deadline = d
 	}
-	_ = c.conn.SetDeadline(deadline) // zero clears
+	_ = conn.SetDeadline(deadline) // zero clears
 	stop := context.AfterFunc(ctx, func() {
 		// Cancellation interrupts in-flight I/O by expiring the deadline.
-		_ = c.conn.SetDeadline(time.Now())
+		_ = conn.SetDeadline(time.Now())
 	})
 	defer stop()
-	if err := WriteFrame(c.conn, kind, payload); err != nil {
+	if err := WriteFrame(conn, kind, payload); err != nil {
 		return 0, nil, c.ctxErr(ctx, err)
 	}
-	k, resp, err := ReadFrame(c.conn)
+	k, resp, err := ReadFrame(conn)
 	if err != nil {
 		return 0, nil, c.ctxErr(ctx, err)
 	}
@@ -194,7 +213,7 @@ func (c *Client) roundTripMux(ctx context.Context, kind byte, payload []byte) (b
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := WriteMuxFrame(c.conn, kind, id, payload)
+	err := WriteMuxFrame(c.current(), kind, id, payload)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -228,24 +247,27 @@ func (c *Client) roundTripMux(ctx context.Context, kind byte, payload []byte) (b
 // response reader. Caller holds writeMu (so no serial round trip can
 // interleave between the hello reply and the reader start).
 func (c *Client) upgrade() {
+	conn := c.current()
 	// Clear any deadline left by the hello round trip: mux reads block
 	// indefinitely and complete per-request via completion channels.
-	_ = c.conn.SetDeadline(time.Time{})
+	_ = conn.SetDeadline(time.Time{})
 	c.mu.Lock()
 	c.muxed = true
 	c.pending = make(map[uint64]chan muxReply)
 	c.mu.Unlock()
-	go c.readLoop()
+	go c.readLoop(conn)
 }
 
 // readLoop is the mux-mode response pump: it matches response ids to
 // pending requests until the connection dies, then fails everything
-// still in flight.
-func (c *Client) readLoop() {
+// still in flight. It is pinned to the connection it was started for:
+// after a Redial the stale loop's exit must not poison the fresh
+// session, so failure is scoped through failAllFor.
+func (c *Client) readLoop(conn net.Conn) {
 	for {
-		kind, id, payload, err := ReadMuxFrame(c.conn)
+		kind, id, payload, err := ReadMuxFrame(conn)
 		if err != nil {
-			c.failAll(err)
+			c.failAllFor(conn, err)
 			return
 		}
 		c.mu.Lock()
@@ -258,12 +280,18 @@ func (c *Client) readLoop() {
 	}
 }
 
-// failAll records the terminal connection error and fails every
+// failAllFor records the terminal connection error and fails every
 // in-flight request with a typed error: cancelled if the client closed
-// the connection itself, resource-down (transient — retry on a fresh
-// connection) otherwise.
-func (c *Client) failAll(cause error) {
+// the connection itself, resource-down (transient — retry after Redial
+// or on a fresh connection) otherwise. A loop whose connection has
+// already been replaced by Redial is stale: its error belongs to the
+// old session and is dropped.
+func (c *Client) failAllFor(conn net.Conn, cause error) {
 	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
 	if c.readErr == nil {
 		if c.closed {
 			c.readErr = fmt.Errorf("%w: wire: client closed", dgferr.ErrCancelled)
@@ -277,6 +305,55 @@ func (c *Client) failAll(cause error) {
 	for _, ch := range pending {
 		close(ch)
 	}
+}
+
+// Redial tears down the dead connection and dials the server again,
+// re-running the hello handshake when the old session had negotiated
+// one. Negotiated state — mux framing, the binary codec, the server's
+// advertised version — belongs to a connection, not the client; a
+// redial that skipped the handshake would happily send binary mux
+// frames to a server that never agreed to them on this session (or,
+// after a server downgrade, to one that cannot speak them at all).
+// In-flight requests on the old session fail with their original
+// resource-down error. Safe to call concurrently; requests issued
+// during the redial block until it completes.
+func (c *Client) Redial(ctx context.Context) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: wire: client closed", dgferr.ErrCancelled)
+	}
+	old := c.conn
+	addr := c.addr
+	helloed := c.helloed
+	c.mu.Unlock()
+	if addr == "" {
+		return fmt.Errorf("%w: wire: client was not dialed (no address to redial)", dgferr.ErrInvalid)
+	}
+	_ = old.Close() // unblocks a stale read loop; its exit is scoped to old
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("%w: wire: redial %s: %v", dgferr.ErrResourceDown, addr, err)
+	}
+	c.mu.Lock()
+	c.conn = conn
+	// Fresh session: everything Hello negotiated is void until it runs
+	// again, so the client drops back to serial XML/JSON framing.
+	c.muxed = false
+	c.pending = nil
+	c.readErr = nil
+	c.serverMajor, c.serverMinor = 0, 0
+	c.binary = false
+	c.mu.Unlock()
+	if helloed {
+		if _, err := c.helloLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ctxErr maps an I/O error caused by context cancellation back to the
@@ -300,15 +377,19 @@ func (c *Client) ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// Submit sends a DGL request and returns the server's response.
-func (c *Client) Submit(req *dgl.Request) (*dgl.Response, error) {
-	return c.SubmitContext(context.Background(), req)
+// SubmitContext sends one DGL request under a context: the deadline
+// bounds the round trip and cancellation interrupts in-flight I/O
+// (serial mode) or abandons the pipelined request (mux mode).
+//
+// Deprecated: use Submit(ctx, req) — this wrapper remains for source
+// compatibility with the pre-1.5 submit surface.
+func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
+	return c.submitOne(ctx, req)
 }
 
-// SubmitContext is Submit under a context: the deadline bounds the
-// round trip and cancellation interrupts in-flight I/O (serial mode)
-// or abandons the pipelined request (mux mode).
-func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
+// submitOne is the single-request transport core shared by Submit and
+// the deprecated wrappers.
+func (c *Client) submitOne(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
 	var data []byte
 	if c.Binary() {
 		enc := codec.GetEncoder()
@@ -342,12 +423,22 @@ func parseResponsePayload(payload []byte) (*dgl.Response, error) {
 
 // SubmitBatch submits N requests in one round trip on a multiplexed
 // session (the KindBatch frame), falling back to sequential submission
-// against pre-1.2 serial servers. The reply is positional: item i's
+// against pre-1.2 serial servers.
+//
+// Deprecated: use Submit(ctx, nil, WithBatch(reqs...), WithUser(user))
+// — this wrapper remains for source compatibility with the pre-1.5
+// submit surface.
+func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Request) ([]*dgl.Response, error) {
+	return c.submitBatch(ctx, user, reqs)
+}
+
+// submitBatch is the batch transport core shared by Submit and the
+// deprecated SubmitBatch wrapper. The reply is positional: item i's
 // response answers reqs[i], with per-item failures carried in each
 // response's Error field (decode with dgferr.Decode). A transport
 // failure aborts the whole call with a typed error. user names the
 // identity the server's admission scheduler accounts the batch to.
-func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Request) ([]*dgl.Response, error) {
+func (c *Client) submitBatch(ctx context.Context, user string, reqs []*dgl.Request) ([]*dgl.Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -439,7 +530,7 @@ func (c *Client) SubmitBatch(ctx context.Context, user string, reqs []*dgl.Reque
 
 // SubmitFlow submits a flow synchronously and returns the final status.
 func (c *Client) SubmitFlow(user string, flow dgl.Flow) (*dgl.Response, error) {
-	return c.Submit(dgl.NewRequest(user, "", flow))
+	return c.submitOne(context.Background(), dgl.NewRequest(user, "", flow))
 }
 
 // RunFlow submits a flow synchronously and returns its final status
@@ -447,7 +538,7 @@ func (c *Client) SubmitFlow(user string, flow dgl.Flow) (*dgl.Response, error) {
 // convenience entry point for "run this and tell me, typed, why it
 // failed".
 func (c *Client) RunFlow(ctx context.Context, user string, flow dgl.Flow) (*dgl.FlowStatus, error) {
-	resp, err := c.SubmitContext(ctx, dgl.NewRequest(user, "", flow))
+	resp, err := c.submitOne(ctx, dgl.NewRequest(user, "", flow))
 	if err != nil {
 		return nil, err
 	}
@@ -462,13 +553,19 @@ func (c *Client) RunFlow(ctx context.Context, user string, flow dgl.Flow) (*dgl.
 
 // SubmitAsync submits a flow asynchronously and returns the execution id
 // from the acknowledgement.
+//
+// Deprecated: use Submit(ctx, dgl.NewRequest(user, "", flow),
+// WithAsync()) and read SubmitResult.ID — this wrapper remains for
+// source compatibility with the pre-1.5 submit surface.
 func (c *Client) SubmitAsync(user string, flow dgl.Flow) (string, error) {
 	return c.SubmitAsyncContext(context.Background(), user, flow)
 }
 
 // SubmitAsyncContext is SubmitAsync under a context.
+//
+// Deprecated: see SubmitAsync.
 func (c *Client) SubmitAsyncContext(ctx context.Context, user string, flow dgl.Flow) (string, error) {
-	resp, err := c.SubmitContext(ctx, dgl.NewAsyncRequest(user, "", flow))
+	resp, err := c.submitOne(ctx, dgl.NewAsyncRequest(user, "", flow))
 	if err != nil {
 		return "", err
 	}
@@ -483,7 +580,7 @@ func (c *Client) SubmitAsyncContext(ctx context.Context, user string, flow dgl.F
 
 // Status queries the status of an execution, flow or step id.
 func (c *Client) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
-	resp, err := c.Submit(dgl.NewStatusRequest(user, id, detail))
+	resp, err := c.submitOne(context.Background(), dgl.NewStatusRequest(user, id, detail))
 	if err != nil {
 		return nil, err
 	}
@@ -554,10 +651,6 @@ func (c *Client) Hello() (serverProto string, err error) {
 		}
 		return res.Proto, nil
 	}
-	data, err := json.Marshal(msg)
-	if err != nil {
-		return "", err
-	}
 	c.writeMu.Lock()
 	if c.Muxed() {
 		// Raced with another Hello that upgraded first.
@@ -568,9 +661,23 @@ func (c *Client) Hello() (serverProto string, err error) {
 		}
 		return res.Proto, nil
 	}
+	proto, err := c.helloLocked()
+	c.writeMu.Unlock()
+	return proto, err
+}
+
+// helloLocked runs the serial hello negotiation; the caller holds
+// writeMu and the session is not muxed. Shared between Hello and
+// Redial (which must refresh negotiated state on the new connection
+// before releasing the session to callers).
+func (c *Client) helloLocked() (serverProto string, err error) {
+	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return "", err
+	}
 	kind, payload, err := c.serialRoundTripLocked(context.Background(), KindControl, data)
 	if err != nil {
-		c.writeMu.Unlock()
 		return "", err
 	}
 	var res ControlResult
@@ -590,6 +697,7 @@ func (c *Client) Hello() (serverProto string, err error) {
 			// (docs/CODEC.md). The hello exchange itself always rides
 			// JSON — it is what discovers whether binary is safe.
 			c.binary = !c.binaryOff && BinarySupported(major, minor)
+			c.helloed = true
 			c.mu.Unlock()
 			if MuxSupported(major, minor) {
 				// Both ends speak >= 1.2: the server switched to mux framing
@@ -598,7 +706,6 @@ func (c *Client) Hello() (serverProto string, err error) {
 			}
 		}
 	}
-	c.writeMu.Unlock()
 	if err != nil {
 		return "", err
 	}
@@ -666,6 +773,65 @@ func (c *Client) Delegate(ctx context.Context, d Delegate) (*DelegateResult, err
 		return &res, dgferr.Decode(res.Error)
 	}
 	return &res, nil
+}
+
+// CanRoute reports whether this session may carry route frames: the
+// session is multiplexed and the server advertised >= 1.5 in its hello
+// reply. Against an older server the sharding layer never sends a
+// route frame — the submission stays local-accepted
+// (docs/FEDERATION.md, "Sharded ownership").
+func (c *Client) CanRoute() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.muxed && RouteSupported(c.serverMajor, c.serverMinor)
+}
+
+// Route hands a submission to the peer that owns its shard and waits
+// for the acceptance outcome. A result with res.NotOwner set means the
+// target no longer holds the shard (ownership moved between the
+// routing decision and delivery) and res.Owner names where it went —
+// the caller re-resolves and retries. A transport failure returns a
+// nil result; the caller cannot know whether the remote accepted.
+func (c *Client) Route(ctx context.Context, rt Route) (*RouteResult, error) {
+	if !c.CanRoute() {
+		return nil, fmt.Errorf("%w: server does not accept route frames (need >= %s)",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, routeMinor))
+	}
+	// Route envelopes always ride JSON: the hot payload is the embedded
+	// request document, which keeps whatever encoding the origin chose.
+	payload, err := json.Marshal(rt)
+	if err != nil {
+		return nil, err
+	}
+	kind, resp, err := c.roundTrip(ctx, KindRoute, payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindRoute {
+		return nil, errors.New("wire: unexpected frame kind in route response")
+	}
+	var res RouteResult
+	if err := json.Unmarshal(resp, &res); err != nil {
+		return nil, fmt.Errorf("wire: bad route reply: %w", err)
+	}
+	if !res.OK && res.Error != "" {
+		return &res, dgferr.Decode(res.Error)
+	}
+	return &res, nil
+}
+
+// Owner asks the server which peer owns a flow or execution id,
+// resolved from tracked accepts, owner-prefixed ids, or the shard
+// ring (OwnerInfo.Source says which). Requires a sharded 1.5 server.
+func (c *Client) Owner(id string) (*OwnerInfo, error) {
+	res, err := c.control("owner", id)
+	if err != nil {
+		return nil, err
+	}
+	if res.Owner == nil {
+		return nil, fmt.Errorf("%w: server reported no owner for %s", dgferr.ErrNotFound, id)
+	}
+	return res.Owner, nil
 }
 
 // Pause suspends an execution on the server.

@@ -48,6 +48,14 @@ const (
 	// protocol-1.3 feature: clients only send it after a hello exchange
 	// in which the server advertised >= 1.3.
 	KindDelegate byte = 4
+	// KindRoute frames carry a JSON routing envelope: a peer that
+	// accepted a flow submission hands the whole request to the shard
+	// owner the consistent-hash ring names for it (docs/FEDERATION.md,
+	// "Sharded ownership"). The receiver is the terminal hop — it
+	// executes locally, never re-routes. A protocol-1.5 feature:
+	// clients only send it after a hello exchange in which the server
+	// advertised >= 1.5; older peers simply keep local-accept.
+	KindRoute byte = 5
 )
 
 // MaxFrame bounds a frame payload (16 MiB): a defense against corrupt
@@ -97,7 +105,7 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 4
+	ProtoMinor = 5
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
 	// delegateMinor is the minimum minor version that accepts
@@ -111,6 +119,11 @@ const (
 	// reply, so 1.3-and-older peers transparently stay on JSON. See
 	// docs/CODEC.md and docs/WIRE.md, "Version negotiation".
 	binaryMinor = 4
+	// routeMinor is the minimum minor version that accepts KindRoute
+	// frames (sharded any-peer submission). A pre-1.5 peer never
+	// receives one: senders gate on the hello reply and fall back to
+	// local accept, so mixed 1.4/1.5 federations interoperate.
+	routeMinor = 5
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
@@ -131,6 +144,13 @@ func DelegateSupported(major, minor int) bool {
 // accepts binary codec payloads (same major, minor >= 1.4).
 func BinarySupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= binaryMinor
+}
+
+// RouteSupported reports whether a peer advertising major.minor
+// accepts route frames (same major, minor >= 1.5). Routing rides the
+// mux session, so a route-capable peer is mux-capable by construction.
+func RouteSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= routeMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a
@@ -216,6 +236,9 @@ type ControlResult struct {
 	// Store carries the flow-state store summary for the "store" and
 	// "compact" verbs.
 	Store *StoreInfo `json:"store,omitempty"`
+	// Owner carries the shard-ownership resolution for the "owner"
+	// verb (docs/WIRE.md §"Control verbs").
+	Owner *OwnerInfo `json:"owner,omitempty"`
 }
 
 // StoreInfo is the reply to the "store" control verb: the shape of the
@@ -319,4 +342,64 @@ type DelegateResult struct {
 	ID string `json:"id,omitempty"`
 	// Status is the final XML <flowStatus> tree of the remote run.
 	Status string `json:"status,omitempty"`
+}
+
+// Route is the JSON payload of a KindRoute frame: the accepting peer
+// hands a whole flow submission to the shard owner the ring names for
+// it. Unlike Delegate (a subtree of a running flow), a routed request
+// becomes the receiver's own top-level execution — the receiver *is*
+// the owner, and the flow's id carries its prefix. The receiver is
+// the terminal hop: it verifies it still holds the shard's lease,
+// then executes locally and never re-routes (loop prevention).
+type Route struct {
+	// User is the submitting identity the receiver's admission
+	// scheduler charges the request to.
+	User string `json:"user"`
+	// Request is the complete XML dataGridRequest document. Route
+	// envelopes always ride JSON/XML — they are peer control traffic,
+	// off the client hot path the binary codec serves.
+	Request string `json:"request"`
+	// Shard is the shard index the routing peer mapped the submission
+	// to; the receiver refuses (NotOwner) if it no longer holds its
+	// lease — the drain/claim exclusivity check.
+	Shard int `json:"shard"`
+	// Origin names the routing peer, for logs and metrics.
+	Origin string `json:"origin,omitempty"`
+}
+
+// RouteResult is the JSON reply to a route frame.
+type RouteResult struct {
+	OK bool `json:"ok"`
+	// Error is the typed (dgferr-encoded) failure — transport-level,
+	// ownership refusal, or the flow's own synchronous failure.
+	Error string `json:"error,omitempty"`
+	// NotOwner reports an ownership refusal: the receiver does not
+	// hold the shard's lease (drained or lost between the routing
+	// decision and arrival). The sender refreshes its owner map and
+	// re-places the flow.
+	NotOwner bool `json:"notOwner,omitempty"`
+	// Owner is the receiver's current view of the shard's holder, a
+	// redirect hint alongside NotOwner.
+	Owner string `json:"owner,omitempty"`
+	// Response is the XML dataGridResponse of the executed submission
+	// (ack for async, final status for sync).
+	Response string `json:"response,omitempty"`
+}
+
+// OwnerInfo is the reply to the "owner" control verb: where a flow id
+// (or routing key) currently lives on the sharded network.
+type OwnerInfo struct {
+	// ID echoes the resolved id.
+	ID string `json:"id"`
+	// Peer is the owning peer's name; Addr its address when the lookup
+	// registry could resolve it.
+	Peer string `json:"peer"`
+	Addr string `json:"addr,omitempty"`
+	// Shard is the id's shard index.
+	Shard int `json:"shard"`
+	// Source says how the owner was resolved: "tracked" (this peer
+	// recorded the accept), "prefix" (the id's owner prefix resolved
+	// through the registry), or "ring" (the shard's current lease
+	// holder — the re-placement target when the prefix peer is dead).
+	Source string `json:"source"`
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,12 +15,13 @@ import (
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/obs"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/shard"
 )
 
 // lookupMsg is the JSON protocol of the lookup server: newline-delimited
 // request/response pairs.
 type lookupMsg struct {
-	Op    string            `json:"op"` // "register", "resolve", "list", "heartbeat", "unregister"
+	Op    string            `json:"op"` // "register", "resolve", "list", "heartbeat", "unregister", "claim", "release"
 	Name  string            `json:"name,omitempty"`
 	Addr  string            `json:"addr,omitempty"`
 	OK    bool              `json:"ok,omitempty"`
@@ -30,6 +32,13 @@ type lookupMsg struct {
 	// Infos rides heartbeat and list replies: every live peer with its
 	// age and last gossiped load.
 	Infos []PeerInfo `json:"infos,omitempty"`
+	// Shards rides claim/release requests: the shard numbers the peer
+	// wants to hold or give up.
+	Shards []int `json:"shards,omitempty"`
+	// Owners rides claim and heartbeat replies on a sharded registry:
+	// the full live shard→holder map, the gossip unit ring routing is
+	// built from.
+	Owners map[int]string `json:"owners,omitempty"`
 }
 
 // PeerInfo is one live peer as the lookup registry knows it — the
@@ -71,6 +80,10 @@ type LookupServer struct {
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+	// leases is the shard-ownership table of a sharded registry (nil
+	// until SetShards). Leases share the registry's liveness window: a
+	// heartbeat renews them, eviction and unregister release them.
+	leases *shard.LeaseTable
 }
 
 // NewLookupServer returns an empty registry emitting metrics into
@@ -103,6 +116,29 @@ func (s *LookupServer) setNow(now func() time.Time) {
 	s.mu.Unlock()
 }
 
+// SetShards turns the registry into the lease authority of an n-shard
+// network: peers claim shards through "claim" ops, heartbeats renew
+// them, and eviction or unregister releases them — so a dead peer's
+// shards become claimable within one TTL. Call before Listen, with the
+// same n on every peer (`-shards` on matrixd and lookupd).
+func (s *LookupServer) SetShards(n int) {
+	s.mu.Lock()
+	if n > 0 {
+		s.leases = shard.NewLeaseTable(n)
+	} else {
+		s.leases = nil
+	}
+	s.mu.Unlock()
+}
+
+// leaseTTL returns the lease liveness window. Caller holds s.mu.
+func (s *LookupServer) leaseTTL() time.Duration {
+	if s.ttl > 0 {
+		return s.ttl
+	}
+	return DefaultLookupTTL
+}
+
 // sweepLocked evicts entries beyond the TTL and refreshes the
 // lookup_peers_alive gauge. Caller holds s.mu.
 func (s *LookupServer) sweepLocked() {
@@ -112,6 +148,12 @@ func (s *LookupServer) sweepLocked() {
 			if e.lastSeen.Before(cut) {
 				delete(s.peers, name)
 				s.obs.Counter("lookup_evictions_total").Inc()
+				if s.leases != nil {
+					// The peer is dead as far as the registry is concerned:
+					// free its shards so survivors can claim them now rather
+					// than waiting out each lease individually.
+					s.leases.ReleaseAll(name)
+				}
 			}
 		}
 	}
@@ -188,7 +230,7 @@ func (s *LookupServer) serve(conn net.Conn) {
 		}
 		var reply lookupMsg
 		switch msg.Op {
-		case "register", "resolve", "list", "heartbeat", "unregister":
+		case "register", "resolve", "list", "heartbeat", "unregister", "claim", "release":
 			s.obs.Counter("lookup_requests_total", "op", msg.Op).Inc()
 		default:
 			s.obs.Counter("lookup_requests_total", "op", "unknown").Inc()
@@ -228,14 +270,60 @@ func (s *LookupServer) serve(conn net.Conn) {
 			s.peers[msg.Name] = e
 			s.sweepLocked()
 			infos := s.infosLocked()
+			var owners map[int]string
+			if s.leases != nil {
+				// One round trip keeps a sharded peer registered, its
+				// leases renewed, and its ring view current.
+				s.leases.Renew(msg.Name, s.now(), s.leaseTTL())
+				owners = s.leases.Owners(s.now())
+			}
 			s.mu.Unlock()
-			reply = lookupMsg{OK: true, Infos: infos}
+			reply = lookupMsg{OK: true, Infos: infos, Owners: owners}
 		case "unregister":
 			s.mu.Lock()
 			delete(s.peers, msg.Name)
+			if s.leases != nil {
+				s.leases.ReleaseAll(msg.Name)
+			}
 			s.sweepLocked()
 			s.mu.Unlock()
 			reply = lookupMsg{OK: true}
+		case "claim":
+			if msg.Name == "" {
+				reply = lookupMsg{Error: "claim needs name"}
+				break
+			}
+			s.mu.Lock()
+			if s.leases == nil {
+				s.mu.Unlock()
+				reply = lookupMsg{Error: "registry is not sharded"}
+				break
+			}
+			s.sweepLocked()
+			now, ttl := s.now(), s.leaseTTL()
+			granted := 0
+			for _, sh := range msg.Shards {
+				if holder, ok := s.leases.Claim(sh, msg.Name, now, ttl); ok && holder == msg.Name {
+					granted++
+				}
+			}
+			owners := s.leases.Owners(now)
+			s.mu.Unlock()
+			s.obs.Counter("lookup_shard_claims_total").Add(int64(granted))
+			reply = lookupMsg{OK: true, Owners: owners}
+		case "release":
+			s.mu.Lock()
+			if s.leases == nil {
+				s.mu.Unlock()
+				reply = lookupMsg{Error: "registry is not sharded"}
+				break
+			}
+			for _, sh := range msg.Shards {
+				s.leases.Release(sh, msg.Name)
+			}
+			owners := s.leases.Owners(s.now())
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true, Owners: owners}
 		case "resolve":
 			s.mu.Lock()
 			s.sweepLocked()
@@ -343,8 +431,32 @@ func (c *LookupClient) ListInfos() ([]PeerInfo, error) {
 // Heartbeat renews a peer's lease, publishes its load, and returns the
 // registry's live-peer gossip.
 func (c *LookupClient) Heartbeat(name, addr string, load scheduler.PeerLoad) ([]PeerInfo, error) {
+	infos, _, err := c.HeartbeatShards(name, addr, load)
+	return infos, err
+}
+
+// HeartbeatShards is Heartbeat on a sharded registry: the same renewal
+// round trip additionally renews the peer's shard leases and returns
+// the live shard→holder map. Against an unsharded registry the map is
+// nil.
+func (c *LookupClient) HeartbeatShards(name, addr string, load scheduler.PeerLoad) ([]PeerInfo, map[int]string, error) {
 	reply, err := c.call(lookupMsg{Op: "heartbeat", Name: name, Addr: addr, Load: &load})
-	return reply.Infos, err
+	return reply.Infos, reply.Owners, err
+}
+
+// ClaimShards attempts to lease the given shards for name, returning
+// the registry's resulting live shard→holder map — which reports both
+// what was granted and who holds the refusals.
+func (c *LookupClient) ClaimShards(name string, shards []int) (map[int]string, error) {
+	reply, err := c.call(lookupMsg{Op: "claim", Name: name, Shards: shards})
+	return reply.Owners, err
+}
+
+// ReleaseShards frees the given shards if name holds them (the drain
+// path), returning the resulting live shard→holder map.
+func (c *LookupClient) ReleaseShards(name string, shards []int) (map[int]string, error) {
+	reply, err := c.call(lookupMsg{Op: "release", Name: name, Shards: shards})
+	return reply.Owners, err
 }
 
 // Unregister removes a peer's registration immediately (a clean
@@ -368,6 +480,9 @@ type Peer struct {
 	server *Server
 	lookup *LookupClient
 	addr   string // bound address, set by Start
+	// shardMgr, when set (EnableSharding, before Start), turns this
+	// peer into a sharded-ownership node: see shardroute.go.
+	shardMgr *shard.Manager
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -408,6 +523,20 @@ func (p *Peer) Start(addr, lookupAddr string) (string, error) {
 		return "", err
 	}
 	p.addr = bound
+	if p.shardMgr != nil {
+		// Take an initial position on the ring: one heartbeat learns the
+		// live member set and the current owner map, then a rebalance
+		// claims whatever the ring assigns us. Later heartbeats (the
+		// federation loop) keep it reconciled.
+		if infos, owners, err := lc.HeartbeatShards(p.Name, bound, scheduler.PeerLoad{}); err == nil {
+			p.shardMgr.SetOwners(owners)
+			names := make([]string, 0, len(infos))
+			for _, in := range infos {
+				names = append(names, in.Name)
+			}
+			p.RebalanceShards(names)
+		}
+	}
 	return bound, nil
 }
 
@@ -427,7 +556,17 @@ func (p *Peer) Heartbeat(load scheduler.PeerLoad) ([]PeerInfo, error) {
 	if p.lookup == nil {
 		return nil, errors.New("wire: peer not connected to a lookup server")
 	}
-	return p.lookup.Heartbeat(p.Name, p.addr, load)
+	if p.shardMgr == nil {
+		return p.lookup.Heartbeat(p.Name, p.addr, load)
+	}
+	// On a sharded network the same renewal round trip carries the live
+	// owner map back — adopt it so routing always follows the registry.
+	infos, owners, err := p.lookup.HeartbeatShards(p.Name, p.addr, load)
+	if err != nil {
+		return nil, err
+	}
+	p.shardMgr.SetOwners(owners)
+	return infos, nil
 }
 
 // OwnerOf extracts the peer name from an execution or node id
@@ -489,7 +628,7 @@ func (p *Peer) SubmitTo(peerName, user string, flow dgl.Flow) (*dgl.Response, er
 	if err != nil {
 		return nil, err
 	}
-	return client.Submit(dgl.NewAsyncRequest(user, "", flow))
+	return client.submitOne(context.Background(), dgl.NewAsyncRequest(user, "", flow))
 }
 
 // Engine returns the peer's local engine.
@@ -551,6 +690,18 @@ func (p *Peer) clientFor(name string) (*Client, error) {
 // and peer clients. Unregistering is best-effort — a crashed peer never
 // gets to; the TTL sweep covers it.
 func (p *Peer) Close() {
+	if p.shardMgr != nil && p.lookup != nil {
+		// Drain before the server stops: park tracked flows and release
+		// every owned lease so successors claim them immediately instead
+		// of waiting out the TTL.
+		owned := p.shardMgr.Owned()
+		for _, sh := range owned {
+			p.drainShard(sh, p.shardMgr.Tracked(sh))
+		}
+		if len(owned) > 0 {
+			_, _ = p.lookup.ReleaseShards(p.Name, owned)
+		}
+	}
 	p.server.Close()
 	if p.lookup != nil {
 		_ = p.lookup.Unregister(p.Name)

@@ -44,6 +44,8 @@ func kindName(kind byte) string {
 		return "batch"
 	case KindDelegate:
 		return "delegate"
+	case KindRoute:
+		return "route"
 	default:
 		return "unknown"
 	}
@@ -92,6 +94,17 @@ type Server struct {
 	// status queries — routing ids owned by other peers across the
 	// network. Plain servers leave it nil and answer from the engine.
 	statusRouter func(user, id string, detail bool) (*dgl.FlowStatus, error)
+	// submitRouter, when set (by a sharded Peer, before Listen), owns
+	// flow submissions entirely: it routes to the shard owner or accepts
+	// locally, returning the response to send. Plain servers leave it
+	// nil and submit to the engine directly.
+	submitRouter func(req *dgl.Request) *dgl.Response
+	// routeHandler, when set (by a sharded Peer, before Listen),
+	// services KindRoute frames — the terminal hop of shard routing.
+	routeHandler func(rt Route) RouteResult
+	// ownerResolver, when set (by a sharded Peer, before Listen),
+	// services the "owner" control verb.
+	ownerResolver func(id string) (*OwnerInfo, error)
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -252,7 +265,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		started := s.engine.Clock().Now()
 		o.StartSpan("request", k, remote, nil)
-		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate {
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation
 		}
@@ -303,7 +316,7 @@ func (s *Server) serveMux(ctx context.Context, conn net.Conn, remote string) {
 		if s.connFault() {
 			return // injected crash/drop: sever without a response
 		}
-		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate {
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation: sever, as in serial mode
 		}
@@ -377,6 +390,8 @@ func (s *Server) handleFrame(ctx context.Context, kind byte, payload []byte, mux
 			data, err = json.Marshal(BatchResult{Error: perr})
 		case KindDelegate:
 			data, err = json.Marshal(DelegateResult{Error: perr})
+		case KindRoute:
+			data, err = json.Marshal(RouteResult{Error: perr})
 		}
 		return data, nil, false, err
 	}
@@ -420,6 +435,11 @@ func (s *Server) handleFrame(ctx context.Context, kind byte, payload []byte, mux
 		} else {
 			data, err = json.Marshal(res)
 		}
+	case KindRoute:
+		// Route envelopes always ride JSON (the hot payload is the
+		// embedded request document, which keeps its own encoding).
+		res := s.serveRoute(ctx, payload)
+		data, err = json.Marshal(res)
 	}
 	if enc != nil && err == nil {
 		o.Counter("codec_encode_bytes_total").Add(int64(len(data)))
@@ -482,11 +502,45 @@ func (s *Server) dispatchDGL(req *dgl.Request) *dgl.Response {
 		}
 		return &dgl.Response{Status: st}
 	}
+	if req.Flow != nil && s.submitRouter != nil {
+		// A sharded peer owns flow placement: route to the shard owner or
+		// accept locally, per the request's route preference.
+		return s.submitRouter(req)
+	}
 	resp, err := s.engine.Submit(req)
 	if err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
 	return resp
+}
+
+// serveRoute services a KindRoute frame — the terminal hop of shard
+// routing (docs/WIRE.md §"Route frames"): the routing peer resolved
+// this server as the shard owner and hands the submission over. The
+// handler accepts locally (never re-routes: one hop, no loops) or
+// refuses with NotOwner when ownership moved in flight. A routed
+// submission occupies one admission slot under the originating user,
+// exactly like a direct submit.
+func (s *Server) serveRoute(ctx context.Context, payload []byte) RouteResult {
+	if s.minor() < routeMinor {
+		return RouteResult{Error: dgferr.Encode(fmt.Errorf(
+			"%w: route frames need protocol >= %s, server advertises %s",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, routeMinor), s.proto()))}
+	}
+	var rt Route
+	if err := json.Unmarshal(payload, &rt); err != nil {
+		return RouteResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: bad route frame: %v", dgferr.ErrInvalid, err))}
+	}
+	if s.routeHandler == nil {
+		return RouteResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: server is not sharded", dgferr.ErrInvalid))}
+	}
+	if err := s.admit(ctx, rt.User); err != nil {
+		return RouteResult{Error: dgferr.Encode(err)}
+	}
+	defer s.release()
+	return s.routeHandler(rt)
 }
 
 // serveBatch services a KindBatch frame: N DGL requests in one frame,
@@ -701,6 +755,19 @@ func (s *Server) serveHello(c Control) (ControlResult, bool) {
 
 // serveControlOp services the non-hello control verbs.
 func (s *Server) serveControlOp(c Control) ControlResult {
+	if c.Op == "owner" {
+		// Resolved before the execution lookup below: an ownership query
+		// must not resurrect a passivated execution as a side effect.
+		if s.ownerResolver == nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: server is not sharded", dgferr.ErrInvalid))}
+		}
+		info, err := s.ownerResolver(c.ID)
+		if err != nil {
+			return ControlResult{Error: dgferr.Encode(err)}
+		}
+		return ControlResult{OK: true, ID: c.ID, Owner: info}
+	}
 	exec, ok := s.engine.Execution(c.ID)
 	if !ok && c.ID != "" {
 		// The target may be passivated in the flow-state store: wire

@@ -1,0 +1,447 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/dgl"
+	"datagridflow/internal/shard"
+)
+
+const testShards = 32
+
+// startShardedPeer builds a sharded peer on a fresh engine, registered
+// with the lookup at lookupAddr. cfg pins the wire server (protocol
+// version pinning for interop tests).
+func startShardedPeer(t *testing.T, lookupAddr, name string, cfg ServerConfig) *Peer {
+	t.Helper()
+	e := newEngine(t, name+":")
+	p := NewPeerConfig(name, e, cfg)
+	p.EnableSharding(shard.NewManager(shard.Config{
+		Self:   name,
+		Shards: testShards,
+		Obs:    e.Obs(),
+		Resident: func(id string) bool {
+			_, ok := e.Execution(id)
+			return ok
+		},
+	}))
+	if _, err := p.Start("127.0.0.1:0", lookupAddr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// settle runs one rebalance on every peer over the full member set, so
+// ring ownership is claimed deterministically without heartbeat timing.
+func settle(t *testing.T, peers ...*Peer) {
+	t.Helper()
+	var names []string
+	for _, p := range peers {
+		names = append(names, p.Name)
+	}
+	for _, p := range peers {
+		p.RebalanceShards(names)
+	}
+	for _, p := range peers {
+		p.RebalanceShards(names) // second pass adopts released leases
+	}
+}
+
+// flowOwnedBy brute-forces a flow name whose routing key lands on a
+// shard the named peer owns.
+func flowOwnedBy(t *testing.T, owner *Peer, user string) (string, int) {
+	t.Helper()
+	mgr := owner.ShardManager()
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("job%d", i)
+		sh := mgr.ShardOf(RoutingKey(user, name))
+		if mgr.Owns(sh) {
+			return name, sh
+		}
+	}
+	t.Fatalf("no flow name routes to %s", owner.Name)
+	return "", 0
+}
+
+func execFlow(name string) dgl.Flow {
+	return dgl.NewFlow(name).
+		Step("work", dgl.Op(dgl.OpExec, map[string]string{
+			"command": "x", "cpuSeconds": "1",
+		})).Flow()
+}
+
+func routeCount(p *Peer, outcome string) int64 {
+	return p.Engine().Obs().Counter("shard_routes_total", "outcome", outcome).Value()
+}
+
+// TestShardedAnyPeerSubmit is the tentpole's core contract: a flow
+// submitted to a non-owner peer lands on its shard owner's engine, and
+// its owner-prefixed id resolves from anywhere.
+func TestShardedAnyPeerSubmit(t *testing.T) {
+	_, lookupAddr := startLookupSharded(t, testShards)
+	peerA := startShardedPeer(t, lookupAddr, "siteA", ServerConfig{})
+	peerB := startShardedPeer(t, lookupAddr, "siteB", ServerConfig{})
+	settle(t, peerA, peerB)
+
+	flowName, sh := flowOwnedBy(t, peerB, "user")
+	c := dial(t, peerA.Addr())
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(context.Background(), dgl.NewAsyncRequest("user", "", execFlow(flowName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serr := res.Err(); serr != nil {
+		t.Fatalf("routed submit failed: %v", serr)
+	}
+	if !strings.HasPrefix(res.ID, "siteB:") {
+		t.Fatalf("id = %q, want siteB-prefixed (owner accepted)", res.ID)
+	}
+	exec, ok := peerB.Engine().Execution(res.ID)
+	if !ok {
+		t.Fatalf("execution not resident on the owner")
+	}
+	if err := exec.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, resident := peerA.Engine().Execution(res.ID); resident {
+		t.Errorf("execution also resident on the submitting peer")
+	}
+	if got, _ := peerB.ShardManager().TrackedShard(res.ID); got != sh {
+		t.Errorf("owner tracked shard %d, want %d", got, sh)
+	}
+	if n := routeCount(peerA, "routed"); n != 1 {
+		t.Errorf("submitter shard_routes_total{routed} = %d", n)
+	}
+	if n := routeCount(peerB, "served"); n != 1 {
+		t.Errorf("owner shard_routes_total{served} = %d", n)
+	}
+
+	// Status of the owner-prefixed id resolves through the submitter.
+	st, err := c.Status("user", res.ID, false)
+	if err != nil || st.State != "succeeded" {
+		t.Errorf("cross-peer status = %+v, %v", st, err)
+	}
+	// The owner verb names the owner from either side.
+	info, err := c.Owner(res.ID)
+	if err != nil || info.Peer != "siteB" {
+		t.Errorf("Owner(%s) = %+v, %v", res.ID, info, err)
+	}
+	// A bare routing key resolves via the ring.
+	info, err = c.Owner(RoutingKey("user", flowName))
+	if err != nil || info.Peer != "siteB" || info.Source != "ring" {
+		t.Errorf("Owner(key) = %+v, %v", info, err)
+	}
+}
+
+// startLookupSharded is startLookup with a shard-lease table.
+func startLookupSharded(t *testing.T, shards int) (*LookupServer, string) {
+	t.Helper()
+	ls, addr := startLookup(t)
+	ls.SetShards(shards)
+	return ls, addr
+}
+
+// TestShardRouteLocalPin: WithRoute(RouteLocal) keeps the flow on the
+// accepting peer even when the ring owns it elsewhere.
+func TestShardRouteLocalPin(t *testing.T) {
+	_, lookupAddr := startLookupSharded(t, testShards)
+	peerA := startShardedPeer(t, lookupAddr, "siteA", ServerConfig{})
+	peerB := startShardedPeer(t, lookupAddr, "siteB", ServerConfig{})
+	settle(t, peerA, peerB)
+
+	flowName, _ := flowOwnedBy(t, peerB, "user")
+	c := dial(t, peerA.Addr())
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(context.Background(), dgl.NewAsyncRequest("user", "", execFlow(flowName)),
+		WithRoute(RouteLocal))
+	if err != nil || res.Err() != nil {
+		t.Fatalf("pinned submit: %v / %v", err, res.Err())
+	}
+	if !strings.HasPrefix(res.ID, "siteA:") {
+		t.Fatalf("id = %q, want siteA-prefixed (pinned locally)", res.ID)
+	}
+	if n := routeCount(peerA, "local"); n != 1 {
+		t.Errorf("shard_routes_total{local} = %d", n)
+	}
+}
+
+// TestShardMixedVersionInterop: when the shard owner predates wire 1.5
+// it cannot accept route frames; the submitting peer keeps the flow
+// instead of refusing it.
+func TestShardMixedVersionInterop(t *testing.T) {
+	_, lookupAddr := startLookupSharded(t, testShards)
+	peerA := startShardedPeer(t, lookupAddr, "siteA", ServerConfig{})
+	peerB := startShardedPeer(t, lookupAddr, "siteB", ServerConfig{ProtoMinor: 4})
+	settle(t, peerA, peerB)
+
+	flowName, _ := flowOwnedBy(t, peerB, "user")
+	c := dial(t, peerA.Addr())
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(context.Background(), dgl.NewAsyncRequest("user", "", execFlow(flowName)))
+	if err != nil || res.Err() != nil {
+		t.Fatalf("submit to 1.4 owner: %v / %v", err, res.Err())
+	}
+	if !strings.HasPrefix(res.ID, "siteA:") {
+		t.Fatalf("id = %q, want siteA-prefixed (local accept on unsupported owner)", res.ID)
+	}
+	if n := routeCount(peerA, "unsupported"); n != 1 {
+		t.Errorf("shard_routes_total{unsupported} = %d", n)
+	}
+	// And a 1.4 server refuses a raw route frame with a protocol error.
+	cB := dial(t, peerB.Addr())
+	if _, err := cB.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if cB.CanRoute() {
+		t.Fatalf("CanRoute = true against a 1.4 server")
+	}
+	_, err = cB.Route(context.Background(), Route{User: "user", Shard: 1})
+	if !errors.Is(err, dgferr.ErrProtocol) {
+		t.Errorf("raw route to 1.4 server = %v, want ErrProtocol", err)
+	}
+}
+
+// TestShardOwnerFailover kills the owner, expires its leases, and
+// checks the survivor takes the shard over and accepts the submission
+// itself — E15's failover path in unit form.
+func TestShardOwnerFailover(t *testing.T) {
+	ls, lookupAddr := startLookupSharded(t, testShards)
+	base := time.Now()
+	now := base
+	var mu sync.Mutex
+	ls.setNow(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	ls.SetTTL(30 * time.Second)
+
+	peerA := startShardedPeer(t, lookupAddr, "siteA", ServerConfig{})
+	peerB := startShardedPeer(t, lookupAddr, "siteB", ServerConfig{})
+	settle(t, peerA, peerB)
+	flowName, sh := flowOwnedBy(t, peerB, "user")
+
+	// siteB dies without draining: server down, leases left live. The
+	// clock jumps past the TTL, but siteA is NOT told — its routing map
+	// still names siteB, so the submit exercises the dead-owner path:
+	// dial failure → lease takeover (the registry sweep inside the claim
+	// evicts siteB and frees its leases) → local accept.
+	peerB.Server().Close()
+	mu.Lock()
+	now = now.Add(35 * time.Second)
+	mu.Unlock()
+
+	c := dial(t, peerA.Addr())
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(context.Background(), dgl.NewAsyncRequest("user", "", execFlow(flowName)))
+	if err != nil || res.Err() != nil {
+		t.Fatalf("submit after owner death: %v / %v", err, res.Err())
+	}
+	if !strings.HasPrefix(res.ID, "siteA:") {
+		t.Fatalf("id = %q, want siteA-prefixed (failover accept)", res.ID)
+	}
+	if n := routeCount(peerA, "failover"); n != 1 {
+		t.Errorf("shard_routes_total{failover} = %d", n)
+	}
+	// The takeover claimed the lease: siteA now owns the shard and
+	// tracked the accept for future drains.
+	if !peerA.ShardManager().Owns(sh) {
+		t.Errorf("survivor did not claim shard %d", sh)
+	}
+	if got, ok := peerA.ShardManager().TrackedShard(res.ID); !ok || got != sh {
+		t.Errorf("failover accept untracked: %d, %v", got, ok)
+	}
+}
+
+// TestShardDrainOnJoin: a solo owner accepts everything; when a second
+// peer joins and the ring moves shards over, the next submission of a
+// moved key routes to the joiner — only placement moves, not history.
+func TestShardDrainOnJoin(t *testing.T) {
+	_, lookupAddr := startLookupSharded(t, testShards)
+	peerA := startShardedPeer(t, lookupAddr, "siteA", ServerConfig{})
+	settle(t, peerA)
+	if got := len(peerA.ShardManager().Owned()); got != testShards {
+		t.Fatalf("solo peer owns %d/%d shards", got, testShards)
+	}
+
+	peerB := startShardedPeer(t, lookupAddr, "siteB", ServerConfig{})
+	settle(t, peerA, peerB)
+	flowName, sh := flowOwnedBy(t, peerB, "user")
+	if peerA.ShardManager().Owns(sh) {
+		t.Fatalf("shard %d still owned by siteA after handover", sh)
+	}
+
+	c := dial(t, peerA.Addr())
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(context.Background(), dgl.NewAsyncRequest("user", "", execFlow(flowName)))
+	if err != nil || res.Err() != nil {
+		t.Fatalf("post-join submit: %v / %v", err, res.Err())
+	}
+	if !strings.HasPrefix(res.ID, "siteB:") {
+		t.Errorf("id = %q, want siteB-prefixed (joiner owns the shard)", res.ID)
+	}
+}
+
+// TestOwnerVerbUnsharded: the owner verb on an unsharded server is a
+// typed invalid, not a hang or a panic.
+func TestOwnerVerbUnsharded(t *testing.T) {
+	e := newEngine(t, "")
+	_, addr := startServer(t, e)
+	c := dial(t, addr)
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Owner("user/flow"); !errors.Is(err, dgferr.ErrInvalid) {
+		t.Errorf("Owner on unsharded server = %v, want ErrInvalid", err)
+	}
+}
+
+// TestSubmitOptions covers the redesigned Submit surface against a
+// plain server: sync default, async ack, batch shape, option purity.
+func TestSubmitOptions(t *testing.T) {
+	e := newEngine(t, "")
+	_, addr := startServer(t, e)
+	c := dial(t, addr)
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sync: the response carries the finished status.
+	req := dgl.NewRequest("user", "", execFlow("sync"))
+	res, err := c.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, serr := res.Status(); serr != nil || st.State != "succeeded" {
+		t.Fatalf("sync status = %+v, %v", st, serr)
+	}
+	if res.ID != "" {
+		t.Errorf("sync submit produced an async id %q", res.ID)
+	}
+
+	// Async: WithAsync must not mutate the caller's request.
+	req2 := dgl.NewRequest("user", "", execFlow("async"))
+	res, err = c.Submit(context.Background(), req2, WithAsync())
+	if err != nil || res.Err() != nil {
+		t.Fatalf("async submit: %v / %v", err, res.Err())
+	}
+	if res.ID == "" {
+		t.Fatalf("async submit returned no id: %+v", res.Response)
+	}
+	if req2.Async {
+		t.Errorf("WithAsync mutated the caller's request")
+	}
+	if exec, ok := e.Execution(res.ID); ok {
+		_ = exec.Wait()
+	}
+
+	// Batch: primary plus two more, answered positionally.
+	res, err = c.Submit(context.Background(),
+		dgl.NewAsyncRequest("user", "", execFlow("b0")),
+		WithBatch(
+			dgl.NewAsyncRequest("user", "", execFlow("b1")),
+			dgl.NewAsyncRequest("user", "", execFlow("b2")),
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Responses) != 3 {
+		t.Fatalf("batch responses = %d, want 3", len(res.Responses))
+	}
+	if res.Response != res.Responses[0] || res.ID == "" {
+		t.Errorf("batch primary not answered first: %+v", res)
+	}
+	for i, r := range res.Responses {
+		if r.Ack == nil || !r.Ack.Valid {
+			t.Errorf("batch item %d: %+v", i, r)
+			continue
+		}
+		if exec, ok := e.Execution(r.Ack.ID); ok {
+			_ = exec.Wait()
+		}
+	}
+
+	// No requests at all is a typed invalid.
+	if _, err := c.Submit(context.Background(), nil); !errors.Is(err, dgferr.ErrInvalid) {
+		t.Errorf("empty submit = %v, want ErrInvalid", err)
+	}
+}
+
+// TestRedialRefreshesNegotiation is the satellite-3 regression: a
+// client that redials after a connection drop must re-run hello so the
+// negotiated state (mux, binary, server version) describes the new
+// connection — including against a server that came back older.
+func TestRedialRefreshesNegotiation(t *testing.T) {
+	e := newEngine(t, "")
+	s := NewServer(e)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+	if _, err := c.Hello(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Muxed() || !c.Binary() || !c.CanRoute() {
+		t.Fatalf("fresh 1.%d session: muxed=%v binary=%v route=%v",
+			ProtoMinor, c.Muxed(), c.Binary(), c.CanRoute())
+	}
+
+	// Drop the connection out from under the client: in-flight state
+	// dies with it.
+	c.current().Close()
+	if _, err := c.Status("user", "x", false); err == nil {
+		t.Fatalf("request survived a dead connection")
+	}
+	// Same server still up: redial restores the full negotiation.
+	if err := c.Redial(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Muxed() || !c.Binary() || !c.CanRoute() {
+		t.Errorf("redialed session lost negotiation: muxed=%v binary=%v route=%v",
+			c.Muxed(), c.Binary(), c.CanRoute())
+	}
+	if _, err := c.Status("user", "nope", false); !errors.Is(err, dgferr.ErrNotFound) {
+		t.Errorf("post-redial request = %v, want typed ErrNotFound", err)
+	}
+
+	// The server restarts downgraded (pinned to 1.1: no mux, no binary,
+	// no routing). Redial must renegotiate down, not reuse 1.5 state.
+	s.Close()
+	s2 := NewServerConfig(e, ServerConfig{ProtoMinor: 1})
+	if _, err := s2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(s2.Close)
+	if err := c.Redial(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Muxed() || c.Binary() || c.CanRoute() {
+		t.Errorf("redial against 1.1 server kept 1.5 state: muxed=%v binary=%v route=%v",
+			c.Muxed(), c.Binary(), c.CanRoute())
+	}
+	if _, minor := c.ServerProto(); minor != 1 {
+		t.Errorf("negotiated minor = %d, want 1", minor)
+	}
+	if _, err := c.Status("user", "nope", false); !errors.Is(err, dgferr.ErrNotFound) {
+		t.Errorf("downgraded session request = %v, want typed ErrNotFound", err)
+	}
+}
