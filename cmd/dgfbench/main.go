@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E15):
+// Command dgfbench regenerates the reproduction's experiments (E1–E16):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -12,6 +12,7 @@
 //	dgfbench -load -o BENCH_wire.json    # wire-protocol load experiment
 //	dgfbench -store -o BENCH_store.json  # flow-state store experiment
 //	dgfbench -shard -o BENCH_shard.json  # sharded-ownership experiment
+//	dgfbench -repl -o BENCH_repl.json    # replicated-store experiment
 //
 // With -load the experiments are skipped and the wire load harness
 // (internal/loadgen) runs instead: serial vs pipelined vs batch
@@ -29,6 +30,11 @@
 // the same CI job gates on: any-peer submit scaling at 1/2/4 peers vs a
 // single-owner funnel, and kill-one-owner lease failover
 // (docs/FEDERATION.md, "Sharded ownership").
+//
+// With -repl the replicated-store experiment (E16) runs alone and its
+// machine-readable report is written as the BENCH_repl.json artifact
+// the replication-chaos CI job gates on: quorum-ack submit overhead and
+// kill-owner-with-disk-loss standby takeover (docs/REPLICATION.md).
 //
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
@@ -50,15 +56,16 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E15")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E16")
 	storeBench := flag.Bool("store", false, "run the flow-state store experiment (E14) and write its JSON report")
 	shardBench := flag.Bool("shard", false, "run the sharded-ownership experiment (E15) and write its JSON report")
+	replBench := flag.Bool("repl", false, "run the replicated-store experiment (E16) and write its JSON report")
 	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
 	shardPeers := flag.Int("shard-peers", 0, "with -load: add a sharded any-peer phase over this many peers (0 skips; docs/FEDERATION.md)")
-	out := flag.String("o", "", "with -load/-store/-shard: write the report JSON to this file (default stdout only)")
+	out := flag.String("o", "", "with -load/-store/-shard/-repl: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
@@ -71,6 +78,10 @@ func main() {
 	}
 	if *shardBench {
 		runShard(*small, *out)
+		return
+	}
+	if *replBench {
+		runRepl(*small, *out)
 		return
 	}
 
@@ -190,4 +201,24 @@ func runShard(small bool, out string) {
 		rep.FailoverMs, rep.AcceptedDuringFailover, rep.FailoverSubmitErrors, rep.ReplayedFromGenesis)
 	fmt.Printf("(shard bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
 	writeReport("shard", rep, out)
+}
+
+// runRepl executes the replicated-store benchmark (E16) and writes the
+// BENCH_repl.json report.
+func runRepl(small bool, out string) {
+	scale := experiments.Full
+	if small {
+		scale = experiments.Small
+	}
+	t0 := time.Now()
+	rep, err := experiments.E16ReplBench(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: repl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("submit: %.0f bare vs %.0f quorum flows/sec (%.1f%% overhead); takeover %.0fms, acked %d, lost %d, promoted %d, snapshots %d\n",
+		rep.RatePlain, rep.RateQuorum, rep.QuorumOverheadFrac*100,
+		rep.TakeoverMs, rep.AckedLiveFlows, rep.LostFlows, rep.PromotedFlows, rep.SnapshotsShipped)
+	fmt.Printf("(repl bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	writeReport("repl", rep, out)
 }

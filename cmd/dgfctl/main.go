@@ -137,6 +137,17 @@ top of snapshots. Reports a poisoned store's sticky failure.`,
 before/after), then the same report as "store".`,
 	},
 	{
+		name:     "repl",
+		synopsis: "repl",
+		summary:  "show the server's replication role",
+		detail: `Asks a replicating server (wire 1.6, docs/REPLICATION.md) for its
+replication role: the ack mode, the store's replication sequence, each
+follower's last acknowledged sequence (and so its lag), and every
+source the server holds a replica for — with the replica's cursor,
+live-flow count, and whether it has been promoted after its owner
+died.`,
+	},
+	{
 		name:     "owner",
 		synopsis: "owner <id>",
 		summary:  "resolve which peer owns a flow or execution id",
@@ -371,6 +382,12 @@ func main() {
 					_, _ = oc.Hello()
 					if ost, serr := oc.Status(*user, rest[0], detail); serr == nil {
 						fmt.Printf("(followed to owner %s at %s)\n", info.Peer, info.Addr)
+						// Surface the owner's replication role: whether the
+						// answer came from a replicating owner or from a
+						// follower that promoted the flow after a failover.
+						if ri, rerr := oc.Repl(); rerr == nil && ri != nil {
+							fmt.Printf("(replication: %s)\n", replSummary(ri))
+						}
 						st, err = ost, nil
 					}
 				}
@@ -438,6 +455,12 @@ func main() {
 			log.Fatalf("dgfctl: %v", err)
 		}
 		printMetrics(snap)
+	case "repl":
+		info, err := client.Repl()
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		printRepl(info)
 	case "store":
 		info, err := client.StoreStats()
 		if err != nil {
@@ -455,6 +478,51 @@ func main() {
 		}
 		printStore(info)
 	}
+}
+
+// printRepl renders the replication role the "repl" control verb
+// returns.
+func printRepl(info *wire.ReplInfo) {
+	fmt.Printf("mode: %s\n", info.Mode)
+	fmt.Printf("seq:  %d (last durable record)\n", info.Seq)
+	if len(info.Followers) == 0 {
+		fmt.Println("followers: (none)")
+	} else {
+		fmt.Println("followers:")
+		fmt.Printf("  %-16s %10s %10s\n", "PEER", "ACKED", "LAG")
+		for _, f := range info.Followers {
+			lag := int64(info.Seq) - int64(f.AckedSeq)
+			if lag < 0 {
+				lag = 0
+			}
+			fmt.Printf("  %-16s %10d %10d\n", f.Peer, f.AckedSeq, lag)
+		}
+	}
+	if len(info.Sources) == 0 {
+		fmt.Println("replicas held: (none)")
+		return
+	}
+	fmt.Println("replicas held:")
+	fmt.Printf("  %-16s %10s %6s %s\n", "SOURCE", "LASTSEQ", "LIVE", "PROMOTED")
+	for _, s := range info.Sources {
+		fmt.Printf("  %-16s %10d %6d %v\n", s.Source, s.LastSeq, s.Live, s.Promoted)
+	}
+}
+
+// replSummary renders a one-line replication role for status
+// auto-follow output.
+func replSummary(info *wire.ReplInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s seq=%d", info.Mode, info.Seq)
+	for _, f := range info.Followers {
+		fmt.Fprintf(&b, " follower=%s@%d", f.Peer, f.AckedSeq)
+	}
+	for _, s := range info.Sources {
+		if s.Promoted {
+			fmt.Fprintf(&b, " promoted=%s@%d", s.Source, s.LastSeq)
+		}
+	}
+	return b.String()
 }
 
 // printStore renders the store summary the "store"/"compact" control

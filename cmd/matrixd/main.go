@@ -12,6 +12,8 @@
 //	matrixd -peer-name matrixA -lookup host:7400 # same (alias)
 //	matrixd -placement locality -heartbeat 2s    # federation tuning
 //	matrixd -shards 64 -lookup host:7400         # sharded flow ownership
+//	matrixd -repl-followers 2 -repl-ack quorum   # replicated lifecycle store
+//	matrixd -repl-dir /var/lib/matrix-replica    # replica root override
 //	matrixd -prov /var/log/matrix-prov.jsonl     # durable provenance
 //	matrixd -metrics-addr :7481                  # JSON metrics + pprof
 //	matrixd -journal /var/lib/matrix.journal     # crash recovery
@@ -45,6 +47,7 @@ import (
 	"datagridflow/internal/namespace"
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
+	"datagridflow/internal/replica"
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/shard"
 	"datagridflow/internal/sim"
@@ -77,6 +80,9 @@ func main() {
 	maxUserQueue := flag.Int("max-queue", 256, "max admission waiters queued per user; excess requests are rejected with a capacity error")
 	serialOnly := flag.Bool("serial-only", false, "pin the wire protocol to pre-1.2 serial framing (no multiplexing)")
 	codecName := flag.String("codec", "json", "encoding for new journal/store writes: json or binary (docs/CODEC.md); existing files are sniffed and replay either way")
+	replFollowers := flag.Int("repl-followers", 0, "replicate the flow-state store to this many follower peers (0 disables; requires -lookup and -store-dir; docs/REPLICATION.md)")
+	replAck := flag.String("repl-ack", "quorum", "replication ack mode: quorum, chain or async (docs/REPLICATION.md)")
+	replDir := flag.String("repl-dir", "", "replica root directory for stores received from followed peers (default: <store-dir>.replica)")
 	flag.Parse()
 	if *codecName != "json" && *codecName != "binary" {
 		log.Fatalf("matrixd: -codec must be json or binary, got %q", *codecName)
@@ -279,6 +285,28 @@ func main() {
 			peer.EnableSharding(mgr)
 			log.Printf("matrixd: sharded ownership enabled (%d shards)", *shards)
 		}
+		if *replFollowers > 0 {
+			if *storeDir == "" {
+				log.Fatal("matrixd: -repl-followers requires -store-dir")
+			}
+			mode, err := replica.ParseAckMode(*replAck)
+			if err != nil {
+				log.Fatalf("matrixd: %v", err)
+			}
+			dir := *replDir
+			if dir == "" {
+				dir = *storeDir + ".replica"
+			}
+			if err := peer.EnableReplication(wire.ReplicationConfig{
+				Followers: *replFollowers,
+				Mode:      mode,
+				Dir:       dir,
+				Binary:    binaryCodec,
+			}); err != nil {
+				log.Fatalf("matrixd: %v", err)
+			}
+			log.Printf("matrixd: replication enabled (%d follower(s), %s ack) into %s", *replFollowers, mode, dir)
+		}
 		var err error
 		bound, err = peer.Start(*addr, *lookup)
 		if err != nil {
@@ -311,6 +339,9 @@ func main() {
 		bound, err = srv.Listen(*addr)
 		if err != nil {
 			log.Fatalf("matrixd: %v", err)
+		}
+		if *replFollowers > 0 {
+			log.Printf("matrixd: -repl-followers has no effect without -lookup")
 		}
 		closeFn = srv.Close
 	}

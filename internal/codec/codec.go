@@ -56,6 +56,11 @@ const (
 	MsgDelegate byte = 8
 	// MsgDelegateResult is a wire.DelegateResult (KindDelegate replies).
 	MsgDelegateResult byte = 9
+	// MsgReplicate is a wire.Replicate envelope (KindReplicate frames).
+	MsgReplicate byte = 10
+	// MsgReplicateResult is a wire.ReplicateResult (KindReplicate
+	// replies).
+	MsgReplicateResult byte = 11
 )
 
 // Wire types, the low two bits of every field tag.

@@ -107,6 +107,7 @@ func All() []struct {
 		{"E13", E13Federation},
 		{"E14", E14Store},
 		{"E15", E15Shard},
+		{"E16", E16Replica},
 	}
 }
 

@@ -5,9 +5,11 @@
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json
 //	go run ./internal/infra/benchgate -store-baseline BENCH_store.json -store-current store.json
 //	go run ./internal/infra/benchgate -shard-baseline BENCH_shard.json -shard-current shard.json
+//	go run ./internal/infra/benchgate -repl-baseline BENCH_repl.json -repl-current repl.json
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json \
 //	    -store-baseline BENCH_store.json -store-current store.json \
-//	    -shard-baseline BENCH_shard.json -shard-current shard.json
+//	    -shard-baseline BENCH_shard.json -shard-current shard.json \
+//	    -repl-baseline BENCH_repl.json -repl-current repl.json
 //
 // Wire gate (-baseline/-current, the BENCH_wire.json load report): the
 // gated quantities are the report's speedup *ratios* (pipelined/serial,
@@ -59,6 +61,25 @@
 //     (replayed_from_genesis must be 0 — placement moves, history does
 //     not).
 //
+// Repl gate (-repl-baseline/-repl-current, the BENCH_repl.json E16
+// report): gates the replicated lifecycle store's claims
+// (docs/REPLICATION.md) with absolute invariants — a replication bug is
+// a data-loss bug, so these are not ratio-relative. A run fails when
+//
+//   - quorum_overhead_frac exceeds -max-repl-overhead (the headline
+//     claim: quorum-acked submits cost at most that fraction over
+//     bare submits),
+//   - lost_flows is nonzero (a flow whose records the follower
+//     acknowledged before the owner died must reappear on the
+//     survivor — zero acknowledged-record loss),
+//   - promoted_flows is zero while acked_live_flows is not (the
+//     follower never promoted its replica),
+//   - snapshots_shipped is zero (the catch-up path never exercised:
+//     the cold/behind follower must have healed by snapshot), or
+//   - takeover_ms exceeds the baseline by more than
+//     -max-takeover-regress (fraction) — promotion replays the replica
+//     in O(live flows), so takeover time must stay bounded.
+//
 // Each gate runs when its -*current flag is given; at least one is
 // required. Output is a benchstat-style old/new/delta table per gate.
 // stdlib only.
@@ -105,6 +126,18 @@ func loadShard(path string) (*experiments.ShardBenchReport, error) {
 		return nil, err
 	}
 	var rep experiments.ShardBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func loadRepl(path string) (*experiments.ReplBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.ReplBenchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -258,6 +291,50 @@ func gateShard(base, cur *experiments.ShardBenchReport, maxRegress, minScaling, 
 	return b.String(), failures
 }
 
+// gateRepl renders the repl old/new/delta table and counts gate
+// failures. Every check is absolute (or bounded against the baseline's
+// takeover time): replication's claims are invariants, not speedups —
+// "no overhead regression" is meaningless next to "no acknowledged
+// record may be lost".
+func gateRepl(base, cur *experiments.ReplBenchReport, maxOverhead, maxTakeoverRegress float64) (string, int) {
+	out, failures := table([]row{
+		{"rate/plain", base.RatePlain, cur.RatePlain, "f/s", false},
+		{"rate/quorum", base.RateQuorum, cur.RateQuorum, "f/s", false},
+		{"overhead/quorum", base.QuorumOverheadFrac * 100, cur.QuorumOverheadFrac * 100, "%", false},
+		{"takeover/time", base.TakeoverMs, cur.TakeoverMs, "ms", false},
+		{"takeover/acked", float64(base.AckedLiveFlows), float64(cur.AckedLiveFlows), "flow", false},
+		{"takeover/promoted", float64(base.PromotedFlows), float64(cur.PromotedFlows), "flow", false},
+		{"catchup/snapshots", float64(base.SnapshotsShipped), float64(cur.SnapshotsShipped), "snap", false},
+	}, 0)
+	var b strings.Builder
+	b.WriteString(out)
+	if cur.QuorumOverheadFrac > maxOverhead {
+		fmt.Fprintf(&b, "\nFAIL: quorum submit overhead %.1f%% exceeds the %.0f%% bound\n",
+			cur.QuorumOverheadFrac*100, maxOverhead*100)
+		failures++
+	}
+	if cur.LostFlows > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d of %d acknowledged live flows lost after promotion (must be 0)\n",
+			cur.LostFlows, cur.AckedLiveFlows)
+		failures++
+	}
+	if cur.AckedLiveFlows > 0 && cur.PromotedFlows == 0 {
+		fmt.Fprintf(&b, "\nFAIL: follower never promoted its replica (%d acked live flows at the kill)\n",
+			cur.AckedLiveFlows)
+		failures++
+	}
+	if cur.SnapshotsShipped < 1 {
+		fmt.Fprintf(&b, "\nFAIL: no catch-up snapshot shipped (the behind-follower heal path never ran)\n")
+		failures++
+	}
+	if base.TakeoverMs > 0 && cur.TakeoverMs > base.TakeoverMs*(1+maxTakeoverRegress) {
+		fmt.Fprintf(&b, "\nFAIL: takeover %.0fms exceeds baseline %.0fms by more than %.0f%%\n",
+			cur.TakeoverMs, base.TakeoverMs, maxTakeoverRegress*100)
+		failures++
+	}
+	return b.String(), failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed wire baseline report")
 	currentPath := flag.String("current", "", "fresh wire report to judge (enables the wire gate)")
@@ -265,15 +342,19 @@ func main() {
 	storeCurrentPath := flag.String("store-current", "", "fresh store report to judge (enables the store gate)")
 	shardBaselinePath := flag.String("shard-baseline", "BENCH_shard.json", "committed shard baseline report")
 	shardCurrentPath := flag.String("shard-current", "", "fresh shard report to judge (enables the shard gate)")
+	replBaselinePath := flag.String("repl-baseline", "BENCH_repl.json", "committed replication baseline report")
+	replCurrentPath := flag.String("repl-current", "", "fresh replication report to judge (enables the repl gate)")
 	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a gated ratio vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
 	minReduction := flag.Float64("min-reduction", 10.0, "absolute floor for the store's restart replay reduction")
 	minCodec := flag.Float64("min-codec-speedup", 5.0, "absolute floor for the binary codec's speedup ratios (wire async/batch, store replay)")
 	minShardScaling := flag.Float64("min-shard-scaling", 2.0, "absolute floor for any-peer throughput scaling at 4 sharded peers (speedup_4peer)")
 	maxFailoverRegress := flag.Float64("max-failover-regress", 1.0, "max allowed fractional growth of the failover takeover time vs baseline")
+	maxReplOverhead := flag.Float64("max-repl-overhead", 0.15, "absolute bound on the quorum-ack submit overhead fraction")
+	maxTakeoverRegress := flag.Float64("max-takeover-regress", 1.0, "max allowed fractional growth of the replication takeover time vs baseline")
 	flag.Parse()
-	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current is required")
+	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" && *replCurrentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current / -repl-current is required")
 		os.Exit(2)
 	}
 	failures := 0
@@ -337,6 +418,29 @@ func main() {
 		if n == 0 {
 			fmt.Printf("\nshard: OK (4-peer scaling %.2fx >= %.1fx, failover %.0fms, accepted %d, replayed 0)\n",
 				cur.Speedup4, *minShardScaling, cur.FailoverMs, cur.AcceptedDuringFailover)
+		}
+		failures += n
+	}
+	if *replCurrentPath != "" {
+		base, err := loadRepl(*replBaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: repl baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadRepl(*replCurrentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: repl current: %v\n", err)
+			os.Exit(2)
+		}
+		if *currentPath != "" || *storeCurrentPath != "" || *shardCurrentPath != "" {
+			fmt.Println()
+		}
+		out, n := gateRepl(base, cur, *maxReplOverhead, *maxTakeoverRegress)
+		fmt.Printf("== repl (%s) ==\n%s", *replCurrentPath, out)
+		if n == 0 {
+			fmt.Printf("\nrepl: OK (overhead %.1f%% <= %.0f%%, takeover %.0fms, acked %d, lost 0, snapshots %d)\n",
+				cur.QuorumOverheadFrac*100, *maxReplOverhead*100, cur.TakeoverMs,
+				cur.AckedLiveFlows, cur.SnapshotsShipped)
 		}
 		failures += n
 	}

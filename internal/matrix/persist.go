@@ -375,6 +375,84 @@ func (e *Engine) RecoverFromStore() ([]*Execution, error) {
 	return out, nil
 }
 
+// AdoptedFlow describes one execution adopted from a dead peer's
+// replica (AdoptEntries) — enough for the caller to re-register shard
+// tracking without re-parsing the request.
+type AdoptedFlow struct {
+	// ID is the adopted execution id, still carrying the dead owner's
+	// prefix ("peerB:dgf-000042") — prefixes are what keep it from
+	// colliding with this engine's own counter.
+	ID   string
+	User string
+	// Flow is the flow name (the routing-key half alongside User).
+	Flow string
+	// Resumed is true when the flow was brought into memory and its run
+	// restarted; false when it was passivated at the source and stays
+	// parked in this engine's store, to resurrect on demand.
+	Resumed bool
+}
+
+// AdoptEntries takes over live executions recovered from a *replica* of
+// a dead peer's store — the promotion path of the replication layer
+// (docs/REPLICATION.md). It is RecoverFromStore's cross-store twin: the
+// entries come from the replica, not the engine's own store, so each
+// adopted flow is first re-persisted here as an exec.snap — making it
+// durable on the new owner and, through the store tap, re-replicated to
+// the new owner's own followers — and then resumed exactly like a
+// recovery. Passivated entries are persisted but stay parked
+// (resurrect-on-demand), preserving the memory bound promotion exists
+// alongside. Per-entry failures (undecodable request, unknown op) are
+// counted and skipped rather than aborting the takeover: adopting most
+// of a dead peer's flows beats adopting none.
+func (e *Engine) AdoptEntries(entries []store.Entry, source string) []AdoptedFlow {
+	o := e.Obs()
+	var out []AdoptedFlow
+	for _, ent := range entries {
+		if ent.Ended || ent.Pruned {
+			continue
+		}
+		req, err := dgl.DecodeRequest([]byte(ent.Request))
+		if err != nil {
+			o.Counter("matrix_adoptions_total", "outcome", "invalid").Inc()
+			continue
+		}
+		if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
+			o.Counter("matrix_adoptions_total", "outcome", "invalid").Inc()
+			continue
+		}
+		if e.Store() != nil {
+			// Authored from the entry, not a live execution: the replica's
+			// indexed state IS the adopted truth.
+			_ = e.storeAppend(journalRecord{
+				Type: journalExecSnap, ID: ent.ID,
+				Request: ent.Request, Vars: ent.Vars, Done: ent.Done,
+				Paused: ent.Paused, Passivated: ent.Passivated,
+			})
+		}
+		if ent.Passivated {
+			// Parked at the source, parked here: it now lives in our store
+			// and resurrects on demand through the usual wake paths.
+			o.Counter("matrix_adoptions_total", "outcome", "parked").Inc()
+			out = append(out, AdoptedFlow{ID: ent.ID, User: req.User.Name, Flow: req.Flow.Name})
+			continue
+		}
+		ex, created := e.adoptExecution(ent.ID, req, ent)
+		if !created {
+			_ = ex
+			continue // already resident (duplicate promotion race)
+		}
+		o.Counter("matrix_adoptions_total", "outcome", "resumed").Inc()
+		e.record(provenance.Record{
+			Actor: req.User.Name, Action: "flow.adopt",
+			FlowID: ent.ID, Target: req.Flow.Name,
+			Detail: map[string]string{"source": source, "steps-done": fmt.Sprint(len(ent.Done))},
+		})
+		go ex.run()
+		out = append(out, AdoptedFlow{ID: ent.ID, User: req.User.Name, Flow: req.Flow.Name, Resumed: true})
+	}
+	return out
+}
+
 // execSeq parses the numeric suffix of an engine-minted execution id
 // ("<prefix>dgf-000042" → 42).
 func execSeq(prefix, id string) (int64, bool) {

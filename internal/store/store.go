@@ -35,6 +35,15 @@ type Options struct {
 	// fresh one started, so a directory converts incrementally (fully on
 	// the next Compact) and can always be reopened with either setting.
 	Binary bool
+	// RelaxedSync folds appended records into the index after the OS
+	// write without waiting for an fsync. Only for stores that are a
+	// *secondary* copy with an upstream re-sync path — the replication
+	// receiver's replica stores (docs/REPLICATION.md), whose cursor
+	// restarts at zero on reopen and heals by snapshot. A crash can
+	// lose or tear the unsynced tail; replay repairs the tear like any
+	// torn tail, and the primary's copy restores the records. Never use
+	// it for a store that is itself the system of record.
+	RelaxedSync bool
 }
 
 // Store is a directory of segment files (JSONL or binary-framed,
@@ -72,6 +81,20 @@ type Store struct {
 	// "snapshot lag" operators watch through dgfctl store.
 	sinceSnap int
 	passive   int // executions currently marked passivated
+
+	// replSeq numbers every fsync-proven record, in durability order —
+	// the replication cursor (repl.go). Assigned under s.mu in
+	// applyDurableLocked whether or not a tap is attached, so a follower
+	// attached late sees a gap and catches up by snapshot.
+	replSeq uint64
+	// tap receives durable records for replication; tapQueue buffers
+	// them under s.mu and tapMu serializes hand-off so the tap observes
+	// strict seq order, while ack waits run outside tapMu via tapWaits
+	// (see flushTap).
+	tap      func([]TapRecord) func()
+	tapMu    sync.Mutex
+	tapQueue []TapRecord
+	tapWaits []chan struct{}
 }
 
 // pendingRec is one written-but-not-yet-synced record awaiting its
@@ -493,6 +516,11 @@ func (s *Store) AppendBatch(recs []Record) error {
 // blocks until its group commit. The caller owns the block buffer; it
 // is not retained past the write.
 func (s *Store) appendBlock(block []byte, recs []Record) error {
+	// Deliver whatever this append (or a rotation inside it) proved
+	// durable to the replication tap once the store lock is released.
+	// In quorum/chain ack modes the tap blocks until followers ack, so
+	// Append returning success implies the records are replicated.
+	defer s.flushTap()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -519,11 +547,13 @@ func (s *Store) appendBlock(block []byte, recs []Record) error {
 		s.pending = append(s.pending, pendingRec{gw: gw, ticket: ticket, rec: recs[i]})
 	}
 	s.mu.Unlock()
-	if err := gw.Sync(ticket); err != nil {
-		s.mu.Lock()
-		s.poisonLocked(err)
-		s.mu.Unlock()
-		return err
+	if !s.opt.RelaxedSync {
+		if err := gw.Sync(ticket); err != nil {
+			s.mu.Lock()
+			s.poisonLocked(err)
+			s.mu.Unlock()
+			return err
+		}
 	}
 	s.mu.Lock()
 	s.drainLocked(gw, ticket)
@@ -568,6 +598,10 @@ func (s *Store) drainLocked(gw *GroupFile, ticket int64) {
 func (s *Store) applyDurableLocked(rec *Record) {
 	s.apply(rec, false)
 	s.records++
+	s.replSeq++
+	if s.tap != nil {
+		s.tapQueue = append(s.tapQueue, TapRecord{Seq: s.replSeq, Rec: *rec})
+	}
 	if rec.Type == TypeExecSnap {
 		s.sinceSnap = 0
 	} else {
@@ -617,6 +651,7 @@ func (s *Store) rotate() error {
 // place, and only then are the old segments deleted. Recovery replay
 // after a compaction is O(live executions).
 func (s *Store) Compact() (CompactStats, error) {
+	defer s.flushTap() // runs after the unlock below
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -833,6 +868,7 @@ func (s *Store) Stats() Stats {
 
 // Close syncs and closes the active segment.
 func (s *Store) Close() error {
+	defer s.flushTap() // runs after the unlock below
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

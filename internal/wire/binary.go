@@ -91,6 +91,28 @@ func appendControlResult(e *codec.Encoder, r *ControlResult) {
 			e.Sym(5, o.Source)
 		})
 	}
+	if rp := r.Repl; rp != nil {
+		e.Msg(9, func(e *codec.Encoder) {
+			e.Sym(1, rp.Mode)
+			e.Uint(2, rp.Seq)
+			for i := range rp.Followers {
+				f := &rp.Followers[i]
+				e.Msg(3, func(e *codec.Encoder) {
+					e.Sym(1, f.Peer)
+					e.Uint(2, f.AckedSeq)
+				})
+			}
+			for i := range rp.Sources {
+				src := &rp.Sources[i]
+				e.Msg(4, func(e *codec.Encoder) {
+					e.Sym(1, src.Source)
+					e.Uint(2, src.LastSeq)
+					e.Uint(3, uint64(src.Live))
+					e.Bool(4, src.Promoted)
+				})
+			}
+		})
+	}
 }
 
 func decodeControlResult(payload []byte) (ControlResult, error) {
@@ -197,6 +219,55 @@ func decodeControlResult(payload []byte) (ControlResult, error) {
 				}
 			})
 			r.Owner = o
+		case 9:
+			rp := &ReplInfo{}
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						rp.Mode = d.Sym()
+					case 2:
+						rp.Seq = d.Uint()
+					case 3:
+						var f ReplFollowerInfo
+						d.Msg(func(d *codec.Decoder) {
+							for d.Next() {
+								switch d.Field() {
+								case 1:
+									f.Peer = d.Sym()
+								case 2:
+									f.AckedSeq = d.Uint()
+								default:
+									d.Skip()
+								}
+							}
+						})
+						rp.Followers = append(rp.Followers, f)
+					case 4:
+						var src ReplSourceInfo
+						d.Msg(func(d *codec.Decoder) {
+							for d.Next() {
+								switch d.Field() {
+								case 1:
+									src.Source = d.Sym()
+								case 2:
+									src.LastSeq = d.Uint()
+								case 3:
+									src.Live = int(d.Uint())
+								case 4:
+									src.Promoted = d.Bool()
+								default:
+									d.Skip()
+								}
+							}
+						})
+						rp.Sources = append(rp.Sources, src)
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Repl = rp
 		default:
 			d.Skip()
 		}
@@ -343,6 +414,86 @@ func decodeDelegateResult(payload []byte) (DelegateResult, error) {
 			r.ID = d.Sym()
 		case 4:
 			r.Status = string(d.Blob())
+		default:
+			d.Skip()
+		}
+	}
+	return r, d.Err()
+}
+
+// appendReplicate encodes a replication envelope. The record block
+// rides as an opaque blob in the sender's store encoding — the
+// envelope's encoding and the block's are independent, so a binary
+// envelope may legally carry a JSONL block and vice versa.
+func appendReplicate(e *codec.Encoder, f *Replicate) {
+	e.Begin(codec.MsgReplicate)
+	e.Sym(1, f.Op)
+	e.Sym(2, f.Source)
+	e.Uint(3, f.Seq)
+	e.Uint(4, uint64(f.Count))
+	e.Blob(5, f.Block)
+	for _, peer := range f.Chain {
+		e.Sym(6, peer)
+	}
+}
+
+// decodeReplicate decodes a binary replication envelope. Transient
+// decode: the payload is almost entirely the record block, and the
+// shared-string copy a regular decoder takes up front would duplicate
+// it to back a handful of symbols. The returned frame's Block aliases
+// the payload — valid for the frame's handling, which applies the
+// block into the replica store before the reply is written.
+func decodeReplicate(payload []byte) (Replicate, error) {
+	d, derr := codec.NewDecoderTransient(payload, codec.MsgReplicate)
+	if derr != nil {
+		return Replicate{}, derr
+	}
+	var f Replicate
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			f.Op = d.Sym()
+		case 2:
+			f.Source = d.Sym()
+		case 3:
+			f.Seq = d.Uint()
+		case 4:
+			f.Count = int(d.Uint())
+		case 5:
+			f.Block = d.Blob()
+		case 6:
+			f.Chain = append(f.Chain, d.Sym())
+		default:
+			d.Skip()
+		}
+	}
+	return f, d.Err()
+}
+
+func appendReplicateResult(e *codec.Encoder, r *ReplicateResult) {
+	e.Begin(codec.MsgReplicateResult)
+	e.Bool(1, r.OK)
+	e.Uint(2, r.AckSeq)
+	e.Bool(3, r.NeedSnapshot)
+	e.Str(4, r.Error)
+}
+
+func decodeReplicateResult(payload []byte) (ReplicateResult, error) {
+	d, err := codec.NewDecoder(payload, codec.MsgReplicateResult)
+	if err != nil {
+		return ReplicateResult{}, err
+	}
+	var r ReplicateResult
+	for d.Next() {
+		switch d.Field() {
+		case 1:
+			r.OK = d.Bool()
+		case 2:
+			r.AckSeq = d.Uint()
+		case 3:
+			r.NeedSnapshot = d.Bool()
+		case 4:
+			r.Error = d.Str()
 		default:
 			d.Skip()
 		}

@@ -820,6 +820,83 @@ func (c *Client) Route(ctx context.Context, rt Route) (*RouteResult, error) {
 	return &res, nil
 }
 
+// CanReplicate reports whether this session may carry replicate
+// frames: the session is multiplexed and the server advertised >= 1.6
+// in its hello reply. Against an older server the replication layer
+// never sends one — that follower is skipped
+// (repl_skipped_peers_total) until it upgrades, the sniff-side of the
+// 1.5/1.6 fallback (docs/REPLICATION.md).
+func (c *Client) CanReplicate() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.muxed && ReplicateSupported(c.serverMajor, c.serverMinor)
+}
+
+// Replicate delivers one replication frame — an append block of the
+// local store's record stream, or a catch-up snapshot — to a follower
+// and returns its ack. A result with NeedSnapshot set means the
+// follower is missing records below the frame's sequence; the sender
+// ships a snapshot and retries. A transport failure returns a nil
+// result.
+func (c *Client) Replicate(ctx context.Context, f Replicate) (*ReplicateResult, error) {
+	if !c.CanReplicate() {
+		return nil, fmt.Errorf("%w: server does not accept replicate frames (need >= %s)",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, replMinor))
+	}
+	// The envelope rides binary when the session negotiated it (>= 1.4
+	// both ends): replication is the owner's hot path under quorum ack,
+	// and the JSON envelope's marshal + base64 of the block is pure
+	// per-frame overhead. The record block inside keeps the sender's
+	// store encoding either way — envelope and block encodings are
+	// independent.
+	var payload []byte
+	if c.Binary() {
+		enc := codec.GetEncoder()
+		defer codec.PutEncoder(enc)
+		appendReplicate(enc, &f)
+		payload = enc.Bytes()
+	} else {
+		var err error
+		if payload, err = json.Marshal(f); err != nil {
+			return nil, err
+		}
+	}
+	kind, resp, err := c.roundTrip(ctx, KindReplicate, payload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindReplicate {
+		return nil, errors.New("wire: unexpected frame kind in replicate response")
+	}
+	// Servers mirror the request encoding, but decoding never assumes.
+	var res ReplicateResult
+	if codec.IsBinary(resp) {
+		if res, err = decodeReplicateResult(resp); err != nil {
+			return nil, fmt.Errorf("wire: bad replicate reply: %w", err)
+		}
+	} else if err := json.Unmarshal(resp, &res); err != nil {
+		return nil, fmt.Errorf("wire: bad replicate reply: %w", err)
+	}
+	if res.Error != "" {
+		return &res, dgferr.Decode(res.Error)
+	}
+	return &res, nil
+}
+
+// Repl retrieves the server's replication posture — ack mode, follower
+// acknowledgement positions and standby sources — over the control
+// extension. Requires a replicating 1.6 server.
+func (c *Client) Repl() (*ReplInfo, error) {
+	res, err := c.control("repl", "")
+	if err != nil {
+		return nil, err
+	}
+	if res.Repl == nil {
+		return nil, errors.New("wire: empty repl reply")
+	}
+	return res.Repl, nil
+}
+
 // Owner asks the server which peer owns a flow or execution id,
 // resolved from tracked accepts, owner-prefixed ids, or the shard
 // ring (OwnerInfo.Source says which). Requires a sharded 1.5 server.

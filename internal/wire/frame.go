@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"datagridflow/internal/replica"
 )
 
 // Frame kinds.
@@ -56,6 +58,17 @@ const (
 	// clients only send it after a hello exchange in which the server
 	// advertised >= 1.5; older peers simply keep local-accept.
 	KindRoute byte = 5
+	// KindReplicate frames carry a JSON replication envelope
+	// (internal/replica.Frame): a shard owner streams blocks of its
+	// lifecycle record log — or a catch-up snapshot — to a follower
+	// peer, positioned by per-record sequence numbers
+	// (docs/REPLICATION.md). The record block inside the envelope stays
+	// in the sender's store encoding (JSONL or binary frames) and the
+	// receiver sniffs it per block, so mixed-codec peers replicate to
+	// each other. A protocol-1.6 feature: senders gate on the hello
+	// reply and skip followers that advertised < 1.6, so mixed 1.5/1.6
+	// federations interoperate.
+	KindReplicate byte = 6
 )
 
 // MaxFrame bounds a frame payload (16 MiB): a defense against corrupt
@@ -105,7 +118,7 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 5
+	ProtoMinor = 6
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
 	// delegateMinor is the minimum minor version that accepts
@@ -124,6 +137,13 @@ const (
 	// receives one: senders gate on the hello reply and fall back to
 	// local accept, so mixed 1.4/1.5 federations interoperate.
 	routeMinor = 5
+	// replMinor is the minimum minor version that accepts KindReplicate
+	// frames (lifecycle-store replication). A pre-1.6 peer never
+	// receives one: owners gate on the hello reply and skip that
+	// follower (repl_skipped_peers_total), so mixed 1.5/1.6 federations
+	// interoperate — the flows just lose a standby until the peer
+	// upgrades.
+	replMinor = 6
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
@@ -151,6 +171,14 @@ func BinarySupported(major, minor int) bool {
 // mux session, so a route-capable peer is mux-capable by construction.
 func RouteSupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= routeMinor
+}
+
+// ReplicateSupported reports whether a peer advertising major.minor
+// accepts replicate frames (same major, minor >= 1.6). Replication
+// rides the mux session, so a replicate-capable peer is mux-capable by
+// construction.
+func ReplicateSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= replMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a
@@ -239,6 +267,9 @@ type ControlResult struct {
 	// Owner carries the shard-ownership resolution for the "owner"
 	// verb (docs/WIRE.md §"Control verbs").
 	Owner *OwnerInfo `json:"owner,omitempty"`
+	// Repl carries the replication summary for the "repl" verb
+	// (docs/REPLICATION.md).
+	Repl *ReplInfo `json:"repl,omitempty"`
 }
 
 // StoreInfo is the reply to the "store" control verb: the shape of the
@@ -402,4 +433,51 @@ type OwnerInfo struct {
 	// through the registry), or "ring" (the shard's current lease
 	// holder — the re-placement target when the prefix peer is dead).
 	Source string `json:"source"`
+}
+
+// Replicate is the payload of a KindReplicate frame and
+// ReplicateResult its reply — the replication envelope and ack defined
+// by internal/replica and specified byte-for-byte in docs/WIRE.md
+// §"Replicate frames". The envelope rides binary when the session
+// negotiated it (>= 1.4) and JSON otherwise; the record block inside
+// keeps the sender's store encoding either way, never transcoded in
+// flight.
+type (
+	Replicate       = replica.Frame
+	ReplicateResult = replica.Ack
+)
+
+// ReplInfo is the reply to the "repl" control verb: this peer's
+// replication posture — the followers it streams to and the sources it
+// stands by for (docs/REPLICATION.md, "Observability").
+type ReplInfo struct {
+	// Mode is the ack mode ("quorum", "chain" or "async").
+	Mode string `json:"mode"`
+	// Seq is the local store's replication cursor: the sequence number
+	// of its last durable record.
+	Seq uint64 `json:"seq"`
+	// Followers lists the peers this owner streams to and how far each
+	// has acknowledged.
+	Followers []ReplFollowerInfo `json:"followers,omitempty"`
+	// Sources lists the owners this peer holds replicas for.
+	Sources []ReplSourceInfo `json:"sources,omitempty"`
+}
+
+// ReplFollowerInfo is one follower's acknowledged position.
+type ReplFollowerInfo struct {
+	Peer     string `json:"peer"`
+	AckedSeq uint64 `json:"ackedSeq"`
+}
+
+// ReplSourceInfo is one replicated source's standby state.
+type ReplSourceInfo struct {
+	Source string `json:"source"`
+	// LastSeq is the highest contiguous sequence applied from the
+	// source.
+	LastSeq uint64 `json:"lastSeq"`
+	// Live counts live executions in the replica — what a promotion
+	// would adopt.
+	Live int `json:"live"`
+	// Promoted reports the replica was already taken over.
+	Promoted bool `json:"promoted"`
 }

@@ -14,6 +14,7 @@ import (
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/matrix"
 	"datagridflow/internal/obs"
+	"datagridflow/internal/replica"
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/shard"
 )
@@ -483,6 +484,11 @@ type Peer struct {
 	// shardMgr, when set (EnableSharding, before Start), turns this
 	// peer into a sharded-ownership node: see shardroute.go.
 	shardMgr *shard.Manager
+	// replSender/replReceiver, when set (EnableReplication, before
+	// Start), make this a replicating node: see repl.go.
+	replSender   *replica.Sender
+	replReceiver *replica.Receiver
+	replCfg      ReplicationConfig
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -557,7 +563,12 @@ func (p *Peer) Heartbeat(load scheduler.PeerLoad) ([]PeerInfo, error) {
 		return nil, errors.New("wire: peer not connected to a lookup server")
 	}
 	if p.shardMgr == nil {
-		return p.lookup.Heartbeat(p.Name, p.addr, load)
+		infos, err := p.lookup.Heartbeat(p.Name, p.addr, load)
+		if err != nil {
+			return nil, err
+		}
+		p.refreshReplication(infoNames(infos))
+		return infos, nil
 	}
 	// On a sharded network the same renewal round trip carries the live
 	// owner map back — adopt it so routing always follows the registry.
@@ -566,7 +577,18 @@ func (p *Peer) Heartbeat(load scheduler.PeerLoad) ([]PeerInfo, error) {
 		return nil, err
 	}
 	p.shardMgr.SetOwners(owners)
+	p.refreshReplication(infoNames(infos))
 	return infos, nil
+}
+
+// infoNames projects gossip rows to the bare member-name list follower
+// placement and promotion work over.
+func infoNames(infos []PeerInfo) []string {
+	names := make([]string, 0, len(infos))
+	for _, in := range infos {
+		names = append(names, in.Name)
+	}
+	return names
 }
 
 // OwnerOf extracts the peer name from an execution or node id
@@ -587,15 +609,27 @@ func OwnerOf(id string) string {
 // the id belongs to this peer, otherwise by forwarding to the owning
 // peer via the lookup service.
 func (p *Peer) Status(user, id string, detail bool) (*dgl.FlowStatus, error) {
-	o := p.server.Engine().Obs()
+	engine := p.server.Engine()
+	o := engine.Obs()
 	owner := OwnerOf(id)
-	if owner == "" || owner == p.Name {
-		o.Counter("wire_peer_status_local_total").Inc()
-		engine := p.server.Engine()
-		execID := id
-		if i := strings.IndexByte(id, '/'); i >= 0 {
-			execID = id[:i]
+	execID := id
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		execID = id[:i]
+	}
+	local := owner == "" || owner == p.Name
+	if !local && p.replReceiver != nil {
+		// A promoted execution keeps its dead owner's id prefix. If it
+		// now lives here — resident after adoption, or parked in our
+		// store — answer locally instead of forwarding to a peer that
+		// no longer exists.
+		if _, ok := engine.Execution(execID); ok {
+			local = true
+		} else if _, err := engine.ResurrectFor(execID, "promotion"); err == nil {
+			local = true
 		}
+	}
+	if local {
+		o.Counter("wire_peer_status_local_total").Inc()
 		if _, ok := engine.Execution(execID); !ok {
 			// A routed query can land on the owner of a passivated
 			// execution — e.g. a peer asking after a flow whose
@@ -702,6 +736,7 @@ func (p *Peer) Close() {
 			_, _ = p.lookup.ReleaseShards(p.Name, owned)
 		}
 	}
+	p.closeReplication()
 	p.server.Close()
 	if p.lookup != nil {
 		_ = p.lookup.Unregister(p.Name)

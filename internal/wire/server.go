@@ -46,6 +46,8 @@ func kindName(kind byte) string {
 		return "delegate"
 	case KindRoute:
 		return "route"
+	case KindReplicate:
+		return "replicate"
 	default:
 		return "unknown"
 	}
@@ -105,6 +107,13 @@ type Server struct {
 	// ownerResolver, when set (by a sharded Peer, before Listen),
 	// services the "owner" control verb.
 	ownerResolver func(id string) (*OwnerInfo, error)
+	// replHandler, when set (by a replicating Peer, before Listen),
+	// services KindReplicate frames — applying an owner's record stream
+	// into this peer's replica stores.
+	replHandler func(f Replicate) ReplicateResult
+	// replResolver, when set (by a replicating Peer, before Listen),
+	// services the "repl" control verb.
+	replResolver func() *ReplInfo
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -265,7 +274,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		started := s.engine.Clock().Now()
 		o.StartSpan("request", k, remote, nil)
-		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute {
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute && kind != KindReplicate {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation
 		}
@@ -316,7 +325,7 @@ func (s *Server) serveMux(ctx context.Context, conn net.Conn, remote string) {
 		if s.connFault() {
 			return // injected crash/drop: sever without a response
 		}
-		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute {
+		if kind != KindDGL && kind != KindControl && kind != KindBatch && kind != KindDelegate && kind != KindRoute && kind != KindReplicate {
 			o.EndSpan("request", k, remote, map[string]string{"outcome": "protocol-violation"})
 			return // protocol violation: sever, as in serial mode
 		}
@@ -392,6 +401,8 @@ func (s *Server) handleFrame(ctx context.Context, kind byte, payload []byte, mux
 			data, err = json.Marshal(DelegateResult{Error: perr})
 		case KindRoute:
 			data, err = json.Marshal(RouteResult{Error: perr})
+		case KindReplicate:
+			data, err = json.Marshal(ReplicateResult{Error: perr})
 		}
 		return data, nil, false, err
 	}
@@ -440,6 +451,15 @@ func (s *Server) handleFrame(ctx context.Context, kind byte, payload []byte, mux
 		// embedded request document, which keeps its own encoding).
 		res := s.serveRoute(ctx, payload)
 		data, err = json.Marshal(res)
+	case KindReplicate:
+		res := s.serveReplicate(payload)
+		if bin {
+			enc = codec.GetEncoder()
+			appendReplicateResult(enc, &res)
+			data = enc.Bytes()
+		} else {
+			data, err = json.Marshal(res)
+		}
 	}
 	if enc != nil && err == nil {
 		o.Counter("codec_encode_bytes_total").Add(int64(len(data)))
@@ -541,6 +561,36 @@ func (s *Server) serveRoute(ctx context.Context, payload []byte) RouteResult {
 	}
 	defer s.release()
 	return s.routeHandler(rt)
+}
+
+// serveReplicate services a KindReplicate frame — one block of an
+// owner's lifecycle record stream, or a catch-up snapshot, applied into
+// this peer's replica store for that owner (docs/REPLICATION.md).
+// Replication bypasses admission like control verbs do: a standby that
+// stops acking because the primary saturated it would turn overload
+// into replication lag, and lag into data-loss exposure.
+func (s *Server) serveReplicate(payload []byte) ReplicateResult {
+	if s.minor() < replMinor {
+		return ReplicateResult{Error: dgferr.Encode(fmt.Errorf(
+			"%w: replicate frames need protocol >= %s, server advertises %s",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, replMinor), s.proto()))}
+	}
+	var f Replicate
+	if codec.IsBinary(payload) {
+		var derr error
+		if f, derr = decodeReplicate(payload); derr != nil {
+			return ReplicateResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: bad replicate frame: %v", dgferr.ErrInvalid, derr))}
+		}
+	} else if err := json.Unmarshal(payload, &f); err != nil {
+		return ReplicateResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: bad replicate frame: %v", dgferr.ErrInvalid, err))}
+	}
+	if s.replHandler == nil {
+		return ReplicateResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: server is not replicating", dgferr.ErrInvalid))}
+	}
+	return s.replHandler(f)
 }
 
 // serveBatch services a KindBatch frame: N DGL requests in one frame,
@@ -767,6 +817,15 @@ func (s *Server) serveControlOp(c Control) ControlResult {
 			return ControlResult{Error: dgferr.Encode(err)}
 		}
 		return ControlResult{OK: true, ID: c.ID, Owner: info}
+	}
+	if c.Op == "repl" {
+		// Like "owner": resolved before the execution lookup so a status
+		// probe cannot resurrect anything as a side effect.
+		if s.replResolver == nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: server is not replicating", dgferr.ErrInvalid))}
+		}
+		return ControlResult{OK: true, Repl: s.replResolver()}
 	}
 	exec, ok := s.engine.Execution(c.ID)
 	if !ok && c.ID != "" {

@@ -294,6 +294,11 @@ func (p *Peer) RebalanceShards(members []string) bool {
 	if mgr == nil || p.lookup == nil {
 		return false
 	}
+	// Replication follows the same membership view: follower placement
+	// tracks the ring, and a vanished member's replica is promoted by
+	// its successor (repl.go) — the disk-loss half of the failover this
+	// claim/drain cycle handles the lease half of.
+	defer p.refreshReplication(members)
 	return mgr.Rebalance(members,
 		func(shards []int) (map[int]string, error) {
 			return p.lookup.ClaimShards(p.Name, shards)
