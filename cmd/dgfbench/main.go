@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E16):
+// Command dgfbench regenerates the reproduction's experiments (E1–E17):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -13,6 +13,7 @@
 //	dgfbench -store -o BENCH_store.json  # flow-state store experiment
 //	dgfbench -shard -o BENCH_shard.json  # sharded-ownership experiment
 //	dgfbench -repl -o BENCH_repl.json    # replicated-store experiment
+//	dgfbench -tenant -o BENCH_tenant.json  # multi-tenant experiment
 //
 // With -load the experiments are skipped and the wire load harness
 // (internal/loadgen) runs instead: serial vs pipelined vs batch
@@ -36,6 +37,12 @@
 // the replication-chaos CI job gates on: quorum-ack submit overhead and
 // kill-owner-with-disk-loss standby takeover (docs/REPLICATION.md).
 //
+// With -tenant the multi-tenant experiment (E17) runs alone and its
+// machine-readable report is written as the BENCH_tenant.json artifact
+// the tenancy CI job gates on: registry footprint at 100k+ tenants,
+// weighted-fair isolation of 1x tenants against a 10x aggressor, and
+// quota-enforcement fidelity (docs/TENANCY.md).
+//
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
 // can carry engine-level counters (flows run, steps executed, bytes
@@ -56,16 +63,17 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E17) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E16")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E17")
 	storeBench := flag.Bool("store", false, "run the flow-state store experiment (E14) and write its JSON report")
 	shardBench := flag.Bool("shard", false, "run the sharded-ownership experiment (E15) and write its JSON report")
 	replBench := flag.Bool("repl", false, "run the replicated-store experiment (E16) and write its JSON report")
+	tenantBench := flag.Bool("tenant", false, "run the multi-tenant experiment (E17) and write its JSON report")
 	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
 	shardPeers := flag.Int("shard-peers", 0, "with -load: add a sharded any-peer phase over this many peers (0 skips; docs/FEDERATION.md)")
-	out := flag.String("o", "", "with -load/-store/-shard/-repl: write the report JSON to this file (default stdout only)")
+	out := flag.String("o", "", "with -load/-store/-shard/-repl/-tenant: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
@@ -82,6 +90,10 @@ func main() {
 	}
 	if *replBench {
 		runRepl(*small, *out)
+		return
+	}
+	if *tenantBench {
+		runTenant(*small, *out)
 		return
 	}
 
@@ -221,4 +233,22 @@ func runRepl(small bool, out string) {
 		rep.TakeoverMs, rep.AckedLiveFlows, rep.LostFlows, rep.PromotedFlows, rep.SnapshotsShipped)
 	fmt.Printf("(repl bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
 	writeReport("repl", rep, out)
+}
+
+// runTenant executes the multi-tenant benchmark (E17) and writes the
+// BENCH_tenant.json report.
+func runTenant(small bool, out string) {
+	scale := experiments.Full
+	if small {
+		scale = experiments.Small
+	}
+	t0 := time.Now()
+	rep, err := experiments.E17TenantBench(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: tenant: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("(tenant bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	writeReport("tenant", rep, out)
 }

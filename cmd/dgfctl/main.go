@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
+	"datagridflow/internal/tenant"
 	"datagridflow/internal/wire"
 )
 
@@ -158,6 +160,26 @@ owning peer, its address, the shard, and how it was resolved: tracked
 (consistent-hash placement of the routing key).`,
 	},
 	{
+		name:     "tenants",
+		synopsis: "tenants [limit]",
+		summary:  "show the server's tenancy posture and top tenants",
+		detail: `Asks a tenancy-aware server (wire 1.7, docs/TENANCY.md) whether
+tenancy and token auth are enabled, how many tenants are registered,
+and the most active tenants — weight, flows in flight, store bytes and
+delegation slots per row. The optional limit bounds the rows returned
+(server default 20).`,
+	},
+	{
+		name:     "mint",
+		synopsis: "mint <secret-file> <tenant> [ttl]",
+		summary:  "mint a tenant bearer token (local, no server)",
+		detail: `Purely local — no server connection. Signs a bearer token for the
+tenant with the shared secret (docs/TENANCY.md), valid for ttl
+(Go duration, default 1h), and prints it. Pass the token to other
+verbs with -token, to matrixd with -lookup-token, or to the wire API
+via Client.SetToken.`,
+	},
+	{
 		name:     "peers",
 		synopsis: "peers",
 		summary:  "list live peers from the -lookup server",
@@ -253,6 +275,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7401", "matrix server address")
 	lookupAddr := flag.String("lookup", "127.0.0.1:7400", "lookup server address (peers command)")
 	user := flag.String("user", "admin", "grid user for status queries")
+	token := flag.String("token", "", "tenant bearer token offered on every request (mint one with \"dgfctl mint\"; docs/TENANCY.md)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -287,6 +310,33 @@ func main() {
 		} else {
 			fmt.Print(dgl.Tree(req.Flow))
 		}
+		return
+	}
+
+	// mint is purely local: it signs a token with the shared secret.
+	if args[0] == "mint" {
+		if len(args) < 3 || len(args) > 4 {
+			verbUsage("mint")
+		}
+		secret, err := tenant.LoadSecret(args[1])
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		auth, err := tenant.NewAuthority(secret)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		ttl := time.Hour
+		if len(args) == 4 {
+			if ttl, err = time.ParseDuration(args[3]); err != nil {
+				log.Fatalf("dgfctl: bad ttl: %v", err)
+			}
+		}
+		tok, err := auth.Mint(args[2], ttl)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		fmt.Println(tok)
 		return
 	}
 
@@ -328,8 +378,10 @@ func main() {
 		log.Fatalf("dgfctl: %v", err)
 	}
 	defer client.Close()
+	client.SetToken(*token)
 	// Negotiate up-front: a 1.2+ server multiplexes, a 1.4 server
-	// carries payloads in the binary codec (docs/CODEC.md). Any
+	// carries payloads in the binary codec (docs/CODEC.md), and a 1.7
+	// server verifies the -token and pins the session identity. Any
 	// failure just leaves the session on the serial/text baseline.
 	_, _ = client.Hello()
 
@@ -461,6 +513,22 @@ func main() {
 			log.Fatalf("dgfctl: %v", err)
 		}
 		printRepl(info)
+	case "tenants":
+		limit := 0
+		if len(args) == 2 {
+			n, perr := strconv.Atoi(args[1])
+			if perr != nil || n < 0 {
+				verbUsage("tenants")
+			}
+			limit = n
+		} else if len(args) > 2 {
+			verbUsage("tenants")
+		}
+		info, err := client.Tenants(limit)
+		if err != nil {
+			log.Fatalf("dgfctl: %v", err)
+		}
+		printTenants(info)
 	case "store":
 		info, err := client.StoreStats()
 		if err != nil {
@@ -506,6 +574,26 @@ func printRepl(info *wire.ReplInfo) {
 	fmt.Printf("  %-16s %10s %6s %s\n", "SOURCE", "LASTSEQ", "LIVE", "PROMOTED")
 	for _, s := range info.Sources {
 		fmt.Printf("  %-16s %10d %6d %v\n", s.Source, s.LastSeq, s.Live, s.Promoted)
+	}
+}
+
+func printTenants(info *wire.TenantsInfo) {
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	fmt.Printf("tenancy: %s  auth: %s  require: %s  registered: %d\n",
+		onOff(info.Enabled), onOff(info.Auth), onOff(info.Require), info.Registered)
+	if len(info.Tenants) == 0 {
+		fmt.Println("(no active tenants)")
+		return
+	}
+	fmt.Printf("%-24s %8s %8s %12s %8s\n", "TENANT", "WEIGHT", "FLOWS", "STOREBYTES", "DELEG")
+	for _, t := range info.Tenants {
+		fmt.Printf("%-24s %8.2f %8d %12d %8d\n",
+			t.Name, t.Weight, t.Flows, t.StoreBytes, t.Delegations)
 	}
 }
 

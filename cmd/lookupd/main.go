@@ -10,6 +10,7 @@
 //	lookupd -addr :7400 -ttl 30s              # evict silent peers sooner
 //	lookupd -addr :7400 -shards 64            # shard-lease authority (sharded networks)
 //	lookupd -addr :7400 -metrics-addr :7480   # JSON metrics + pprof
+//	lookupd -addr :7400 -tenant-auth key.txt  # token-gate peer registration
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"syscall"
 
 	"datagridflow/internal/obs"
+	"datagridflow/internal/tenant"
 	"datagridflow/internal/wire"
 )
 
@@ -29,10 +31,23 @@ func main() {
 	ttl := flag.Duration("ttl", wire.DefaultLookupTTL, "liveness TTL: peers silent for longer are evicted (0 disables)")
 	shards := flag.Int("shards", 0, "shard count of a sharded network: the registry becomes the lease authority (0 disables; must match matrixd -shards)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics and pprof on this address (empty disables)")
+	tenantAuth := flag.String("tenant-auth", "", "shared-secret key file: require a valid tenant token on register/heartbeat/lease operations (docs/TENANCY.md)")
 	flag.Parse()
 
 	srv := wire.NewLookupServer()
 	srv.SetTTL(*ttl)
+	if *tenantAuth != "" {
+		secret, err := tenant.LoadSecret(*tenantAuth)
+		if err != nil {
+			log.Fatalf("lookupd: %v", err)
+		}
+		auth, err := tenant.NewAuthority(secret)
+		if err != nil {
+			log.Fatalf("lookupd: %v", err)
+		}
+		srv.SetAuth(auth)
+		fmt.Printf("lookupd: registration token-gated (matrixd -lookup-token)\n")
+	}
 	if *shards > 0 {
 		srv.SetShards(*shards)
 		fmt.Printf("lookupd: shard-lease authority for %d shards\n", *shards)

@@ -22,6 +22,10 @@
 //	matrixd -fault plan.json                     # fault injection
 //	matrixd -max-inflight 128 -max-queue 512     # admission tuning
 //	matrixd -serial-only                         # pin pre-1.2 framing
+//	matrixd -tenant-auth secret.key              # verify tenant tokens (wire 1.7)
+//	matrixd -tenant-conf tenants.json            # per-tenant quotas and weights
+//	matrixd -tenant-require                      # reject untokened submissions
+//	matrixd -lookup-token token.txt              # authenticate with a gated lookupd
 //
 // With -metrics-addr the server exposes the observability surface
 // documented in docs/METRICS.md: /metrics (JSON snapshot), /trace
@@ -52,6 +56,7 @@ import (
 	"datagridflow/internal/shard"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/store"
+	"datagridflow/internal/tenant"
 	"datagridflow/internal/trigger"
 	"datagridflow/internal/vfs"
 	"datagridflow/internal/wire"
@@ -83,6 +88,10 @@ func main() {
 	replFollowers := flag.Int("repl-followers", 0, "replicate the flow-state store to this many follower peers (0 disables; requires -lookup and -store-dir; docs/REPLICATION.md)")
 	replAck := flag.String("repl-ack", "quorum", "replication ack mode: quorum, chain or async (docs/REPLICATION.md)")
 	replDir := flag.String("repl-dir", "", "replica root directory for stores received from followed peers (default: <store-dir>.replica)")
+	tenantAuth := flag.String("tenant-auth", "", "shared-secret key file for tenant token verification (wire 1.7; docs/TENANCY.md)")
+	tenantConf := flag.String("tenant-conf", "", "tenant quota/weight configuration JSON (docs/TENANCY.md)")
+	tenantRequire := flag.Bool("tenant-require", false, "reject submissions without a valid tenant token (requires -tenant-auth)")
+	lookupToken := flag.String("lookup-token", "", "file holding a tenant token presented to a token-gated lookup registry")
 	flag.Parse()
 	if *codecName != "json" && *codecName != "binary" {
 		log.Fatalf("matrixd: -codec must be json or binary, got %q", *codecName)
@@ -265,6 +274,37 @@ func main() {
 		MaxUserQueue: *maxUserQueue,
 		SerialOnly:   *serialOnly,
 	}
+	var tAuth *tenant.Authority
+	var tReg *tenant.Registry
+	tRequire := *tenantRequire
+	if *tenantAuth != "" {
+		secret, err := tenant.LoadSecret(*tenantAuth)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		if tAuth, err = tenant.NewAuthority(secret); err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+	}
+	if *tenantConf != "" {
+		tc, err := tenant.LoadConfig(*tenantConf)
+		if err != nil {
+			log.Fatalf("matrixd: %v", err)
+		}
+		tReg = tc.Build(grid.Obs())
+		if tc.Require {
+			tRequire = true
+		}
+		log.Printf("matrixd: tenancy enabled (%d registered tenant(s))", tReg.Len())
+	}
+	if tRequire && tAuth == nil {
+		log.Fatal("matrixd: -tenant-require needs -tenant-auth")
+	}
+	if tAuth != nil && tReg == nil {
+		// Auth without quotas: identities are verified and accounted but
+		// every tenant is unlimited.
+		tReg = tenant.NewRegistry(tenant.Quota{}, grid.Obs())
+	}
 	var bound string
 	var closeFn func()
 	if *lookup != "" {
@@ -272,6 +312,16 @@ func main() {
 			log.Fatal("matrixd: -lookup requires -name")
 		}
 		peer := wire.NewPeerConfig(*name, engine, srvCfg)
+		if tAuth != nil || tReg != nil {
+			peer.Server().SetTenancy(tAuth, tReg, tRequire)
+		}
+		if *lookupToken != "" {
+			tok, err := tenant.LoadSecret(*lookupToken)
+			if err != nil {
+				log.Fatalf("matrixd: %v", err)
+			}
+			peer.SetLookupToken(string(tok))
+		}
 		if *shards > 0 {
 			mgr := shard.NewManager(shard.Config{
 				Self:   *name,
@@ -328,6 +378,9 @@ func main() {
 		log.Printf("matrixd: peer %q registered with %s (placement %s)", *name, *lookup, policy.Name())
 	} else {
 		srv := wire.NewServerConfig(engine, srvCfg)
+		if tAuth != nil || tReg != nil {
+			srv.SetTenancy(tAuth, tReg, tRequire)
+		}
 		if injector != nil {
 			target := *name
 			if target == "" {

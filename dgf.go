@@ -243,6 +243,11 @@ var (
 	ErrRetryExhausted = dgferr.ErrRetryExhausted
 	// ErrProtocol: a wire version mismatch (the "hello" handshake).
 	ErrProtocol = dgferr.ErrProtocol
+	// ErrAuth: a missing, expired or forged tenant token (wire 1.7).
+	ErrAuth = dgferr.ErrAuth
+	// ErrQuota: a tenant resource bound exceeded (flows in flight,
+	// store bytes, delegation slots, submit rate).
+	ErrQuota = dgferr.ErrQuota
 )
 
 // Retryable reports whether the error is transient under the taxonomy:

@@ -21,6 +21,7 @@ const (
 	reqFlow  = 4 // msg (flow)
 	reqQuery = 5 // msg {1: id sym, 2: detail bool}
 	reqRoute = 6 // sym ("auto"/"local"), sharded-routing preference
+	reqToken = 7 // bytes, tenant bearer token (wire 1.7; high-entropy, never symed)
 )
 
 // Flow field numbers (nested).
@@ -129,6 +130,7 @@ func AppendRequest(e *Encoder, req *dgl.Request) {
 		})
 	}
 	e.Sym(reqRoute, req.Route)
+	e.Str(reqToken, req.Token)
 }
 
 func flowFields(e *Encoder, f *dgl.Flow) {
@@ -295,6 +297,8 @@ func DecodeRequest(payload []byte) (*dgl.Request, error) {
 			req.StatusQuery = q
 		case reqRoute:
 			req.Route = d.Sym()
+		case reqToken:
+			req.Token = d.Str()
 		default:
 			d.Skip()
 		}

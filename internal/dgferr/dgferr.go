@@ -55,22 +55,31 @@ var (
 	// ErrResourceDown marks a storage resource, peer or link that is
 	// offline or flaking. Transient: retry policies wait it out.
 	ErrResourceDown = &Class{"resource-down", "resource unavailable"}
+	// ErrAuth marks a missing, malformed, expired or forged tenant
+	// token. Permanent: retrying with the same credentials cannot help.
+	ErrAuth = &Class{"auth", "authentication failed"}
+	// ErrQuota marks a tenant resource bound exceeded (flows in flight,
+	// store bytes, delegation slots, submit rate). Permanent for retry
+	// purposes: the caller must shed load or wait out its rate window,
+	// not hammer the same request.
+	ErrQuota = &Class{"quota", "quota exceeded"}
 )
 
 // classes lists every sentinel in Encode priority order: when an error
 // chain carries several classes (ErrRetryExhausted wrapping
 // ErrResourceDown), the first match here becomes the wire code.
 var classes = []*Class{
-	ErrRetryExhausted, ErrProtocol, ErrPermission, ErrNotFound,
-	ErrExists, ErrCapacity, ErrInvalid, ErrCancelled, ErrTimeout,
-	ErrResourceDown,
+	ErrRetryExhausted, ErrProtocol, ErrAuth, ErrQuota, ErrPermission,
+	ErrNotFound, ErrExists, ErrCapacity, ErrInvalid, ErrCancelled,
+	ErrTimeout, ErrResourceDown,
 }
 
 // fatal marks the classes a retry policy must not burn attempts on.
 var fatal = map[*Class]bool{
-	ErrRetryExhausted: true, ErrProtocol: true, ErrPermission: true,
-	ErrNotFound: true, ErrExists: true, ErrCapacity: true,
-	ErrInvalid: true, ErrCancelled: true,
+	ErrRetryExhausted: true, ErrProtocol: true, ErrAuth: true,
+	ErrQuota: true, ErrPermission: true, ErrNotFound: true,
+	ErrExists: true, ErrCapacity: true, ErrInvalid: true,
+	ErrCancelled: true,
 }
 
 // ClassOf returns the highest-priority class in err's chain, or nil.

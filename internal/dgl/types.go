@@ -64,6 +64,11 @@ type Request struct {
 	// peer forward the flow to its shard owner, RouteLocal pins it to
 	// the accepting peer. Non-sharded deployments ignore it.
 	Route string `xml:"route,attr,omitempty"`
+	// Token is the tenant bearer token authenticating the submission
+	// (wire >= 1.7, docs/TENANCY.md). An extension attribute, not part
+	// of the paper's schema: absent means anonymous, and pre-tenant
+	// deployments ignore it entirely.
+	Token string `xml:"token,attr,omitempty"`
 	// Metadata documents the request itself.
 	Metadata DocumentMeta `xml:"documentMetadata"`
 	// User identifies the submitting grid user and virtual organization.

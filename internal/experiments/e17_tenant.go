@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"datagridflow/internal/loadgen"
+)
+
+// E17Tenant quantifies the multi-tenant control plane
+// (docs/TENANCY.md):
+//
+//   - Registry scale: 100k+ synthetic tenants registered with distinct
+//     quotas, heap footprint per tenant — the registry must admit
+//     planet-scale tenant populations without a memory story.
+//   - Isolation: one 10x-weight aggressor flooding a narrow server
+//     (admission-bottlenecked) next to four 1x tenants. Weighted
+//     deficit round-robin must hold every lane at weight/Σweights:
+//     the worst 1x tenant's attained fraction of its fair share is
+//     gated at ≥0.6 (benchgate, docs/BENCH.md).
+//   - Quota fidelity: zero rejections in the steady phase (the lanes
+//     have weights but no limits), and a positive-control breach of a
+//     2-flow quota that must draw rejections — enforcement is proven
+//     live, not assumed.
+func E17Tenant(s Scale) (*Report, error) {
+	rep, err := E17TenantBench(s)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID: "E17", Title: "multi-tenant control plane — registry scale & WFQ isolation",
+		Header: []string{"scenario", "metric", "value"},
+	}
+	r.Row("registry", "tenants", fmt.Sprintf("%d", rep.RegistryTenants))
+	r.Row("registry", "bytes/tenant", fmt.Sprintf("%.0f", rep.RegistryBytesPerTenant))
+	r.Row("registry", "total MB", fmt.Sprintf("%.1f", rep.RegistryMB))
+	for _, l := range rep.Lanes {
+		r.Row("isolation", l.Name+" attained", fmt.Sprintf("%.2f (share %.1f%%, fair %.1f%%)",
+			l.Attained, l.Share*100, l.FairShare*100))
+	}
+	r.Row("isolation", "worst 1x attained", fmt.Sprintf("%.2f", rep.MinFairAttained))
+	r.Row("quotas", "false rejections", fmt.Sprintf("%d", rep.FalseRejections))
+	r.Row("quotas", "breach rejections", fmt.Sprintf("%d", rep.BreachRejections))
+	r.Note("workload: %s window, %d-deep server, one %gx aggressor (%d workers) vs %d 1x tenants; authenticated tokens, weights enforced by deficit round-robin",
+		rep.Duration, rep.MaxInflight, rep.AggressorW, rep.Lanes[0].Workers, len(rep.Lanes)-1)
+	r.Note("gate: worst 1x tenant >= 0.60 of fair share, false rejections == 0, breach rejections >= 1, tenants >= 100000 (internal/infra/benchgate)")
+	return r, nil
+}
+
+// E17TenantBench runs the multi-tenant experiment and returns the
+// machine-readable report `dgfbench -tenant` writes as
+// BENCH_tenant.json.
+func E17TenantBench(s Scale) (*loadgen.TenantReport, error) {
+	opts := loadgen.TenantDefaults()
+	if s == Small {
+		opts = loadgen.TenantSmallDefaults()
+	}
+	return loadgen.RunTenant(opts)
+}

@@ -108,6 +108,7 @@ func All() []struct {
 		{"E14", E14Store},
 		{"E15", E15Shard},
 		{"E16", E16Replica},
+		{"E17", E17Tenant},
 	}
 }
 

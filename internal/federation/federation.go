@@ -260,6 +260,16 @@ func (f *Federation) Delegate(ctx context.Context, req matrix.DelegateRequest) (
 	if countSteps(&req.Flow) < f.cfg.MinSteps {
 		return nil, matrix.ErrDelegateLocal
 	}
+	if reg := f.peer.Server().TenantRegistry(); reg != nil {
+		// Delegation-slot quota (docs/TENANCY.md): an over-quota tenant
+		// keeps its subflow — it runs inline in the parent, it is never
+		// dropped. The registry counts the rejection
+		// (tenant_quota_rejections_total{resource="delegations"}).
+		if err := reg.AcquireDelegation(req.User); err != nil {
+			return nil, matrix.ErrDelegateLocal
+		}
+		defer reg.ReleaseDelegation(req.User)
+	}
 	f.wg.Add(1)
 	defer f.wg.Done()
 	// Merge the caller's context with the federation's lifetime so Close
@@ -358,6 +368,7 @@ func (f *Federation) runRemote(ctx context.Context, name string, req matrix.Dele
 	}
 	res, err := client.Delegate(ctx, wire.Delegate{
 		User:       req.User,
+		Token:      req.Token,
 		Request:    string(doc),
 		Origin:     f.peer.Name,
 		ParentExec: req.ParentExec,

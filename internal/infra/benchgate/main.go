@@ -6,6 +6,7 @@
 //	go run ./internal/infra/benchgate -store-baseline BENCH_store.json -store-current store.json
 //	go run ./internal/infra/benchgate -shard-baseline BENCH_shard.json -shard-current shard.json
 //	go run ./internal/infra/benchgate -repl-baseline BENCH_repl.json -repl-current repl.json
+//	go run ./internal/infra/benchgate -tenant-baseline BENCH_tenant.json -tenant-current tenant.json
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json \
 //	    -store-baseline BENCH_store.json -store-current store.json \
 //	    -shard-baseline BENCH_shard.json -shard-current shard.json \
@@ -80,6 +81,24 @@
 //     -max-takeover-regress (fraction) — promotion replays the replica
 //     in O(live flows), so takeover time must stay bounded.
 //
+// Tenant gate (-tenant-baseline/-tenant-current, the BENCH_tenant.json
+// E17 report): gates the multi-tenant control plane's claims
+// (docs/TENANCY.md) with absolute invariants — scheduling fairness and
+// quota fidelity are correctness properties, not speedups. A run fails
+// when
+//
+//   - min_fair_attained falls below -min-isolation (the headline
+//     claim: under a flooding 10x-weight aggressor, every 1x tenant
+//     must still attain at least that fraction of its
+//     weight-proportional fair share),
+//   - false_rejections is nonzero (a tenant with no resource limits
+//     was quota-rejected in the steady phase),
+//   - breach_rejections is zero (the positive control drew no
+//     rejections, so enforcement was dead while fairness was
+//     measured), or
+//   - registry_tenants is below 100000 (the footprint was not
+//     measured at the claimed population scale).
+//
 // Each gate runs when its -*current flag is given; at least one is
 // required. Output is a benchstat-style old/new/delta table per gate.
 // stdlib only.
@@ -138,6 +157,18 @@ func loadRepl(path string) (*experiments.ReplBenchReport, error) {
 		return nil, err
 	}
 	var rep experiments.ReplBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func loadTenant(path string) (*loadgen.TenantReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.TenantReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -335,6 +366,41 @@ func gateRepl(base, cur *experiments.ReplBenchReport, maxOverhead, maxTakeoverRe
 	return b.String(), failures
 }
 
+// gateTenant renders the tenant old/new/delta table and counts gate
+// failures. Every check is absolute: isolation and quota fidelity are
+// invariants of the scheduler, not machine-speed-dependent ratios.
+func gateTenant(base, cur *loadgen.TenantReport, minIsolation float64) (string, int) {
+	out, failures := table([]row{
+		{"isolation/worst-1x", base.MinFairAttained, cur.MinFairAttained, "x", false},
+		{"registry/tenants", float64(base.RegistryTenants), float64(cur.RegistryTenants), "ten", false},
+		{"registry/bytes", base.RegistryBytesPerTenant, cur.RegistryBytesPerTenant, "B", false},
+		{"flows/total", float64(base.TotalFlows), float64(cur.TotalFlows), "flow", false},
+		{"quota/breach-hits", float64(base.BreachRejections), float64(cur.BreachRejections), "rej", false},
+	}, 0)
+	var b strings.Builder
+	b.WriteString(out)
+	if cur.MinFairAttained < minIsolation {
+		fmt.Fprintf(&b, "\nFAIL: worst 1x tenant attained %.2f of fair share, below the %.2f floor (aggressor starvation)\n",
+			cur.MinFairAttained, minIsolation)
+		failures++
+	}
+	if cur.FalseRejections > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d quota rejections in the steady phase (tenants had no limits — must be 0)\n",
+			cur.FalseRejections)
+		failures++
+	}
+	if cur.BreachRejections == 0 {
+		fmt.Fprintf(&b, "\nFAIL: the positive-control quota breach drew no rejections (enforcement is dead)\n")
+		failures++
+	}
+	if cur.RegistryTenants < 100000 {
+		fmt.Fprintf(&b, "\nFAIL: registry measured at %d tenants, below the 100000 population floor\n",
+			cur.RegistryTenants)
+		failures++
+	}
+	return b.String(), failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed wire baseline report")
 	currentPath := flag.String("current", "", "fresh wire report to judge (enables the wire gate)")
@@ -344,6 +410,8 @@ func main() {
 	shardCurrentPath := flag.String("shard-current", "", "fresh shard report to judge (enables the shard gate)")
 	replBaselinePath := flag.String("repl-baseline", "BENCH_repl.json", "committed replication baseline report")
 	replCurrentPath := flag.String("repl-current", "", "fresh replication report to judge (enables the repl gate)")
+	tenantBaselinePath := flag.String("tenant-baseline", "BENCH_tenant.json", "committed tenant baseline report")
+	tenantCurrentPath := flag.String("tenant-current", "", "fresh tenant report to judge (enables the tenant gate)")
 	maxRegress := flag.Float64("max-regress", 0.20, "max allowed fractional drop of a gated ratio vs baseline")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "absolute floor for speedup_pipelined")
 	minReduction := flag.Float64("min-reduction", 10.0, "absolute floor for the store's restart replay reduction")
@@ -352,9 +420,10 @@ func main() {
 	maxFailoverRegress := flag.Float64("max-failover-regress", 1.0, "max allowed fractional growth of the failover takeover time vs baseline")
 	maxReplOverhead := flag.Float64("max-repl-overhead", 0.15, "absolute bound on the quorum-ack submit overhead fraction")
 	maxTakeoverRegress := flag.Float64("max-takeover-regress", 1.0, "max allowed fractional growth of the replication takeover time vs baseline")
+	minIsolation := flag.Float64("min-isolation", 0.6, "absolute floor for the worst 1x tenant's attained fraction of its fair share under a 10x aggressor")
 	flag.Parse()
-	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" && *replCurrentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current / -repl-current is required")
+	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" && *replCurrentPath == "" && *tenantCurrentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current / -repl-current / -tenant-current is required")
 		os.Exit(2)
 	}
 	failures := 0
@@ -441,6 +510,28 @@ func main() {
 			fmt.Printf("\nrepl: OK (overhead %.1f%% <= %.0f%%, takeover %.0fms, acked %d, lost 0, snapshots %d)\n",
 				cur.QuorumOverheadFrac*100, *maxReplOverhead*100, cur.TakeoverMs,
 				cur.AckedLiveFlows, cur.SnapshotsShipped)
+		}
+		failures += n
+	}
+	if *tenantCurrentPath != "" {
+		base, err := loadTenant(*tenantBaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: tenant baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadTenant(*tenantCurrentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: tenant current: %v\n", err)
+			os.Exit(2)
+		}
+		if *currentPath != "" || *storeCurrentPath != "" || *shardCurrentPath != "" || *replCurrentPath != "" {
+			fmt.Println()
+		}
+		out, n := gateTenant(base, cur, *minIsolation)
+		fmt.Printf("== tenant (%s) ==\n%s", *tenantCurrentPath, out)
+		if n == 0 {
+			fmt.Printf("\ntenant: OK (worst 1x attained %.2f >= %.2f, false rejections 0, breach %d, registry %d)\n",
+				cur.MinFairAttained, *minIsolation, cur.BreachRejections, cur.RegistryTenants)
 		}
 		failures += n
 	}

@@ -140,3 +140,52 @@ func TestStoreGateEnforcesCodecFloor(t *testing.T) {
 		t.Errorf("table does not report the codec floor violation:\n%s", table)
 	}
 }
+
+func tenantReport(minFair float64, falseRej, breach, tenants int) *loadgen.TenantReport {
+	return &loadgen.TenantReport{
+		RegistryTenants:        tenants,
+		RegistryBytesPerTenant: 130,
+		TotalFlows:             800,
+		MinFairAttained:        minFair,
+		FalseRejections:        falseRej,
+		BreachRejections:       breach,
+		Lanes: []loadgen.TenantLane{
+			{Name: "aggressor", Weight: 10, Attained: 1.0},
+			{Name: "fair0", Weight: 1, Attained: minFair},
+		},
+	}
+}
+
+func TestTenantGatePasses(t *testing.T) {
+	table, failures := gateTenant(tenantReport(0.95, 0, 20, 120000), tenantReport(0.92, 0, 18, 120000), 0.6)
+	if failures != 0 {
+		t.Fatalf("clean tenant run failed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "isolation/worst-1x") {
+		t.Errorf("table missing isolation row:\n%s", table)
+	}
+}
+
+func TestTenantGateEnforcesIsolationFloor(t *testing.T) {
+	table, failures := gateTenant(tenantReport(0.95, 0, 20, 120000), tenantReport(0.4, 0, 20, 120000), 0.6)
+	if failures == 0 {
+		t.Fatalf("starved 1x tenant passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "starvation") {
+		t.Errorf("table does not report the starvation:\n%s", table)
+	}
+}
+
+func TestTenantGateCatchesQuotaDefects(t *testing.T) {
+	// A false rejection in the steady phase and a dead positive control
+	// must each fail independently.
+	if table, failures := gateTenant(tenantReport(0.95, 0, 20, 120000), tenantReport(0.95, 3, 20, 120000), 0.6); failures == 0 {
+		t.Fatalf("false rejections passed the gate:\n%s", table)
+	}
+	if table, failures := gateTenant(tenantReport(0.95, 0, 20, 120000), tenantReport(0.95, 0, 0, 120000), 0.6); failures == 0 {
+		t.Fatalf("dead quota enforcement passed the gate:\n%s", table)
+	}
+	if table, failures := gateTenant(tenantReport(0.95, 0, 20, 120000), tenantReport(0.95, 0, 20, 50000), 0.6); failures == 0 {
+		t.Fatalf("under-scale registry passed the gate:\n%s", table)
+	}
+}

@@ -1,0 +1,49 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunTenantIsolation runs the multi-tenant phase at reduced scale
+// and checks the report's gated invariants: the registry footprint is
+// measured, no steady-phase quota rejection fires (the tenants have
+// weights but no limits), the positive-control breach does fire, and
+// the weight-1 lanes are not starved by the 10x aggressor. The
+// threshold here is looser than benchgate's 0.6 — a CI box under -race
+// adds scheduling noise the bench run does not see.
+func TestRunTenantIsolation(t *testing.T) {
+	opts := TenantSmallDefaults()
+	opts.Duration = 600 * time.Millisecond
+	opts.RegistryTenants = 10_000
+	rep, err := RunTenant(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if rep.RegistryBytesPerTenant <= 0 {
+		t.Error("registry footprint not measured")
+	}
+	if rep.FalseRejections != 0 {
+		t.Errorf("steady phase saw %d quota rejections; tenants have no limits", rep.FalseRejections)
+	}
+	if rep.BreachRejections == 0 {
+		t.Error("positive control drew no rejections: quota enforcement is dead")
+	}
+	if len(rep.Lanes) != 1+opts.FairTenants {
+		t.Fatalf("lanes = %d, want %d", len(rep.Lanes), 1+opts.FairTenants)
+	}
+	if rep.TotalFlows == 0 {
+		t.Fatal("no flows completed")
+	}
+	if rep.MinFairAttained < 0.4 {
+		t.Errorf("worst 1x tenant attained %.2f of fair share; aggressor starved it", rep.MinFairAttained)
+	}
+}
+
+// TestRunTenantRejectsBadOptions covers the option validation.
+func TestRunTenantRejectsBadOptions(t *testing.T) {
+	if _, err := RunTenant(TenantOptions{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+}

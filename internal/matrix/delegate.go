@@ -34,6 +34,10 @@ var ErrDelegateLocal = errors.New("matrix: delegator declined, run locally")
 type DelegateRequest struct {
 	// User the subflow runs as.
 	User string
+	// Token is the submitting session's tenant bearer token, forwarded
+	// so the remote peer re-verifies the same identity
+	// (docs/TENANCY.md). Empty on untenanted submissions.
+	Token string
 	// Flow is the self-contained subflow document.
 	Flow dgl.Flow
 	// Hint is a resource name extracted from the subflow for
@@ -176,6 +180,7 @@ func (ex *Execution) maybeDelegate(f *dgl.Flow, n *node, scope *Scope) (handled 
 	bound := bindFlow(f, scope)
 	req := DelegateRequest{
 		User:       ex.req.User.Name,
+		Token:      ex.req.Token,
 		Flow:       *bound,
 		Hint:       resourceHint(bound),
 		ParentExec: ex.ID,
@@ -276,11 +281,16 @@ func (e *Engine) delegateProcedure(c *OpContext, name string, args map[string]st
 	}
 	body.Variables = vars
 	ctx := context.Background()
-	if ex, ok := e.Execution(c.ExecID); ok && ex.delegCtx != nil {
-		ctx = ex.delegCtx
+	token := ""
+	if ex, ok := e.Execution(c.ExecID); ok {
+		if ex.delegCtx != nil {
+			ctx = ex.delegCtx
+		}
+		token = ex.req.Token
 	}
 	resp, derr := d.Delegate(ctx, DelegateRequest{
 		User:       c.User,
+		Token:      token,
 		Flow:       body,
 		Hint:       resourceHint(&body),
 		ParentExec: c.ExecID,

@@ -94,6 +94,9 @@ type Engine struct {
 	// ownCheck, when set (SetOwnershipCheck), vets flow submissions
 	// against shard ownership before an execution is created.
 	ownCheck func(req *dgl.Request) error
+	// governor, when set (SetGovernor), meters per-tenant flow
+	// admission and store footprint (docs/TENANCY.md).
+	governor FlowGovernor
 }
 
 // NewEngine creates an engine over the grid with default configuration.
@@ -209,7 +212,12 @@ func (e *Engine) Submit(req *dgl.Request) (*dgl.Response, error) {
 			return nil, err
 		}
 	}
+	governed, err := e.admitGoverned(req.User.Name)
+	if err != nil {
+		return nil, err
+	}
 	exec := e.newExecution(req, nil)
+	exec.governed.Store(governed)
 	if req.Async {
 		go exec.run()
 		return &dgl.Response{Ack: &dgl.Ack{
@@ -259,7 +267,12 @@ func (e *Engine) Start(user string, flow dgl.Flow) (*Execution, error) {
 	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
 		return nil, err
 	}
+	governed, err := e.admitGoverned(user)
+	if err != nil {
+		return nil, err
+	}
 	exec := e.newExecution(req, nil)
+	exec.governed.Store(governed)
 	go exec.run()
 	return exec, nil
 }
@@ -280,7 +293,12 @@ func (e *Engine) RunContext(ctx context.Context, user string, flow dgl.Flow) (*E
 	if err := dgl.ValidateFlow(req.Flow, e.knownOps()); err != nil {
 		return nil, err
 	}
+	governed, err := e.admitGoverned(user)
+	if err != nil {
+		return nil, err
+	}
 	exec := e.newExecution(req, nil)
+	exec.governed.Store(governed)
 	go exec.run()
 	select {
 	case <-exec.done:
@@ -312,9 +330,14 @@ func (e *Engine) Restart(execID string) (*Execution, error) {
 	}
 	skip := make(map[string]bool)
 	prior.root.collectSucceeded(skip)
+	governed, err := e.admitGoverned(prior.req.User.Name)
+	if err != nil {
+		return nil, err
+	}
 	// Checkpoint ids are recorded relative to the prior execution id;
 	// rewrite them for the new execution in newExecution.
 	next := e.newExecution(prior.req, skip)
+	next.governed.Store(governed)
 	e.Obs().Counter("matrix_flows_restarted_total").Inc()
 	go next.run()
 	return next, nil
@@ -354,7 +377,12 @@ func (e *Engine) RestartFromProvenance(priorExecID string, req *dgl.Request) (*E
 			return nil, fmt.Errorf("%w: no provenance for execution %s", ErrNotFound, priorExecID)
 		}
 	}
+	governed, err := e.admitGoverned(req.User.Name)
+	if err != nil {
+		return nil, err
+	}
 	next := e.newExecution(req, skip)
+	next.governed.Store(governed)
 	e.Obs().Counter("matrix_flows_restarted_total").Inc()
 	go next.run()
 	return next, nil

@@ -173,6 +173,8 @@ func (e *Engine) journalAppend(rec journalRecord) {
 			// A dead store must not stop the engine, but it must not die
 			// silently either: a restart would replay stale state.
 			e.Obs().Counter("store_append_errors_total").Inc()
+		} else {
+			e.chargeRecord(&rec)
 		}
 	}
 }

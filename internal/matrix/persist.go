@@ -57,6 +57,7 @@ func (e *Engine) storeAppend(rec journalRecord) error {
 		e.Obs().Counter("store_append_errors_total").Inc()
 		return err
 	}
+	e.chargeRecord(&rec)
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 // for asynchronous ones.
 func (ex *Execution) run() {
 	defer close(ex.done)
+	defer ex.endGoverned() // release the tenant admission slot
 	defer ex.delegCancel() // release any outstanding delegations
 	o := ex.engine.Obs()
 	o.Counter("matrix_flows_started_total").Inc()

@@ -302,6 +302,10 @@ type Execution struct {
 	// store (Engine.Passivate): the run goroutine unwinds through the
 	// cancellation path but must not record a terminal state.
 	passivated atomic.Bool
+	// governed marks an execution whose admission was charged to the
+	// flow governor (docs/TENANCY.md); the run goroutine's unwind owes
+	// exactly one EndFlow for it.
+	governed atomic.Bool
 	// dirty is set on step progress and cleared by snapshots, so
 	// SnapshotAll skips executions with nothing new to capture.
 	dirty atomic.Bool

@@ -1,0 +1,79 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/obs"
+)
+
+// Config is the JSON document matrixd's -tenant-conf flag loads:
+//
+//	{
+//	  "require": false,
+//	  "defaults": {"weight": 1, "max_flows": 256, "submit_rate": 100},
+//	  "tenants":  {"alice": {"weight": 10}, "batch": {"submit_rate": 5}}
+//	}
+//
+// Every Quota field is optional; zero means unlimited (Quota docs).
+type Config struct {
+	// Require rejects untokened submissions instead of admitting them
+	// under the anonymous tenant.
+	Require bool `json:"require,omitempty"`
+	// Defaults is the quota unregistered tenants fall back to.
+	Defaults Quota `json:"defaults,omitempty"`
+	// Tenants pins per-tenant quota overrides.
+	Tenants map[string]Quota `json:"tenants,omitempty"`
+}
+
+// LoadConfig reads and validates a Config document from path.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	var c Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: tenant config %s: %v", dgferr.ErrInvalid, path, err)
+	}
+	for name, q := range c.Tenants {
+		if name == "" {
+			return nil, fmt.Errorf("%w: tenant config %s: empty tenant name (use %q for the anonymous tenant)", dgferr.ErrInvalid, path, Anon)
+		}
+		if q.Weight < 0 || q.SubmitRate < 0 || q.MaxFlows < 0 ||
+			q.MaxStoreBytes < 0 || q.MaxDelegations < 0 || q.SubmitBurst < 0 {
+			return nil, fmt.Errorf("%w: tenant config %s: negative bound for tenant %q", dgferr.ErrInvalid, path, name)
+		}
+	}
+	return &c, nil
+}
+
+// Build constructs a Registry from the config: defaults applied, every
+// configured tenant registered.
+func (c *Config) Build(reg *obs.Registry) *Registry {
+	r := NewRegistry(c.Defaults, reg)
+	for name, q := range c.Tenants {
+		r.Register(name, q)
+	}
+	return r
+}
+
+// LoadSecret reads an HMAC secret from a key file (matrixd's
+// -tenant-auth flag): the file's contents, trailing whitespace
+// stripped, become the authority key.
+func LoadSecret(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant secret: %w", err)
+	}
+	secret := []byte(strings.TrimRight(string(data), "\r\n\t "))
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("%w: tenant secret %s is empty", dgferr.ErrInvalid, path)
+	}
+	return secret, nil
+}

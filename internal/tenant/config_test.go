@@ -1,0 +1,84 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datagridflow/internal/dgferr"
+	"datagridflow/internal/obs"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadConfigAndBuild(t *testing.T) {
+	p := writeFile(t, "tenants.json", `{
+		"require": true,
+		"defaults": {"weight": 1, "max_flows": 8},
+		"tenants": {
+			"alice": {"weight": 10, "submit_rate": 100},
+			"batch": {"max_store_bytes": 4096}
+		}
+	}`)
+	c, err := LoadConfig(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Require {
+		t.Fatal("require not parsed")
+	}
+	r := c.Build(obs.NewRegistry())
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if w := r.Weight("alice"); w != 10 {
+		t.Fatalf("alice weight = %v", w)
+	}
+	if q := r.Quota("unknown"); q.MaxFlows != 8 {
+		t.Fatalf("defaults not applied: %+v", q)
+	}
+}
+
+func TestLoadConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"tenant": {}}`,
+		"empty name":    `{"tenants": {"": {"weight": 2}}}`,
+		"negative":      `{"tenants": {"a": {"max_flows": -1}}}`,
+	}
+	for name, body := range cases {
+		p := writeFile(t, "bad.json", body)
+		if _, err := LoadConfig(p); !errors.Is(err, dgferr.ErrInvalid) {
+			t.Errorf("%s: got %v, want ErrInvalid", name, err)
+		}
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestLoadSecret(t *testing.T) {
+	p := writeFile(t, "key", "s3cret\n")
+	got, err := LoadSecret(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "s3cret" {
+		t.Fatalf("secret = %q, want trailing newline stripped", got)
+	}
+	empty := writeFile(t, "empty", "\n\n")
+	if _, err := LoadSecret(empty); !errors.Is(err, dgferr.ErrInvalid) {
+		t.Fatalf("empty secret: got %v, want ErrInvalid", err)
+	}
+	if _, err := LoadSecret(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -2,8 +2,10 @@ package wire
 
 import (
 	"encoding/json"
+	"math"
 
 	"datagridflow/internal/codec"
+	"datagridflow/internal/tenant"
 )
 
 // Binary codecs for the wire's JSON envelope types (Control, Batch,
@@ -20,6 +22,10 @@ func appendControl(e *codec.Encoder, c *Control) {
 	e.Sym(1, c.Op)
 	e.Sym(2, c.ID)
 	e.Sym(3, c.Proto)
+	// Token is high-entropy and never repeats within a payload: a plain
+	// string field, not a symbol-table entry.
+	e.Str(4, c.Token)
+	e.Uint(5, uint64(c.Limit))
 }
 
 func decodeControl(payload []byte) (Control, error) {
@@ -36,6 +42,10 @@ func decodeControl(payload []byte) (Control, error) {
 			c.ID = d.Sym()
 		case 3:
 			c.Proto = d.Sym()
+		case 4:
+			c.Token = d.Str()
+		case 5:
+			c.Limit = int(d.Uint())
 		default:
 			d.Skip()
 		}
@@ -109,6 +119,28 @@ func appendControlResult(e *codec.Encoder, r *ControlResult) {
 					e.Uint(2, src.LastSeq)
 					e.Uint(3, uint64(src.Live))
 					e.Bool(4, src.Promoted)
+				})
+			}
+		})
+	}
+	e.Sym(10, r.Tenant)
+	if t := r.Tenants; t != nil {
+		e.Msg(11, func(e *codec.Encoder) {
+			e.Bool(1, t.Enabled)
+			e.Bool(2, t.Auth)
+			e.Bool(3, t.Require)
+			e.Uint(4, uint64(t.Registered))
+			for i := range t.Tenants {
+				row := &t.Tenants[i]
+				e.Msg(5, func(e *codec.Encoder) {
+					e.Sym(1, row.Name)
+					// Weight crosses as its IEEE-754 bits: the codec has no
+					// float wire type and the schema note in docs/CODEC.md
+					// records the convention.
+					e.Uint(2, math.Float64bits(row.Weight))
+					e.Uint(3, uint64(row.Flows))
+					e.Uint(4, uint64(row.StoreBytes))
+					e.Uint(5, uint64(row.Delegations))
 				})
 			}
 		})
@@ -268,6 +300,48 @@ func decodeControlResult(payload []byte) (ControlResult, error) {
 				}
 			})
 			r.Repl = rp
+		case 10:
+			r.Tenant = d.Sym()
+		case 11:
+			t := &TenantsInfo{}
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						t.Enabled = d.Bool()
+					case 2:
+						t.Auth = d.Bool()
+					case 3:
+						t.Require = d.Bool()
+					case 4:
+						t.Registered = int(d.Uint())
+					case 5:
+						var row tenant.Info
+						d.Msg(func(d *codec.Decoder) {
+							for d.Next() {
+								switch d.Field() {
+								case 1:
+									row.Name = d.Sym()
+								case 2:
+									row.Weight = math.Float64frombits(d.Uint())
+								case 3:
+									row.Flows = int(d.Uint())
+								case 4:
+									row.StoreBytes = int64(d.Uint())
+								case 5:
+									row.Delegations = int(d.Uint())
+								default:
+									d.Skip()
+								}
+							}
+						})
+						t.Tenants = append(t.Tenants, row)
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Tenants = t
 		default:
 			d.Skip()
 		}
@@ -278,8 +352,8 @@ func decodeControlResult(payload []byte) (ControlResult, error) {
 // appendBatch encodes a batch envelope whose items are pre-encoded
 // request payloads (binary or XML — each is sniffed independently on
 // the receiving side).
-func appendBatch(e *codec.Encoder, user string, items [][]byte) {
-	appendBatchStart(e, user)
+func appendBatch(e *codec.Encoder, user, token string, items [][]byte) {
+	appendBatchStart(e, user, token)
 	for _, it := range items {
 		appendBatchItem(e, it)
 	}
@@ -288,9 +362,10 @@ func appendBatch(e *codec.Encoder, user string, items [][]byte) {
 // appendBatchStart / appendBatchItem are the streaming form of
 // appendBatch: items are appended as they are encoded, so the caller
 // never collects (and re-copies) the full item set.
-func appendBatchStart(e *codec.Encoder, user string) {
+func appendBatchStart(e *codec.Encoder, user, token string) {
 	e.Begin(codec.MsgBatch)
 	e.Sym(1, user)
+	e.Str(3, token)
 }
 
 func appendBatchItem(e *codec.Encoder, item []byte) {
@@ -303,10 +378,10 @@ func appendBatchItem(e *codec.Encoder, item []byte) {
 // envelope is almost entirely item blobs, and the shared-string copy a
 // regular decoder takes up front would duplicate all of them to back
 // the one user symbol.
-func decodeBatch(payload []byte) (user string, items [][]byte, err error) {
+func decodeBatch(payload []byte) (user, token string, items [][]byte, err error) {
 	d, derr := codec.NewDecoderTransient(payload, codec.MsgBatch)
 	if derr != nil {
-		return "", nil, derr
+		return "", "", nil, derr
 	}
 	for d.Next() {
 		switch d.Field() {
@@ -314,11 +389,13 @@ func decodeBatch(payload []byte) (user string, items [][]byte, err error) {
 			user = d.Sym()
 		case 2:
 			items = append(items, d.Blob())
+		case 3:
+			token = d.Str()
 		default:
 			d.Skip()
 		}
 	}
-	return user, items, d.Err()
+	return user, token, items, d.Err()
 }
 
 // appendBatchResult encodes a batch reply whose responses are
@@ -363,6 +440,7 @@ func appendDelegate(e *codec.Encoder, dl *Delegate) {
 	e.Sym(3, dl.Origin)
 	e.Sym(4, dl.ParentExec)
 	e.Sym(5, dl.ParentNode)
+	e.Str(6, dl.Token)
 }
 
 func decodeDelegate(payload []byte) (Delegate, error) {
@@ -383,6 +461,8 @@ func decodeDelegate(payload []byte) (Delegate, error) {
 			dl.ParentExec = d.Sym()
 		case 5:
 			dl.ParentNode = d.Sym()
+		case 6:
+			dl.Token = d.Str()
 		default:
 			d.Skip()
 		}

@@ -65,6 +65,11 @@ type Client struct {
 	// by sniffing, so the flag only governs what this client sends.
 	binary    bool
 	binaryOff bool
+	// token is the tenant bearer token attached to every submit, batch,
+	// delegate and route frame (SetToken, docs/TENANCY.md). tenant
+	// records the identity the server verified in the hello reply.
+	token  string
+	tenant string
 }
 
 // muxReply is one matched response delivered to a pipelined waiter.
@@ -94,6 +99,33 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 // (SubmitContext) compose with it — whichever limit is tighter wins.
 // Safe to call concurrently with in-flight requests.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
+
+// SetToken attaches a tenant bearer token (tenant.Authority.Mint,
+// docs/TENANCY.md) to every subsequent submit, batch, delegate and
+// route frame, and offers it during Hello so the server can verify the
+// session identity up front. An empty string detaches. Pre-1.7 servers
+// skip the token field and account the caller as anonymous — sending
+// one is always safe.
+func (c *Client) SetToken(tok string) {
+	c.mu.Lock()
+	c.token = tok
+	c.mu.Unlock()
+}
+
+// Token returns the tenant bearer token set with SetToken.
+func (c *Client) Token() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// Tenant returns the identity the server verified during Hello, or ""
+// when no token was offered (or the server predates tenancy).
+func (c *Client) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
+}
 
 // Close closes the connection. Pipelined requests still in flight fail
 // with a cancelled-class error.
@@ -390,6 +422,12 @@ func (c *Client) SubmitContext(ctx context.Context, req *dgl.Request) (*dgl.Resp
 // submitOne is the single-request transport core shared by Submit and
 // the deprecated wrappers.
 func (c *Client) submitOne(ctx context.Context, req *dgl.Request) (*dgl.Response, error) {
+	if tok := c.Token(); tok != "" && req.Token == "" {
+		// Attach the session token without mutating the caller's request.
+		stamped := *req
+		stamped.Token = tok
+		req = &stamped
+	}
 	var data []byte
 	if c.Binary() {
 		enc := codec.GetEncoder()
@@ -463,7 +501,7 @@ func (c *Client) submitBatch(ctx context.Context, user string, reqs []*dgl.Reque
 		// multi-kilobyte variable sets.
 		enc := codec.GetEncoder()
 		defer codec.PutEncoder(enc)
-		appendBatchStart(enc, user)
+		appendBatchStart(enc, user, c.Token())
 		ie := codec.GetEncoder()
 		for _, req := range reqs {
 			ie.Reset()
@@ -473,7 +511,7 @@ func (c *Client) submitBatch(ctx context.Context, user string, reqs []*dgl.Reque
 		codec.PutEncoder(ie)
 		payload = enc.Bytes()
 	} else {
-		b := Batch{User: user, Requests: make([]string, len(reqs))}
+		b := Batch{User: user, Token: c.Token(), Requests: make([]string, len(reqs))}
 		for i, req := range reqs {
 			data, err := dgl.Marshal(req)
 			if err != nil {
@@ -642,13 +680,16 @@ func (c *Client) controlMsg(ctx context.Context, msg Control) (ControlResult, er
 // Hello is the negotiation point, and not calling it leaves the
 // session serial regardless of server version.
 func (c *Client) Hello() (serverProto string, err error) {
-	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
+	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor), Token: c.Token()}
 	if c.Muxed() {
 		// Already negotiated: a repeat hello is an ordinary control verb.
 		res, err := c.controlMsg(context.Background(), msg)
 		if err != nil {
 			return "", err
 		}
+		c.mu.Lock()
+		c.tenant = res.Tenant
+		c.mu.Unlock()
 		return res.Proto, nil
 	}
 	c.writeMu.Lock()
@@ -659,6 +700,9 @@ func (c *Client) Hello() (serverProto string, err error) {
 		if err != nil {
 			return "", err
 		}
+		c.mu.Lock()
+		c.tenant = res.Tenant
+		c.mu.Unlock()
 		return res.Proto, nil
 	}
 	proto, err := c.helloLocked()
@@ -671,7 +715,7 @@ func (c *Client) Hello() (serverProto string, err error) {
 // Redial (which must refresh negotiated state on the new connection
 // before releasing the session to callers).
 func (c *Client) helloLocked() (serverProto string, err error) {
-	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor)}
+	msg := Control{Op: "hello", Proto: ProtoVersion(ProtoMajor, ProtoMinor), Token: c.Token()}
 	data, err := json.Marshal(msg)
 	if err != nil {
 		return "", err
@@ -697,6 +741,7 @@ func (c *Client) helloLocked() (serverProto string, err error) {
 			// (docs/CODEC.md). The hello exchange itself always rides
 			// JSON — it is what discovers whether binary is safe.
 			c.binary = !c.binaryOff && BinarySupported(major, minor)
+			c.tenant = res.Tenant
 			c.helloed = true
 			c.mu.Unlock()
 			if MuxSupported(major, minor) {
@@ -895,6 +940,32 @@ func (c *Client) Repl() (*ReplInfo, error) {
 		return nil, errors.New("wire: empty repl reply")
 	}
 	return res.Repl, nil
+}
+
+// CanTenant reports whether the server advertised tenancy-aware wire
+// support (>= 1.7) in its hello reply: the "tenants" control verb and
+// token verification on submit, batch, delegate and route frames.
+// Against an older server tokens are skipped and the caller is
+// accounted as anonymous (docs/TENANCY.md).
+func (c *Client) CanTenant() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TenantSupported(c.serverMajor, c.serverMinor)
+}
+
+// Tenants retrieves the server's tenancy posture — whether tenancy and
+// token auth are enabled, the registered-tenant count, and up to limit
+// per-tenant usage rows ordered by activity (0 applies the server
+// default). Requires a 1.7 server.
+func (c *Client) Tenants(limit int) (*TenantsInfo, error) {
+	res, err := c.controlMsg(context.Background(), Control{Op: "tenants", Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if res.Tenants == nil {
+		return nil, errors.New("wire: empty tenants reply")
+	}
+	return res.Tenants, nil
 }
 
 // Owner asks the server which peer owns a flow or execution id,

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"datagridflow/internal/replica"
+	"datagridflow/internal/tenant"
 )
 
 // Frame kinds.
@@ -118,7 +119,7 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 6
+	ProtoMinor = 7
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
 	// delegateMinor is the minimum minor version that accepts
@@ -144,6 +145,14 @@ const (
 	// interoperate — the flows just lose a standby until the peer
 	// upgrades.
 	replMinor = 6
+	// tenantMinor is the minimum minor version that understands tenant
+	// bearer tokens (docs/TENANCY.md): a token offered during hello and
+	// carried on submit/batch/delegate/route payloads, plus the
+	// "tenants" control verb. Tokens are additive — a pre-1.7 peer
+	// never sees one (senders gate on the hello reply) and a 1.7 server
+	// admits untokened traffic under the anonymous tenant unless the
+	// operator requires auth, so mixed 1.6/1.7 federations interoperate.
+	tenantMinor = 7
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
@@ -179,6 +188,13 @@ func RouteSupported(major, minor int) bool {
 // construction.
 func ReplicateSupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= replMinor
+}
+
+// TenantSupported reports whether a peer advertising major.minor
+// understands tenant tokens and the "tenants" verb (same major, minor
+// >= 1.7).
+func TenantSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= tenantMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a
@@ -246,6 +262,14 @@ type Control struct {
 	ID string `json:"id,omitempty"`
 	// Proto is the client's protocol version ("1.1") for "hello".
 	Proto string `json:"proto,omitempty"`
+	// Token is the tenant bearer token (docs/TENANCY.md). On "hello" it
+	// is the credential exchange: a 1.7 server verifies it and echoes
+	// the tenant identity, failing the handshake on a forged or expired
+	// token. Other verbs may carry it for per-request auth. Ignored by
+	// pre-1.7 servers (additive field).
+	Token string `json:"token,omitempty"`
+	// Limit bounds the "tenants" verb's reply rows (0 = server default).
+	Limit int `json:"limit,omitempty"`
 }
 
 // ControlResult is the JSON reply to a control frame.
@@ -270,6 +294,11 @@ type ControlResult struct {
 	// Repl carries the replication summary for the "repl" verb
 	// (docs/REPLICATION.md).
 	Repl *ReplInfo `json:"repl,omitempty"`
+	// Tenant is the authenticated tenant identity, echoed by "hello"
+	// when the client's token verified (docs/TENANCY.md).
+	Tenant string `json:"tenant,omitempty"`
+	// Tenants carries the tenancy summary for the "tenants" verb.
+	Tenants *TenantsInfo `json:"tenants,omitempty"`
 }
 
 // StoreInfo is the reply to the "store" control verb: the shape of the
@@ -321,6 +350,9 @@ type ExecutionInfo struct {
 // carries its own gridUser, which the engine enforces per item.
 type Batch struct {
 	User string `json:"user"`
+	// Token authenticates the submitting tenant (wire >= 1.7); absent
+	// means anonymous, rejected only when the server requires auth.
+	Token string `json:"token,omitempty"`
 	// Requests are XML dataGridRequest documents, one per item.
 	Requests []string `json:"requests"`
 }
@@ -346,6 +378,11 @@ type Delegate struct {
 	// User is the identity the delegated flow runs as (and the
 	// admission account it is charged to).
 	User string `json:"user"`
+	// Token is the originating tenant's bearer token, forwarded so the
+	// federated hop preserves the authenticated identity (wire >= 1.7,
+	// docs/TENANCY.md). The receiving peer re-verifies it against its
+	// own authority (shared secret).
+	Token string `json:"token,omitempty"`
 	// Request is a complete XML dataGridRequest document carrying the
 	// subflow, with the delegating peer's parent-scope variable values
 	// already bound into the flow's variable block (late binding
@@ -386,6 +423,10 @@ type Route struct {
 	// User is the submitting identity the receiver's admission
 	// scheduler charges the request to.
 	User string `json:"user"`
+	// Token is the submitting tenant's bearer token, forwarded so the
+	// shard-owner hop preserves the authenticated identity (wire >=
+	// 1.7, docs/TENANCY.md).
+	Token string `json:"token,omitempty"`
 	// Request is the complete XML dataGridRequest document. Route
 	// envelopes always ride JSON/XML — they are peer control traffic,
 	// off the client hot path the binary codec serves.
@@ -446,6 +487,22 @@ type (
 	Replicate       = replica.Frame
 	ReplicateResult = replica.Ack
 )
+
+// TenantsInfo is the reply to the "tenants" control verb: the server's
+// tenancy posture and its most active tenants (docs/TENANCY.md).
+type TenantsInfo struct {
+	// Enabled reports whether a tenant registry is attached at all.
+	Enabled bool `json:"enabled"`
+	// Auth reports whether a token authority is attached (tokens are
+	// verified); Require that untokened submissions are rejected.
+	Auth    bool `json:"auth,omitempty"`
+	Require bool `json:"require,omitempty"`
+	// Registered counts explicitly registered tenants.
+	Registered int `json:"registered"`
+	// Tenants lists the most active tenants (by flows in flight, then
+	// store bytes), bounded by the request's Limit.
+	Tenants []tenant.Info `json:"tenants,omitempty"`
+}
 
 // ReplInfo is the reply to the "repl" control verb: this peer's
 // replication posture — the followers it streams to and the sources it

@@ -28,6 +28,7 @@ type submitCfg struct {
 	async   bool
 	route   RouteMode
 	user    string
+	token   string
 	batch   []*dgl.Request
 	isBatch bool
 }
@@ -64,8 +65,22 @@ func WithBatch(reqs ...*dgl.Request) SubmitOption {
 	}
 }
 
-// WithUser names the identity the server's admission scheduler
-// accounts a batch to (defaults to the first request's gridUser).
+// WithToken attaches a tenant bearer token (tenant.Authority.Mint,
+// docs/TENANCY.md) to every request of the call. On a tenancy-enabled
+// 1.7 server the verified token identity — not the claimed gridUser —
+// is what admission scheduling, quotas and provenance account the work
+// to; it overrides any session-level Client.SetToken for this call.
+// Pre-1.7 servers skip the token and account the caller as anonymous.
+func WithToken(tok string) SubmitOption {
+	return func(c *submitCfg) { c.token = tok }
+}
+
+// WithUser names the claimed identity the server accounts a batch to
+// (defaults to the first request's gridUser). On tenancy-enabled
+// servers the claim must match the token's tenant — WithUser is the
+// unauthenticated thin sibling of WithToken, kept for untenanted
+// deployments and source compatibility (docs/WIRE.md, "Migrating from
+// WithUser to WithToken").
 func WithUser(name string) SubmitOption {
 	return func(c *submitCfg) { c.user = name }
 }
@@ -116,6 +131,9 @@ func (c *Client) Submit(ctx context.Context, req *dgl.Request, opts ...SubmitOpt
 		}
 		if cfg.route != "" {
 			pr.Route = string(cfg.route)
+		}
+		if cfg.token != "" {
+			pr.Token = cfg.token
 		}
 		prepared[i] = &pr
 	}

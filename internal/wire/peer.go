@@ -17,6 +17,7 @@ import (
 	"datagridflow/internal/replica"
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/shard"
+	"datagridflow/internal/tenant"
 )
 
 // lookupMsg is the JSON protocol of the lookup server: newline-delimited
@@ -40,6 +41,10 @@ type lookupMsg struct {
 	// the full live shard→holder map, the gossip unit ring routing is
 	// built from.
 	Owners map[int]string `json:"owners,omitempty"`
+	// Token rides mutating requests against a token-gated registry
+	// (LookupServer.SetAuth, docs/TENANCY.md): a tenant bearer token
+	// authorizing registration, heartbeat and lease operations.
+	Token string `json:"token,omitempty"`
 }
 
 // PeerInfo is one live peer as the lookup registry knows it — the
@@ -85,6 +90,9 @@ type LookupServer struct {
 	// until SetShards). Leases share the registry's liveness window: a
 	// heartbeat renews them, eviction and unregister release them.
 	leases *shard.LeaseTable
+	// auth, when set (SetAuth), gates every mutating operation behind a
+	// verified tenant bearer token (docs/TENANCY.md).
+	auth *tenant.Authority
 }
 
 // NewLookupServer returns an empty registry emitting metrics into
@@ -108,6 +116,33 @@ func (s *LookupServer) SetTTL(d time.Duration) {
 	s.mu.Lock()
 	s.ttl = d
 	s.mu.Unlock()
+}
+
+// SetAuth token-gates the registry (docs/TENANCY.md): every mutating
+// operation — register, heartbeat, unregister, claim, release — must
+// carry a bearer token that verifies against the shared secret
+// (lookup_auth_failures_total counts refusals). Read operations
+// (resolve, list) stay open: the peer directory is not a secret, the
+// right to appear in it is. Call before Listen; nil removes the gate.
+func (s *LookupServer) SetAuth(a *tenant.Authority) {
+	s.mu.Lock()
+	s.auth = a
+	s.mu.Unlock()
+}
+
+// authorize verifies the token of one mutating lookup operation.
+func (s *LookupServer) authorize(msg *lookupMsg) error {
+	s.mu.Lock()
+	a := s.auth
+	s.mu.Unlock()
+	if a == nil {
+		return nil
+	}
+	if _, err := a.Verify(msg.Token); err != nil {
+		s.obs.Counter("lookup_auth_failures_total").Inc()
+		return err
+	}
+	return nil
 }
 
 // setNow overrides the registry clock, for eviction tests.
@@ -235,6 +270,15 @@ func (s *LookupServer) serve(conn net.Conn) {
 			s.obs.Counter("lookup_requests_total", "op", msg.Op).Inc()
 		default:
 			s.obs.Counter("lookup_requests_total", "op", "unknown").Inc()
+		}
+		switch msg.Op {
+		case "register", "heartbeat", "unregister", "claim", "release":
+			if err := s.authorize(&msg); err != nil {
+				if werr := enc.Encode(lookupMsg{Error: "lookup: " + err.Error()}); werr != nil {
+					return
+				}
+				continue
+			}
 		}
 		switch msg.Op {
 		case "register":
@@ -374,10 +418,20 @@ func (s *LookupServer) Close() {
 
 // LookupClient talks to a lookup server.
 type LookupClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	mu    sync.Mutex
+	conn  net.Conn
+	dec   *json.Decoder
+	enc   *json.Encoder
+	token string
+}
+
+// SetToken attaches a tenant bearer token to every subsequent call —
+// required by registries token-gated with LookupServer.SetAuth,
+// skipped (harmlessly) by open ones.
+func (c *LookupClient) SetToken(tok string) {
+	c.mu.Lock()
+	c.token = tok
+	c.mu.Unlock()
 }
 
 // DialLookup connects to a lookup server.
@@ -392,6 +446,9 @@ func DialLookup(addr string) (*LookupClient, error) {
 func (c *LookupClient) call(msg lookupMsg) (lookupMsg, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if msg.Token == "" {
+		msg.Token = c.token
+	}
 	if err := c.enc.Encode(msg); err != nil {
 		return lookupMsg{}, err
 	}
@@ -489,6 +546,10 @@ type Peer struct {
 	replSender   *replica.Sender
 	replReceiver *replica.Receiver
 	replCfg      ReplicationConfig
+	// lookupToken, when set (SetLookupToken, before Start), rides every
+	// lookup registration and heartbeat — required against a registry
+	// token-gated with LookupServer.SetAuth (docs/TENANCY.md).
+	lookupToken string
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -507,6 +568,12 @@ func NewPeerConfig(name string, engine *matrix.Engine, cfg ServerConfig) *Peer {
 	return &Peer{Name: name, server: NewServerConfig(engine, cfg), clients: make(map[string]*Client)}
 }
 
+// SetLookupToken attaches a tenant bearer token to this peer's lookup
+// registration, heartbeats and shard-lease operations. Required when
+// the registry is token-gated (LookupServer.SetAuth); harmless
+// otherwise. Call before Start.
+func (p *Peer) SetLookupToken(tok string) { p.lookupToken = tok }
+
 // Start listens on addr and registers with the lookup server at
 // lookupAddr. It returns the peer's bound address.
 func (p *Peer) Start(addr, lookupAddr string) (string, error) {
@@ -523,6 +590,7 @@ func (p *Peer) Start(addr, lookupAddr string) (string, error) {
 		p.server.Close()
 		return "", err
 	}
+	lc.SetToken(p.lookupToken)
 	p.lookup = lc
 	if err := lc.Register(p.Name, bound); err != nil {
 		p.server.Close()

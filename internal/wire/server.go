@@ -17,6 +17,7 @@ import (
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/store"
+	"datagridflow/internal/tenant"
 )
 
 // Frame header overheads counted by the byte metrics.
@@ -114,6 +115,13 @@ type Server struct {
 	// replResolver, when set (by a replicating Peer, before Listen),
 	// services the "repl" control verb.
 	replResolver func() *ReplInfo
+	// Tenancy plane (docs/TENANCY.md), attached before Listen via
+	// SetTenancy: auth verifies bearer tokens, tenants holds quotas and
+	// scheduling weights, requireAuth rejects untokened submissions.
+	// All nil/false means tenancy off — behaviour identical to pre-1.7.
+	auth        *tenant.Authority
+	tenants     *tenant.Registry
+	requireAuth bool
 
 	mu          sync.Mutex
 	listener    net.Listener
@@ -153,6 +161,60 @@ func NewServerConfig(engine *matrix.Engine, cfg ServerConfig) *Server {
 
 // Engine returns the wrapped engine.
 func (s *Server) Engine() *matrix.Engine { return s.engine }
+
+// SetTenancy attaches the tenancy plane (docs/TENANCY.md) — call before
+// Listen. auth, when non-nil, verifies bearer tokens on hello and every
+// submit/batch/delegate/route payload; reg, when non-nil, supplies
+// per-tenant quotas and the admission scheduler's weights and is also
+// installed as the engine's flow governor (flows-in-flight and
+// store-byte enforcement); require rejects untokened submissions
+// instead of admitting them under the anonymous tenant.
+func (s *Server) SetTenancy(auth *tenant.Authority, reg *tenant.Registry, require bool) {
+	s.auth, s.tenants, s.requireAuth = auth, reg, require
+	if reg != nil {
+		s.adm.SetWeightFn(reg.Weight)
+		s.engine.SetGovernor(reg)
+	}
+}
+
+// tenancyOn reports whether any part of the tenancy plane is attached.
+func (s *Server) tenancyOn() bool { return s.auth != nil || s.tenants != nil }
+
+// TenantRegistry returns the quota registry attached with SetTenancy,
+// or nil on an untenanted server. The federation layer consults it for
+// delegation-slot quotas at the offer point.
+func (s *Server) TenantRegistry() *tenant.Registry { return s.tenants }
+
+// resolveTenant derives the accounting identity of a request from its
+// bearer token and claimed user name. With an authority attached, a
+// present token must verify (forged or expired tokens are always
+// rejected, tenant_auth_failures_total) and must agree with a non-empty
+// claimed user; an absent token falls back to the claimed identity —
+// anonymous-but-admitted, unless the server requires auth. Without an
+// authority, tokens are ignored and the claimed identity stands. The
+// empty identity canonicalizes to the reserved anonymous tenant.
+func (s *Server) resolveTenant(token, user string) (string, error) {
+	if s.auth == nil {
+		return tenant.Canonical(user), nil
+	}
+	if token == "" {
+		if s.requireAuth {
+			s.engine.Obs().Counter("tenant_auth_failures_total").Inc()
+			return "", fmt.Errorf("%w: server requires a tenant token", dgferr.ErrAuth)
+		}
+		return tenant.Canonical(user), nil
+	}
+	id, err := s.auth.Verify(token)
+	if err != nil {
+		s.engine.Obs().Counter("tenant_auth_failures_total").Inc()
+		return "", err
+	}
+	if user != "" && user != id {
+		s.engine.Obs().Counter("tenant_auth_failures_total").Inc()
+		return "", fmt.Errorf("%w: token tenant %q does not match user %q", dgferr.ErrAuth, id, user)
+	}
+	return id, nil
+}
 
 // Admission returns the server's admission scheduler.
 func (s *Server) Admission() *scheduler.Admission { return s.adm }
@@ -506,7 +568,22 @@ func (s *Server) serveDGL(ctx context.Context, payload []byte) *dgl.Response {
 	if err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
-	if err := s.admit(ctx, req.User.Name); err != nil {
+	id := req.User.Name
+	if s.tenancyOn() {
+		id, err = s.resolveTenant(req.Token, req.User.Name)
+		if err != nil {
+			return &dgl.Response{Error: dgferr.Encode(err)}
+		}
+		// The verified identity is the accounting identity everywhere
+		// downstream: engine, store charges, provenance.
+		req.User.Name = id
+		if s.tenants != nil && req.Flow != nil {
+			if err := s.tenants.AllowSubmit(id); err != nil {
+				return &dgl.Response{Error: dgferr.Encode(err)}
+			}
+		}
+	}
+	if err := s.admit(ctx, id); err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
 	defer s.release()
@@ -556,7 +633,16 @@ func (s *Server) serveRoute(ctx context.Context, payload []byte) RouteResult {
 		return RouteResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: server is not sharded", dgferr.ErrInvalid))}
 	}
-	if err := s.admit(ctx, rt.User); err != nil {
+	id := rt.User
+	if s.tenancyOn() {
+		var terr error
+		id, terr = s.resolveTenant(rt.Token, rt.User)
+		if terr != nil {
+			return RouteResult{Error: dgferr.Encode(terr)}
+		}
+		rt.User = id
+	}
+	if err := s.admit(ctx, id); err != nil {
 		return RouteResult{Error: dgferr.Encode(err)}
 	}
 	defer s.release()
@@ -612,11 +698,11 @@ func (s *Server) serveBatch(ctx context.Context, payload []byte) ([]byte, *codec
 		data, jerr := json.Marshal(BatchResult{Error: dgferr.Encode(ferr)})
 		return data, nil, jerr
 	}
-	var user string
+	var user, token string
 	var items [][]byte
 	if bin {
 		var derr error
-		user, items, derr = decodeBatch(payload)
+		user, token, items, derr = decodeBatch(payload)
 		if derr != nil {
 			return fail(fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, derr))
 		}
@@ -626,12 +712,21 @@ func (s *Server) serveBatch(ctx context.Context, payload []byte) ([]byte, *codec
 			return fail(fmt.Errorf("%w: bad batch frame: %v", dgferr.ErrInvalid, err))
 		}
 		user = b.User
+		token = b.Token
 		items = make([][]byte, len(b.Requests))
 		for i, r := range b.Requests {
 			items[i] = []byte(r)
 		}
 	}
-	if err := s.admit(ctx, user); err != nil {
+	id := user
+	if s.tenancyOn() {
+		var terr error
+		id, terr = s.resolveTenant(token, user)
+		if terr != nil {
+			return fail(terr)
+		}
+	}
+	if err := s.admit(ctx, id); err != nil {
 		return fail(err)
 	}
 	defer s.release()
@@ -642,21 +737,29 @@ func (s *Server) serveBatch(ctx context.Context, payload []byte) ([]byte, *codec
 		if err != nil {
 			resp = &dgl.Response{Error: dgferr.Encode(err)}
 		} else {
+			if s.tenancyOn() {
+				// Items run under the envelope's verified identity: an
+				// authenticated batch cannot smuggle items for another
+				// tenant, and each flow item is rate-charged on its own.
+				if s.auth != nil && req.User.Name != "" && req.User.Name != id {
+					resp = &dgl.Response{Error: dgferr.Encode(fmt.Errorf(
+						"%w: batch item user %q does not match tenant %q",
+						dgferr.ErrAuth, req.User.Name, id))}
+					out[i] = encodeBatchItem(doc, resp, i)
+					continue
+				}
+				req.User.Name = id
+				if s.tenants != nil && req.Flow != nil {
+					if err := s.tenants.AllowSubmit(id); err != nil {
+						resp = &dgl.Response{Error: dgferr.Encode(err)}
+						out[i] = encodeBatchItem(doc, resp, i)
+						continue
+					}
+				}
+			}
 			resp = s.dispatchDGL(req)
 		}
-		if codec.IsBinary(doc) {
-			ie := codec.GetEncoder()
-			codec.AppendResponse(ie, resp)
-			out[i] = append([]byte(nil), ie.Bytes()...)
-			codec.PutEncoder(ie)
-			continue
-		}
-		data, err := dgl.Marshal(resp)
-		if err != nil {
-			data, _ = dgl.Marshal(&dgl.Response{Error: dgferr.Encode(
-				fmt.Errorf("%w: encoding batch item %d: %v", dgferr.ErrInvalid, i, err))})
-		}
-		out[i] = data
+		out[i] = encodeBatchItem(doc, resp, i)
 	}
 	if bin {
 		enc := codec.GetEncoder()
@@ -669,6 +772,24 @@ func (s *Server) serveBatch(ctx context.Context, payload []byte) ([]byte, *codec
 	}
 	data, err := json.Marshal(BatchResult{OK: true, Responses: strs})
 	return data, nil, err
+}
+
+// encodeBatchItem renders one batch item's response in the item's own
+// encoding (binary items get binary replies, XML items XML).
+func encodeBatchItem(doc []byte, resp *dgl.Response, i int) []byte {
+	if codec.IsBinary(doc) {
+		ie := codec.GetEncoder()
+		codec.AppendResponse(ie, resp)
+		data := append([]byte(nil), ie.Bytes()...)
+		codec.PutEncoder(ie)
+		return data
+	}
+	data, err := dgl.Marshal(resp)
+	if err != nil {
+		data, _ = dgl.Marshal(&dgl.Response{Error: dgferr.Encode(
+			fmt.Errorf("%w: encoding batch item %d: %v", dgferr.ErrInvalid, i, err))})
+	}
+	return data
 }
 
 // serveDelegate services a KindDelegate frame: run the embedded subflow
@@ -716,6 +837,20 @@ func (s *Server) serveDelegate(ctx context.Context, payload []byte) DelegateResu
 	user := d.User
 	if user == "" {
 		user = req.User.Name
+	}
+	if s.tenancyOn() {
+		// A federated hop preserves identity: the origin forwarded the
+		// submitting tenant's token and this peer re-verifies it against
+		// its own authority (shared secret). An absent token downgrades
+		// the delegation to the claimed (anonymous-but-admitted)
+		// identity unless this server requires auth.
+		id, terr := s.resolveTenant(d.Token, user)
+		if terr != nil {
+			outcome("auth-rejected")
+			return DelegateResult{Error: dgferr.Encode(terr)}
+		}
+		user = id
+		req.User.Name = id
 	}
 	if err := s.admit(ctx, user); err != nil {
 		outcome("rejected")
@@ -800,7 +935,19 @@ func (s *Server) serveHello(c Control) (ControlResult, bool) {
 			dgferr.ErrProtocol, c.Proto, s.proto()))}, false
 	}
 	upgrade := !s.cfg.SerialOnly && s.minor() >= muxMinor && MuxSupported(major, minor)
-	return ControlResult{OK: true, Proto: s.proto()}, upgrade
+	res := ControlResult{OK: true, Proto: s.proto()}
+	if c.Token != "" && s.auth != nil && s.minor() >= tenantMinor {
+		// Wire 1.7 credential exchange: a bad token fails the handshake
+		// immediately — the client learns its credential is dead before
+		// submitting anything.
+		id, err := s.auth.Verify(c.Token)
+		if err != nil {
+			s.engine.Obs().Counter("tenant_auth_failures_total").Inc()
+			return ControlResult{Error: dgferr.Encode(err)}, false
+		}
+		res.Tenant = id
+	}
+	return res, upgrade
 }
 
 // serveControlOp services the non-hello control verbs.
@@ -817,6 +964,28 @@ func (s *Server) serveControlOp(c Control) ControlResult {
 			return ControlResult{Error: dgferr.Encode(err)}
 		}
 		return ControlResult{OK: true, ID: c.ID, Owner: info}
+	}
+	if c.Op == "tenants" {
+		// Like "owner": resolved before the execution lookup so a
+		// tenancy probe cannot resurrect anything as a side effect.
+		if s.minor() < tenantMinor {
+			return ControlResult{Error: dgferr.Encode(fmt.Errorf(
+				"%w: tenants verb needs protocol >= %s, server advertises %s",
+				dgferr.ErrProtocol, ProtoVersion(ProtoMajor, tenantMinor), s.proto()))}
+		}
+		info := &TenantsInfo{}
+		if s.tenants != nil {
+			limit := c.Limit
+			if limit <= 0 {
+				limit = 20
+			}
+			info.Enabled = true
+			info.Auth = s.auth != nil
+			info.Require = s.requireAuth
+			info.Registered = s.tenants.Len()
+			info.Tenants = s.tenants.Snapshot(limit)
+		}
+		return ControlResult{OK: true, Tenants: info}
 	}
 	if c.Op == "repl" {
 		// Like "owner": resolved before the execution lookup so a status

@@ -103,7 +103,9 @@ func (p *Peer) routeSubmit(req *dgl.Request) *dgl.Response {
 	if err != nil {
 		return &dgl.Response{Error: dgferr.Encode(err)}
 	}
-	rt := Route{User: req.User.Name, Request: string(data), Shard: sh, Origin: p.Name}
+	// The token rides the route envelope so the owning peer re-verifies
+	// the same identity the accepting peer did (docs/TENANCY.md).
+	rt := Route{User: req.User.Name, Token: req.Token, Request: string(data), Shard: sh, Origin: p.Name}
 	for attempt := 0; attempt < routeRetries; attempt++ {
 		client, cerr := p.clientFor(holder)
 		if cerr != nil {
