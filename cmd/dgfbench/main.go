@@ -1,4 +1,4 @@
-// Command dgfbench regenerates the reproduction's experiments (E1–E17):
+// Command dgfbench regenerates the reproduction's experiments (E1–E18):
 // the paper's four figures as executable artifacts plus the quantified
 // claims and scenarios. Output is the set of tables recorded in
 // EXPERIMENTS.md.
@@ -14,6 +14,7 @@
 //	dgfbench -shard -o BENCH_shard.json  # sharded-ownership experiment
 //	dgfbench -repl -o BENCH_repl.json    # replicated-store experiment
 //	dgfbench -tenant -o BENCH_tenant.json  # multi-tenant experiment
+//	dgfbench -vdata -o BENCH_vdata.json    # virtual-data experiment
 //
 // With -load the experiments are skipped and the wire load harness
 // (internal/loadgen) runs instead: serial vs pipelined vs batch
@@ -43,6 +44,12 @@
 // weighted-fair isolation of 1x tenants against a 10x aggressor, and
 // quota-enforcement fidelity (docs/TENANCY.md).
 //
+// With -vdata the virtual-data experiment (E18) runs alone and its
+// machine-readable report is written as the BENCH_vdata.json artifact
+// the vdata CI job gates on: warm-pass elision against a durable
+// derivation catalog, restart replay, and cross-peer reuse over wire
+// 1.8 (docs/VDATA.md).
+//
 // After the experiment tables, dgfbench emits the process-wide engine
 // metrics snapshot (docs/METRICS.md) as JSON, so BENCH_*.json entries
 // can carry engine-level counters (flows run, steps executed, bytes
@@ -63,17 +70,18 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E17) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1..E18) or 'all'")
 	small := flag.Bool("small", false, "run at small (CI) scale instead of full scale")
 	metrics := flag.Bool("metrics", true, "emit the engine metrics snapshot (JSON) after the experiment tables")
-	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E17")
+	load := flag.Bool("load", false, "run the wire-protocol load experiment instead of E1..E18")
 	storeBench := flag.Bool("store", false, "run the flow-state store experiment (E14) and write its JSON report")
 	shardBench := flag.Bool("shard", false, "run the sharded-ownership experiment (E15) and write its JSON report")
 	replBench := flag.Bool("repl", false, "run the replicated-store experiment (E16) and write its JSON report")
 	tenantBench := flag.Bool("tenant", false, "run the multi-tenant experiment (E17) and write its JSON report")
+	vdataBench := flag.Bool("vdata", false, "run the virtual-data experiment (E18) and write its JSON report")
 	fedPeers := flag.Int("fed-peers", 0, "with -load: add a federated phase over this many peers (0 skips; docs/FEDERATION.md)")
 	shardPeers := flag.Int("shard-peers", 0, "with -load: add a sharded any-peer phase over this many peers (0 skips; docs/FEDERATION.md)")
-	out := flag.String("o", "", "with -load/-store/-shard/-repl/-tenant: write the report JSON to this file (default stdout only)")
+	out := flag.String("o", "", "with -load/-store/-shard/-repl/-tenant/-vdata: write the report JSON to this file (default stdout only)")
 	flag.Parse()
 
 	if *load {
@@ -94,6 +102,10 @@ func main() {
 	}
 	if *tenantBench {
 		runTenant(*small, *out)
+		return
+	}
+	if *vdataBench {
+		runVdata(*small, *out)
 		return
 	}
 
@@ -251,4 +263,22 @@ func runTenant(small bool, out string) {
 	fmt.Print(rep.String())
 	fmt.Printf("(tenant bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
 	writeReport("tenant", rep, out)
+}
+
+// runVdata executes the virtual-data benchmark (E18) and writes the
+// BENCH_vdata.json report.
+func runVdata(small bool, out string) {
+	scale := experiments.Full
+	if small {
+		scale = experiments.Small
+	}
+	t0 := time.Now()
+	rep, err := experiments.E18VdataBench(scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgfbench: vdata: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("(vdata bench completed in %v)\n", time.Since(t0).Round(time.Millisecond))
+	writeReport("vdata", rep, out)
 }

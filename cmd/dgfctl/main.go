@@ -12,6 +12,7 @@
 //	dgfctl -addr host:7401 metrics
 //	dgfctl -addr host:7401 store                  # flow-state store shape
 //	dgfctl -addr host:7401 compact                # compact the store
+//	dgfctl -addr host:7401 vdata [stats]          # derivation catalog
 //	dgfctl -lookup host:7400 peers                # federation roster
 //	dgfctl help submit                            # per-verb detail
 //
@@ -37,6 +38,7 @@ import (
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
 	"datagridflow/internal/tenant"
+	"datagridflow/internal/vdata"
 	"datagridflow/internal/wire"
 )
 
@@ -168,6 +170,19 @@ tenancy and token auth are enabled, how many tenants are registered,
 and the most active tenants — weight, flows in flight, store bytes and
 delegation slots per row. The optional limit bounds the rows returned
 (server default 20).`,
+	},
+	{
+		name:     "vdata",
+		synopsis: "vdata [stats|lookup <key>|invalidate <key-or-output>]",
+		summary:  "inspect or prune the virtual-data derivation catalog",
+		detail: `Talks to a virtual-data-aware server (wire 1.8, docs/VDATA.md).
+"stats" (the default) prints the catalog's shape: entry and tenant
+counts, publish and invalidation totals, and whether it is durable.
+"lookup" fetches one memoized derivation by its canonical key —
+tenant-scoped, so the -user (or -token identity) must own the entry.
+"invalidate" drops the derivation for a key or for every entry that
+produced the given output path, forcing the next run to recompute;
+it prints how many entries were removed.`,
 	},
 	{
 		name:     "mint",
@@ -529,6 +544,37 @@ func main() {
 			log.Fatalf("dgfctl: %v", err)
 		}
 		printTenants(info)
+	case "vdata":
+		sub := "stats"
+		if len(args) > 1 {
+			sub = args[1]
+		}
+		switch {
+		case sub == "stats" && len(args) <= 2:
+			info, err := client.VdataStats()
+			if err != nil {
+				log.Fatalf("dgfctl: %v", err)
+			}
+			printVdataStats(info)
+		case sub == "lookup" && len(args) == 3:
+			ent, ok, err := client.VdataLookup(*user, args[2])
+			if err != nil {
+				log.Fatalf("dgfctl: %v", err)
+			}
+			if !ok {
+				fmt.Println("(no derivation for that key)")
+				return
+			}
+			printVdataEntry(ent)
+		case sub == "invalidate" && len(args) == 3:
+			removed, err := client.VdataInvalidate(*user, args[2])
+			if err != nil {
+				log.Fatalf("dgfctl: %v", err)
+			}
+			fmt.Printf("invalidated: %d entry(ies) removed\n", removed)
+		default:
+			verbUsage("vdata")
+		}
 	case "store":
 		info, err := client.StoreStats()
 		if err != nil {
@@ -594,6 +640,56 @@ func printTenants(info *wire.TenantsInfo) {
 	for _, t := range info.Tenants {
 		fmt.Printf("%-24s %8.2f %8d %12d %8d\n",
 			t.Name, t.Weight, t.Flows, t.StoreBytes, t.Delegations)
+	}
+}
+
+// printVdataStats renders the catalog shape the "vdata stats"
+// sub-operation returns.
+func printVdataStats(info *wire.VdataInfo) {
+	if !info.Enabled {
+		fmt.Println("vdata: disabled (no derivation catalog attached)")
+		return
+	}
+	durable := "memory-only"
+	if info.Durable {
+		durable = "durable"
+	}
+	fmt.Printf("vdata: enabled (%s)\n", durable)
+	fmt.Printf("entries:       %d\n", info.Entries)
+	fmt.Printf("tenants:       %d\n", info.Tenants)
+	fmt.Printf("publishes:     %d\n", info.Publishes)
+	fmt.Printf("invalidations: %d\n", info.Invalidations)
+}
+
+// printVdataEntry renders one memoized derivation from "vdata lookup".
+func printVdataEntry(ent *vdata.Entry) {
+	fmt.Printf("key:     %s\n", ent.Key)
+	fmt.Printf("tenant:  %s\n", ent.Tenant)
+	fmt.Printf("op:      %s\n", ent.Op)
+	if len(ent.Inputs) > 0 {
+		fmt.Printf("inputs:  %s\n", strings.Join(ent.Inputs, ", "))
+	}
+	if len(ent.Params) > 0 {
+		keys := make([]string, 0, len(ent.Params))
+		for k := range ent.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("param:   %s=%s\n", k, ent.Params[k])
+		}
+	}
+	if len(ent.Outputs) > 0 {
+		fmt.Printf("outputs: %s\n", strings.Join(ent.Outputs, ", "))
+	}
+	if ent.Result != "" {
+		fmt.Printf("result:  %s\n", ent.Result)
+	}
+	if ent.Peer != "" {
+		fmt.Printf("peer:    %s\n", ent.Peer)
+	}
+	if ent.Unix > 0 {
+		fmt.Printf("derived: %s\n", time.Unix(ent.Unix, 0).UTC().Format(time.RFC3339))
 	}
 }
 

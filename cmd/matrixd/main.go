@@ -26,6 +26,8 @@
 //	matrixd -tenant-conf tenants.json            # per-tenant quotas and weights
 //	matrixd -tenant-require                      # reject untokened submissions
 //	matrixd -lookup-token token.txt              # authenticate with a gated lookupd
+//	matrixd -vdata                               # memoize pure steps (wire 1.8)
+//	matrixd -vdata-dir /var/lib/matrix-vdata     # durable derivation catalog
 //
 // With -metrics-addr the server exposes the observability surface
 // documented in docs/METRICS.md: /metrics (JSON snapshot), /trace
@@ -58,6 +60,7 @@ import (
 	"datagridflow/internal/store"
 	"datagridflow/internal/tenant"
 	"datagridflow/internal/trigger"
+	"datagridflow/internal/vdata"
 	"datagridflow/internal/vfs"
 	"datagridflow/internal/wire"
 )
@@ -67,7 +70,7 @@ func main() {
 	name := flag.String("name", "", "peer name (required with -lookup)")
 	peerName := flag.String("peer-name", "", "alias for -name")
 	lookup := flag.String("lookup", "", "lookup server address to register with")
-	placement := flag.String("placement", "least-loaded", "federation placement policy: least-loaded, round-robin or locality (docs/FEDERATION.md)")
+	placement := flag.String("placement", "least-loaded", "federation placement policy: least-loaded, round-robin, locality or vdata-locality (docs/FEDERATION.md, docs/VDATA.md)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "federation heartbeat interval (lookup lease renewal and load gossip)")
 	shards := flag.Int("shards", 0, "shard count for consistent-hash flow ownership (0 disables; requires -lookup and a lookupd started with the same -shards)")
 	infraPath := flag.String("infra", "", "infrastructure description XML (default: demo topology)")
@@ -92,6 +95,9 @@ func main() {
 	tenantConf := flag.String("tenant-conf", "", "tenant quota/weight configuration JSON (docs/TENANCY.md)")
 	tenantRequire := flag.Bool("tenant-require", false, "reject submissions without a valid tenant token (requires -tenant-auth)")
 	lookupToken := flag.String("lookup-token", "", "file holding a tenant token presented to a token-gated lookup registry")
+	vdataOn := flag.Bool("vdata", false, "enable a memory-only virtual-data derivation catalog: pure steps are memoized and elided on re-run (wire 1.8; docs/VDATA.md)")
+	vdataDir := flag.String("vdata-dir", "", "durable virtual-data catalog directory; derivations survive restart (implies -vdata)")
+	vdataToken := flag.String("vdata-token", "", "file holding a tenant token offered on cross-peer derivation lookups (tenant-require fleets; docs/VDATA.md)")
 	flag.Parse()
 	if *codecName != "json" && *codecName != "binary" {
 		log.Fatalf("matrixd: -codec must be json or binary, got %q", *codecName)
@@ -242,6 +248,21 @@ func main() {
 		log.Printf("matrixd: -snapshot-every/-passivate-idle have no effect without -store-dir")
 	}
 
+	var vcat *vdata.Catalog
+	if *vdataDir != "" || *vdataOn {
+		var err error
+		vcat, err = vdata.Open(*vdataDir, grid.Obs())
+		if err != nil {
+			log.Fatalf("matrixd: vdata: %v", err)
+		}
+		defer vcat.Close()
+		if *vdataDir != "" {
+			log.Printf("matrixd: virtual-data catalog %s (%d derivation(s) replayed)", *vdataDir, vcat.Len())
+		} else {
+			log.Printf("matrixd: virtual-data catalog enabled (memory-only)")
+		}
+	}
+
 	if *metricsAddr != "" {
 		msrv, maddr, err := obs.Serve(*metricsAddr, grid.Obs())
 		if err != nil {
@@ -322,6 +343,19 @@ func main() {
 			}
 			peer.SetLookupToken(string(tok))
 		}
+		if vcat != nil {
+			peer.EnableVdata(vcat)
+			if *vdataToken != "" {
+				tok, err := tenant.LoadSecret(*vdataToken)
+				if err != nil {
+					log.Fatalf("matrixd: %v", err)
+				}
+				peer.SetVdataToken(string(tok))
+			}
+			log.Printf("matrixd: vdata fleet reuse enabled (announcing derivation keys to %s)", *lookup)
+		} else if *vdataToken != "" {
+			log.Printf("matrixd: -vdata-token has no effect without -vdata/-vdata-dir")
+		}
 		if *shards > 0 {
 			mgr := shard.NewManager(shard.Config{
 				Self:   *name,
@@ -380,6 +414,14 @@ func main() {
 		srv := wire.NewServerConfig(engine, srvCfg)
 		if tAuth != nil || tReg != nil {
 			srv.SetTenancy(tAuth, tReg, tRequire)
+		}
+		if vcat != nil {
+			// No fleet without -lookup: the catalog still memoizes local
+			// pure steps and answers the wire vdata verb.
+			engine.SetVdata(vcat)
+			if *vdataToken != "" {
+				log.Printf("matrixd: -vdata-token has no effect without -lookup")
+			}
 		}
 		if injector != nil {
 			target := *name

@@ -66,15 +66,17 @@ const (
 
 // Step field numbers.
 const (
-	stepName       = 1 // sym
-	stepOnError    = 2 // sym
-	stepRetries    = 3 // zigzag varint
-	stepBackoff    = 4 // sym
-	stepMaxBackoff = 5 // sym
-	stepTimeout    = 6 // sym
-	stepVar        = 7 // repeated msg {1: name sym, 2: value bytes}
-	stepRule       = 8 // repeated msg (rule)
-	stepOp         = 9 // msg (operation)
+	stepName       = 1  // sym
+	stepOnError    = 2  // sym
+	stepRetries    = 3  // zigzag varint
+	stepBackoff    = 4  // sym
+	stepMaxBackoff = 5  // sym
+	stepTimeout    = 6  // sym
+	stepVar        = 7  // repeated msg {1: name sym, 2: value bytes}
+	stepRule       = 8  // repeated msg (rule)
+	stepOp         = 9  // msg (operation)
+	stepPure       = 10 // varint bool
+	stepOutputs    = 11 // sym
 )
 
 // Operation field numbers.
@@ -224,6 +226,10 @@ func stepFields(e *Encoder, st *dgl.Step) {
 		e.Msg(stepRule, func(e *Encoder) { ruleFields(e, r) })
 	}
 	e.Msg(stepOp, func(e *Encoder) { opFields(e, &st.Operation) })
+	if st.Pure {
+		e.Bool(stepPure, st.Pure)
+	}
+	e.Sym(stepOutputs, st.Outputs)
 }
 
 func opFields(e *Encoder, op *dgl.Operation) {
@@ -469,6 +475,10 @@ func decodeStep(d *Decoder, st *dgl.Step) {
 			st.Rules = append(st.Rules, r)
 		case stepOp:
 			d.Msg(func(d *Decoder) { decodeOp(d, &st.Operation) })
+		case stepPure:
+			st.Pure = d.Bool()
+		case stepOutputs:
+			st.Outputs = d.Sym()
 		default:
 			d.Skip()
 		}

@@ -1,5 +1,7 @@
 package dgl
 
+import "strings"
+
 // builder.go implements the programmatic API the paper requires
 // ("Programmatic API to define these datagrid ILM ... programmatic
 // interface for interaction by other systems"). It is a fluent layer over
@@ -109,6 +111,16 @@ func (b *FlowBuilder) OnExit(op Operation) *FlowBuilder {
 // Step appends a step child executing op with the default fault policy.
 func (b *FlowBuilder) Step(name string, op Operation) *FlowBuilder {
 	b.flow.Steps = append(b.flow.Steps, Step{Name: name, Operation: op})
+	return b
+}
+
+// PureStep appends a pure (memoizable) step deriving the declared
+// outputs: an engine with a virtual-data catalog (docs/VDATA.md) skips
+// re-derivation when the catalog already holds the step's result.
+func (b *FlowBuilder) PureStep(name string, op Operation, outputs ...string) *FlowBuilder {
+	b.flow.Steps = append(b.flow.Steps, Step{
+		Name: name, Operation: op, Pure: true, Outputs: strings.Join(outputs, ","),
+	})
 	return b
 }
 

@@ -213,6 +213,16 @@ type Step struct {
 	// Timeout bounds one attempt's virtual-clock duration; an attempt
 	// that exceeds it fails with the timeout class (retryable).
 	Timeout string `xml:"timeout,attr,omitempty"`
+	// Pure marks the step a pure derivation: its operation is a
+	// deterministic function of its inputs and parameter bindings, so
+	// an engine with a virtual-data catalog (docs/VDATA.md) may skip
+	// execution when the derivation is already recorded and graft the
+	// memoized result. A pure step must declare Outputs.
+	Pure bool `xml:"pure,attr,omitempty"`
+	// Outputs declares the comma-separated logical paths a pure step
+	// derives; the catalog indexes them so deleting an output
+	// invalidates the memoized derivation.
+	Outputs string `xml:"outputs,attr,omitempty"`
 	// Variables declared in the step's scope.
 	Variables []Variable `xml:"variables>variable,omitempty"`
 	// Rules fire around the step like a flow's (beforeEntry/afterExit).

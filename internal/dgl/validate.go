@@ -2,6 +2,7 @@ package dgl
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"datagridflow/internal/dgferr"
@@ -175,6 +176,14 @@ func validateStep(s *Step, path string, extraOps map[string]bool) error {
 			return invalidf("step %s: negative %s", path, a.name)
 		}
 	}
+	if s.Pure && len(s.OutputList()) == 0 {
+		return invalidf("step %s: pure step declares no outputs", path)
+	}
+	for _, out := range s.OutputList() {
+		if out == "" {
+			return invalidf("step %s: empty path in outputs", path)
+		}
+	}
 	if err := validateVariables(s.Variables, path); err != nil {
 		return err
 	}
@@ -182,6 +191,21 @@ func validateStep(s *Step, path string, extraOps map[string]bool) error {
 		return err
 	}
 	return validateOperation(&s.Operation, path, extraOps)
+}
+
+// OutputList parses the step's comma-separated outputs attribute into
+// trimmed logical paths. Interior empty items are preserved so
+// validation can reject them ("a,,b" is a typo, not two outputs).
+func (s *Step) OutputList() []string {
+	if strings.TrimSpace(s.Outputs) == "" {
+		return nil
+	}
+	parts := strings.Split(s.Outputs, ",")
+	outs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		outs = append(outs, strings.TrimSpace(p))
+	}
+	return outs
 }
 
 // RetryTiming is a Step's parsed retry-timing attributes.

@@ -1,0 +1,100 @@
+package dgl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestValidatePureRequiresOutputs(t *testing.T) {
+	f := NewFlow("p").StepWith(Step{
+		Name: "derive", Pure: true,
+		Operation: Operation{Type: "noop"},
+	}).Flow()
+	if err := ValidateFlow(&f, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("pure step without outputs validated: %v", err)
+	}
+
+	ok := NewFlow("p").PureStep("derive", Operation{Type: "noop"}, "/out/a").Flow()
+	if err := ValidateFlow(&ok, nil); err != nil {
+		t.Fatalf("pure step with outputs rejected: %v", err)
+	}
+
+	// Outputs on an impure step are legal (declarative only).
+	impure := NewFlow("p").StepWith(Step{
+		Name: "s", Outputs: "/out/a",
+		Operation: Operation{Type: "noop"},
+	}).Flow()
+	if err := ValidateFlow(&impure, nil); err != nil {
+		t.Fatalf("impure step with outputs rejected: %v", err)
+	}
+}
+
+func TestValidateOutputsRejectsEmptyPaths(t *testing.T) {
+	for _, outs := range []string{"/out/a,,/out/b", ",/out/a", "/out/a,"} {
+		f := NewFlow("p").StepWith(Step{
+			Name: "s", Pure: true, Outputs: outs,
+			Operation: Operation{Type: "noop"},
+		}).Flow()
+		if err := ValidateFlow(&f, nil); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("outputs %q validated: %v", outs, err)
+		}
+	}
+	// Pure with only whitespace in outputs is still "no outputs".
+	f := NewFlow("p").StepWith(Step{
+		Name: "s", Pure: true, Outputs: "   ",
+		Operation: Operation{Type: "noop"},
+	}).Flow()
+	if err := ValidateFlow(&f, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("whitespace outputs validated: %v", err)
+	}
+}
+
+func TestOutputListParsing(t *testing.T) {
+	s := Step{Outputs: " /out/a , /out/b "}
+	if got := s.OutputList(); !reflect.DeepEqual(got, []string{"/out/a", "/out/b"}) {
+		t.Fatalf("OutputList = %q", got)
+	}
+	var empty Step
+	if got := empty.OutputList(); got != nil {
+		t.Fatalf("empty outputs parsed to %q", got)
+	}
+}
+
+// A pure step built programmatically must survive the XML round trip
+// with its attributes intact.
+func TestPureStepRoundTrip(t *testing.T) {
+	flow := NewFlow("dag").
+		PureStep("fft", Operation{Type: "exec", Params: []Param{{Name: "command", Value: "fft /in"}}},
+			"/out/spectrum", "/out/phase").
+		Step("publish", Operation{Type: "exec", Params: []Param{{Name: "command", Value: "publish"}}}).
+		Flow()
+	req := NewRequest("physicist", "vo", flow)
+	data, err := Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := back.Flow.Steps[0]
+	if !st.Pure || st.Outputs != "/out/spectrum,/out/phase" {
+		t.Fatalf("round trip lost pure attrs: %+v", st)
+	}
+	if back.Flow.Steps[1].Pure {
+		t.Fatal("impure step came back pure")
+	}
+	// Parsed documents must be stable under a second round trip.
+	data2, err := Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ParseRequest(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, back2) {
+		t.Fatal("round trip changed the document")
+	}
+}

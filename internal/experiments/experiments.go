@@ -109,6 +109,7 @@ func All() []struct {
 		{"E15", E15Shard},
 		{"E16", E16Replica},
 		{"E17", E17Tenant},
+		{"E18", E18Vdata},
 	}
 }
 

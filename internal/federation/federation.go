@@ -308,7 +308,13 @@ func (f *Federation) place(ctx context.Context, req matrix.DelegateRequest) (*ma
 			return nil, fmt.Errorf("%w: delegation cancelled: %v", dgferr.ErrCancelled, err)
 		}
 		cands := f.candidates(tried)
-		pick, ok := f.cfg.Policy.Pick(f.peer.Name, req.Hint, cands)
+		hint := req.Hint
+		if f.cfg.Policy.Name() == scheduler.VdataLocalityName && req.VdataHint != "" {
+			// vdata-locality routes on a holder peer name, not a resource
+			// name (docs/VDATA.md).
+			hint = req.VdataHint
+		}
+		pick, ok := f.cfg.Policy.Pick(f.peer.Name, hint, cands)
 		if !ok {
 			break // slate exhausted: settle locally
 		}

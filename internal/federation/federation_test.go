@@ -17,6 +17,7 @@ import (
 	"datagridflow/internal/obs"
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/scheduler"
+	"datagridflow/internal/vdata"
 	"datagridflow/internal/wire"
 )
 
@@ -454,5 +455,79 @@ func TestFederationNoGoroutineLeak(t *testing.T) {
 				baseline, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// newVdataTestPeer is newTestPeer with a memory-only derivation catalog
+// attached (wire.Peer.EnableVdata), for the vdata-locality tests.
+func newVdataTestPeer(t *testing.T, name, lookupAddr string, fcfg Config) *testPeer {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g := dgms.New(dgms.Options{Obs: reg})
+	e := matrix.NewEngineConfig(g, matrix.Config{IDPrefix: name + ":", MaxParallel: 16})
+	cat, err := vdata.Open("", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wire.NewPeerConfig(name, e, wire.ServerConfig{MaxInflight: 4})
+	p.EnableVdata(cat)
+	if _, err := p.Start("127.0.0.1:0", lookupAddr); err != nil {
+		t.Fatal(err)
+	}
+	fed := New(p, fcfg)
+	fed.Start()
+	t.Cleanup(func() { fed.Close(); p.Close() })
+	return &testPeer{name: name, reg: reg, grid: g, eng: e, peer: p, fed: fed}
+}
+
+// pureSubParent wraps one pure exec subflow in a parallel parent — the
+// delegable unit for the vdata-locality routing test.
+func pureSubParent() dgl.Flow {
+	sub := dgl.NewFlow("derive").
+		PureStep("fft", dgl.Op(dgl.OpExec, map[string]string{
+			"command": "fft raw", "cpuSeconds": "5", "resultVar": "spectrum",
+		}), "/grid/derived/spectrum.dat")
+	return dgl.NewFlow("parent").Parallel().SubFlow(sub).Flow()
+}
+
+// TestFederationVdataLocalityRoutesToHolder: peerB holds the memoized
+// derivation; peerA's vdata-locality placement routes the pure subflow
+// to it, where it hits peerB's catalog instead of recomputing.
+func TestFederationVdataLocalityRoutesToHolder(t *testing.T) {
+	lookup := startLookup(t)
+	a := newVdataTestPeer(t, "vdA", lookup,
+		Config{Policy: scheduler.VdataLocality{}, HeartbeatInterval: time.Minute})
+	b := newVdataTestPeer(t, "vdB", lookup,
+		Config{Policy: scheduler.VdataLocality{}, HeartbeatInterval: time.Minute})
+	syncBeats(a, b)
+
+	// peerB computes (and announces) the derivation.
+	sub := dgl.NewFlow("derive").
+		PureStep("fft", dgl.Op(dgl.OpExec, map[string]string{
+			"command": "fft raw", "cpuSeconds": "5", "resultVar": "spectrum",
+		}), "/grid/derived/spectrum.dat").Flow()
+	ex, err := b.eng.Run("user", sub)
+	if err != nil || ex.Err() != nil {
+		t.Fatalf("peerB cold run: %v / %v", err, ex.Err())
+	}
+
+	// peerA's parent delegates the same pure subflow: the placement hint
+	// resolves vdB as holder through the registry and routes it there.
+	ex, err = a.eng.Start("user", pureSubParent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := delegations(a, "vdB"); got != 1 {
+		t.Fatalf("delegations to holder = %d, want 1", got)
+	}
+	// The subflow hit on the holder — no recomputation anywhere.
+	if got := b.reg.Counter("vdata_hits_total").Value(); got != 1 {
+		t.Errorf("holder vdata_hits_total = %d, want 1", got)
+	}
+	if got := a.reg.Counter("vdata_hits_total").Value(); got != 0 {
+		t.Errorf("delegator vdata_hits_total = %d, want 0", got)
 	}
 }

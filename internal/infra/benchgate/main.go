@@ -7,6 +7,7 @@
 //	go run ./internal/infra/benchgate -shard-baseline BENCH_shard.json -shard-current shard.json
 //	go run ./internal/infra/benchgate -repl-baseline BENCH_repl.json -repl-current repl.json
 //	go run ./internal/infra/benchgate -tenant-baseline BENCH_tenant.json -tenant-current tenant.json
+//	go run ./internal/infra/benchgate -vdata-baseline BENCH_vdata.json -vdata-current vdata.json
 //	go run ./internal/infra/benchgate -baseline BENCH_wire.json -current out.json \
 //	    -store-baseline BENCH_store.json -store-current store.json \
 //	    -shard-baseline BENCH_shard.json -shard-current shard.json \
@@ -99,6 +100,25 @@
 //   - registry_tenants is below 100000 (the footprint was not
 //     measured at the claimed population scale).
 //
+// Vdata gate (-vdata-baseline/-vdata-current, the BENCH_vdata.json
+// E18 report): gates the virtual-data catalog's claims
+// (docs/VDATA.md). A run fails when
+//
+//   - hit_rate falls below -min-vdata-hitrate (the warm pass must
+//     find its derivations memoized),
+//   - warm_speedup falls below -min-vdata-speedup (elision must
+//     actually pay),
+//   - replayed_entries differs from entries (derivations must survive
+//     a catalog close + reopen),
+//   - remote_hits is below the flow count (cross-peer reuse must
+//     account for every derivation, counted in
+//     vdata_remote_hits_total),
+//   - remote_speedup falls below -min-vdata-remote-speedup (fetching
+//     a memoized result across the fleet must beat recomputing it),
+//     or
+//   - a gated speedup ratio drops more than -max-regress below the
+//     baseline.
+//
 // Each gate runs when its -*current flag is given; at least one is
 // required. Output is a benchstat-style old/new/delta table per gate.
 // stdlib only.
@@ -157,6 +177,18 @@ func loadRepl(path string) (*experiments.ReplBenchReport, error) {
 		return nil, err
 	}
 	var rep experiments.ReplBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func loadVdata(path string) (*loadgen.VdataReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadgen.VdataReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -401,6 +433,49 @@ func gateTenant(base, cur *loadgen.TenantReport, minIsolation float64) (string, 
 	return b.String(), failures
 }
 
+// gateVdata renders the vdata old/new/delta table and counts gate
+// failures (docs/VDATA.md). The hit rate, durability and remote-hit
+// accounting are absolute invariants; the two speedups get low
+// absolute floors (elision and fleet reuse must actually pay) plus the
+// shared ratio-regression check against the baseline.
+func gateVdata(base, cur *loadgen.VdataReport, maxRegress, minHitRate, minWarmSpeedup, minRemoteSpeedup float64) (string, int) {
+	out, failures := table([]row{
+		{"elision/hit-rate", base.HitRate, cur.HitRate, "x", false},
+		{"elision/warm-speedup", base.WarmSpeedup, cur.WarmSpeedup, "x", true},
+		{"cross-peer/speedup", base.RemoteSpeedup, cur.RemoteSpeedup, "x", true},
+		{"cross-peer/hits", float64(base.RemoteHits), float64(cur.RemoteHits), "hit", false},
+		{"catalog/entries", float64(base.Entries), float64(cur.Entries), "ent", false},
+	}, maxRegress)
+	var b strings.Builder
+	b.WriteString(out)
+	if cur.HitRate < minHitRate {
+		fmt.Fprintf(&b, "\nFAIL: warm-pass hit rate %.2f below the %.2f floor (memoization missed)\n",
+			cur.HitRate, minHitRate)
+		failures++
+	}
+	if cur.WarmSpeedup < minWarmSpeedup {
+		fmt.Fprintf(&b, "\nFAIL: warm speedup %.2fx below the %.1fx floor (elision did not pay)\n",
+			cur.WarmSpeedup, minWarmSpeedup)
+		failures++
+	}
+	if cur.ReplayedEntries != cur.Entries {
+		fmt.Fprintf(&b, "\nFAIL: %d of %d entries replayed after reopen (derivations must survive restart)\n",
+			cur.ReplayedEntries, cur.Entries)
+		failures++
+	}
+	if cur.RemoteHits < cur.Flows {
+		fmt.Fprintf(&b, "\nFAIL: %d remote hits for %d flows (fleet reuse incomplete)\n",
+			cur.RemoteHits, cur.Flows)
+		failures++
+	}
+	if cur.RemoteSpeedup < minRemoteSpeedup {
+		fmt.Fprintf(&b, "\nFAIL: cross-peer reuse %.2fx below the %.1fx floor (fetching lost to recomputing)\n",
+			cur.RemoteSpeedup, minRemoteSpeedup)
+		failures++
+	}
+	return b.String(), failures
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_wire.json", "committed wire baseline report")
 	currentPath := flag.String("current", "", "fresh wire report to judge (enables the wire gate)")
@@ -421,9 +496,14 @@ func main() {
 	maxReplOverhead := flag.Float64("max-repl-overhead", 0.15, "absolute bound on the quorum-ack submit overhead fraction")
 	maxTakeoverRegress := flag.Float64("max-takeover-regress", 1.0, "max allowed fractional growth of the replication takeover time vs baseline")
 	minIsolation := flag.Float64("min-isolation", 0.6, "absolute floor for the worst 1x tenant's attained fraction of its fair share under a 10x aggressor")
+	vdataBaselinePath := flag.String("vdata-baseline", "BENCH_vdata.json", "committed vdata baseline report")
+	vdataCurrentPath := flag.String("vdata-current", "", "fresh vdata report to judge (enables the vdata gate)")
+	minVdataHitRate := flag.Float64("min-vdata-hitrate", 0.9, "absolute floor for the warm-pass derivation hit rate")
+	minVdataSpeedup := flag.Float64("min-vdata-speedup", 2.0, "absolute floor for the warm-pass elision speedup")
+	minVdataRemote := flag.Float64("min-vdata-remote-speedup", 1.2, "absolute floor for the cross-peer reuse speedup over cold execution")
 	flag.Parse()
-	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" && *replCurrentPath == "" && *tenantCurrentPath == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current / -repl-current / -tenant-current is required")
+	if *currentPath == "" && *storeCurrentPath == "" && *shardCurrentPath == "" && *replCurrentPath == "" && *tenantCurrentPath == "" && *vdataCurrentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one of -current / -store-current / -shard-current / -repl-current / -tenant-current / -vdata-current is required")
 		os.Exit(2)
 	}
 	failures := 0
@@ -532,6 +612,29 @@ func main() {
 		if n == 0 {
 			fmt.Printf("\ntenant: OK (worst 1x attained %.2f >= %.2f, false rejections 0, breach %d, registry %d)\n",
 				cur.MinFairAttained, *minIsolation, cur.BreachRejections, cur.RegistryTenants)
+		}
+		failures += n
+	}
+	if *vdataCurrentPath != "" {
+		base, err := loadVdata(*vdataBaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: vdata baseline: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadVdata(*vdataCurrentPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: vdata current: %v\n", err)
+			os.Exit(2)
+		}
+		if *currentPath != "" || *storeCurrentPath != "" || *shardCurrentPath != "" || *replCurrentPath != "" || *tenantCurrentPath != "" {
+			fmt.Println()
+		}
+		out, n := gateVdata(base, cur, *maxRegress, *minVdataHitRate, *minVdataSpeedup, *minVdataRemote)
+		fmt.Printf("== vdata (%s) ==\n%s", *vdataCurrentPath, out)
+		if n == 0 {
+			fmt.Printf("\nvdata: OK (hit rate %.2f >= %.2f, warm %.1fx, replayed %d/%d, remote %.1fx with %d hits)\n",
+				cur.HitRate, *minVdataHitRate, cur.WarmSpeedup,
+				cur.ReplayedEntries, cur.Entries, cur.RemoteSpeedup, cur.RemoteHits)
 		}
 		failures += n
 	}

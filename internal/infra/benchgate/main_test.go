@@ -189,3 +189,55 @@ func TestTenantGateCatchesQuotaDefects(t *testing.T) {
 		t.Fatalf("under-scale registry passed the gate:\n%s", table)
 	}
 }
+
+func vdataReport(hitRate, warm, remote float64, entries, replayed, hits int) *loadgen.VdataReport {
+	return &loadgen.VdataReport{
+		Flows: entries, StepLatency: "20ms",
+		ColdMs: 640, WarmMs: 640 / warm, HitRate: hitRate, WarmSpeedup: warm,
+		Entries: entries, ReplayedEntries: replayed,
+		RemoteColdMs: 640, RemoteMs: 640 / remote, RemoteHits: hits, RemoteSpeedup: remote,
+	}
+}
+
+func TestVdataGatePasses(t *testing.T) {
+	table, failures := gateVdata(vdataReport(1, 400, 150, 32, 32, 32),
+		vdataReport(0.97, 380, 140, 32, 32, 32), 0.20, 0.9, 2.0, 1.2)
+	if failures != 0 {
+		t.Fatalf("clean vdata run failed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "elision/warm-speedup") {
+		t.Errorf("table missing warm-speedup row:\n%s", table)
+	}
+}
+
+func TestVdataGateEnforcesFloors(t *testing.T) {
+	base := vdataReport(1, 400, 150, 32, 32, 32)
+	// Each claim must fail independently: missed hits, unpaid elision,
+	// lost durability, incomplete fleet reuse, reuse slower than cold.
+	if table, failures := gateVdata(base, vdataReport(0.5, 400, 150, 32, 32, 32), 0.20, 0.9, 2.0, 1.2); failures == 0 {
+		t.Fatalf("sub-floor hit rate passed the gate:\n%s", table)
+	}
+	if table, failures := gateVdata(base, vdataReport(1, 1.5, 150, 32, 32, 32), 0.20, 0.9, 2.0, 1.2); failures == 0 {
+		t.Fatalf("sub-floor warm speedup passed the gate:\n%s", table)
+	}
+	if table, failures := gateVdata(base, vdataReport(1, 400, 150, 32, 20, 32), 0.20, 0.9, 2.0, 1.2); failures == 0 {
+		t.Fatalf("lost replay entries passed the gate:\n%s", table)
+	}
+	if table, failures := gateVdata(base, vdataReport(1, 400, 150, 32, 32, 5), 0.20, 0.9, 2.0, 1.2); failures == 0 {
+		t.Fatalf("incomplete remote reuse passed the gate:\n%s", table)
+	}
+	if table, failures := gateVdata(base, vdataReport(1, 400, 0.8, 32, 32, 32), 0.20, 0.9, 2.0, 1.2); failures == 0 {
+		t.Fatalf("reuse slower than cold passed the gate:\n%s", table)
+	}
+}
+
+func TestVdataGateCatchesRatioRegression(t *testing.T) {
+	table, failures := gateVdata(vdataReport(1, 400, 150, 32, 32, 32),
+		vdataReport(1, 100, 150, 32, 32, 32), 0.20, 0.9, 2.0, 1.2)
+	if failures == 0 {
+		t.Fatalf("75%% warm-speedup drop passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "REGRESSION") {
+		t.Errorf("table does not flag the regression:\n%s", table)
+	}
+}

@@ -1,0 +1,39 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunVdataSmoke runs a tiny vdata phase end to end and checks the
+// claims the benchgate vdata rule will gate.
+func TestRunVdataSmoke(t *testing.T) {
+	rep, err := RunVdata(VdataOptions{Flows: 4, StepLatency: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HitRate < 1 {
+		t.Errorf("hit rate = %.2f, want 1.00 on the warm pass", rep.HitRate)
+	}
+	if rep.WarmSpeedup <= 1 {
+		t.Errorf("warm speedup = %.2f, want > 1", rep.WarmSpeedup)
+	}
+	if rep.ReplayedEntries != rep.Entries || rep.Entries != 4 {
+		t.Errorf("durability: entries=%d replayed=%d, want 4/4", rep.Entries, rep.ReplayedEntries)
+	}
+	if rep.RemoteHits != 4 {
+		t.Errorf("remote hits = %d, want 4", rep.RemoteHits)
+	}
+	if rep.RemoteSpeedup <= 1 {
+		t.Errorf("remote speedup = %.2f, want > 1", rep.RemoteSpeedup)
+	}
+	if rep.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunVdataRejectsBadOptions(t *testing.T) {
+	if _, err := RunVdata(VdataOptions{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}

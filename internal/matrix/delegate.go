@@ -43,6 +43,10 @@ type DelegateRequest struct {
 	// Hint is a resource name extracted from the subflow for
 	// locality-aware placement; empty when none was found.
 	Hint string
+	// VdataHint is the peer already holding a memoized derivation for
+	// one of the subflow's pure steps (docs/VDATA.md); empty when none
+	// is known. The vdata-locality policy routes on it.
+	VdataHint string
 	// ParentExec and ParentNode locate the delegating node, for
 	// provenance joining.
 	ParentExec, ParentNode string
@@ -183,6 +187,7 @@ func (ex *Execution) maybeDelegate(f *dgl.Flow, n *node, scope *Scope) (handled 
 		Token:      ex.req.Token,
 		Flow:       *bound,
 		Hint:       resourceHint(bound),
+		VdataHint:  ex.vdataPeerHint(bound, scope),
 		ParentExec: ex.ID,
 		ParentNode: n.id,
 	}

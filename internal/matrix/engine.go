@@ -14,6 +14,7 @@ import (
 	"datagridflow/internal/provenance"
 	"datagridflow/internal/sim"
 	"datagridflow/internal/store"
+	"datagridflow/internal/vdata"
 )
 
 // OpContext is handed to operation handlers: the resolved (interpolated)
@@ -97,6 +98,11 @@ type Engine struct {
 	// governor, when set (SetGovernor), meters per-tenant flow
 	// admission and store footprint (docs/TENANCY.md).
 	governor FlowGovernor
+	// vcat/vremote, when set (SetVdata, SetVdataRemote), memoize pure
+	// steps through the virtual-data catalog (docs/VDATA.md).
+	vcat    *vdata.Catalog
+	vremote VdataRemote
+	vlocate VdataLocator
 }
 
 // NewEngine creates an engine over the grid with default configuration.

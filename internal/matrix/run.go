@@ -482,6 +482,16 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 			return err
 		}
 	}
+	// Virtual-data memoization (docs/VDATA.md): a pure step whose
+	// derivation the catalog already holds skips execution entirely. The
+	// binding is resolved once, before execution, so a post-success
+	// publish uses the exact key the lookup hashed.
+	var vd *vdataBinding
+	if st.Pure {
+		if vd = ex.vdataResolve(st, scope); vd != nil && ex.vdataHit(vd, st, n, scope) {
+			return nil
+		}
+	}
 	op := st.Operation.Type
 	started := ex.now()
 	n.setState(StateRunning, started)
@@ -590,6 +600,9 @@ func (ex *Execution) runStep(st *dgl.Step, n *node, parent *Scope) error {
 	}
 	n.setState(StateSucceeded, ex.now())
 	finish(StateSucceeded)
+	if vd != nil {
+		ex.vdataPublish(vd, st, n, scope)
+	}
 	ex.engine.record(provenance.Record{
 		Actor: ex.req.User.Name, Action: "step.finish",
 		FlowID: ex.ID, StepID: n.id, Target: st.Name,

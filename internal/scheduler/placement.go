@@ -163,8 +163,39 @@ func (Locality) Pick(local, hint string, peers []Candidate) (string, bool) {
 	return minScore(sorted)
 }
 
+// VdataLocalityName is the flag name of the VdataLocality policy; the
+// federation layer switches the hint it passes to Pick on it (a holder
+// peer name instead of a resource name).
+const VdataLocalityName = "vdata-locality"
+
+// VdataLocality routes pure subflows to the peer already holding their
+// memoized derivations (docs/VDATA.md): the hint is a peer name — the
+// derivation holder the delegating side resolved from its catalog or
+// the lookup registry — and a candidate matching it wins outright, so
+// the remote run hits that peer's catalog without any network graft.
+// Without a hint, or when the holder is not a live candidate, it falls
+// back to least-loaded.
+type VdataLocality struct{}
+
+// Name implements PlacementPolicy.
+func (VdataLocality) Name() string { return VdataLocalityName }
+
+// Pick implements PlacementPolicy.
+func (VdataLocality) Pick(local, hint string, peers []Candidate) (string, bool) {
+	sorted := sortedCandidates(peers)
+	if hint != "" {
+		for _, c := range sorted {
+			if c.Name == hint {
+				return c.Name, true
+			}
+		}
+	}
+	return minScore(sorted)
+}
+
 // NewPolicy resolves a policy by its flag name ("least-loaded",
-// "round-robin", "locality") — the matrixd -placement values.
+// "round-robin", "locality", "vdata-locality") — the matrixd
+// -placement values.
 func NewPolicy(name string) (PlacementPolicy, error) {
 	switch name {
 	case "", "least-loaded":
@@ -173,7 +204,9 @@ func NewPolicy(name string) (PlacementPolicy, error) {
 		return &RoundRobin{}, nil
 	case "locality":
 		return Locality{}, nil
+	case VdataLocalityName:
+		return VdataLocality{}, nil
 	default:
-		return nil, fmt.Errorf("scheduler: unknown placement policy %q (want least-loaded, round-robin or locality)", name)
+		return nil, fmt.Errorf("scheduler: unknown placement policy %q (want least-loaded, round-robin, locality or vdata-locality)", name)
 	}
 }

@@ -141,12 +141,40 @@ func TestLocalityPick(t *testing.T) {
 	}
 }
 
+func TestVdataLocalityPick(t *testing.T) {
+	p := VdataLocality{}
+	if p.Name() != VdataLocalityName {
+		t.Errorf("name = %q", p.Name())
+	}
+	peers := []Candidate{
+		cand("idle", PeerLoad{Capacity: 4}),
+		cand("holder", PeerLoad{Queued: 8, Capacity: 4}),
+	}
+	// The derivation holder wins outright, however loaded: running there
+	// skips the work entirely, which beats any queue.
+	if got, ok := p.Pick("self", "holder", peers); !ok || got != "holder" {
+		t.Errorf("hinted pick = %q, %v", got, ok)
+	}
+	// No hint, or a holder that is no longer a live candidate: plain
+	// least-loaded.
+	if got, _ := p.Pick("self", "", peers); got != "idle" {
+		t.Errorf("unhinted pick = %q", got)
+	}
+	if got, _ := p.Pick("self", "departed", peers); got != "idle" {
+		t.Errorf("dead-holder pick = %q", got)
+	}
+	if _, ok := p.Pick("self", "holder", nil); ok {
+		t.Error("picked from empty candidate set")
+	}
+}
+
 func TestNewPolicy(t *testing.T) {
 	for name, want := range map[string]string{
-		"":             "least-loaded",
-		"least-loaded": "least-loaded",
-		"round-robin":  "round-robin",
-		"locality":     "locality",
+		"":               "least-loaded",
+		"least-loaded":   "least-loaded",
+		"round-robin":    "round-robin",
+		"locality":       "locality",
+		"vdata-locality": "vdata-locality",
 	} {
 		p, err := NewPolicy(name)
 		if err != nil {

@@ -17,14 +17,16 @@ type Catalog struct {
 	mu sync.RWMutex
 	// byKey maps derivation keys to output paths.
 	byKey map[string]string
-	// byOutput maps output paths to their derivation keys (for
-	// invalidation when data is deleted).
-	byOutput map[string]string
+	// byOutput maps output paths to the set of derivation keys that
+	// produced them (for invalidation when data is deleted). A set, not
+	// a single key: two transformations may legally derive the same
+	// output path, and deleting that path must invalidate both.
+	byOutput map[string]map[string]struct{}
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{byKey: make(map[string]string), byOutput: make(map[string]string)}
+	return &Catalog{byKey: make(map[string]string), byOutput: make(map[string]map[string]struct{})}
 }
 
 // key derives the catalog key for (transformation, inputs). Input order
@@ -38,11 +40,27 @@ func key(transformation string, inputs []string) string {
 }
 
 // Record notes that output was derived from inputs by transformation.
+// Re-recording a key with a new output path retires the stale reverse
+// entry, so invalidating the old path can never delete the live
+// derivation.
 func (c *Catalog) Record(transformation string, inputs []string, output string) {
 	k := key(transformation, inputs)
 	c.mu.Lock()
+	if old, ok := c.byKey[k]; ok && old != output {
+		if set := c.byOutput[old]; set != nil {
+			delete(set, k)
+			if len(set) == 0 {
+				delete(c.byOutput, old)
+			}
+		}
+	}
 	c.byKey[k] = output
-	c.byOutput[output] = k
+	set := c.byOutput[output]
+	if set == nil {
+		set = make(map[string]struct{})
+		c.byOutput[output] = set
+	}
+	set[k] = struct{}{}
 	c.mu.Unlock()
 }
 
@@ -62,14 +80,18 @@ func (c *Catalog) Has(transformation string, inputs []string, output string) boo
 	return ok && got == output
 }
 
-// Invalidate removes the derivation that produced output (call when the
-// output is deleted from the grid).
+// Invalidate removes every derivation that produced output (call when
+// the output is deleted from the grid). A key is only dropped if it
+// still points at this output — a derivation re-recorded against a new
+// path since then survives its old path's deletion.
 func (c *Catalog) Invalidate(output string) {
 	c.mu.Lock()
-	if k, ok := c.byOutput[output]; ok {
-		delete(c.byKey, k)
-		delete(c.byOutput, output)
+	for k := range c.byOutput[output] {
+		if c.byKey[k] == output {
+			delete(c.byKey, k)
+		}
 	}
+	delete(c.byOutput, output)
 	c.mu.Unlock()
 }
 

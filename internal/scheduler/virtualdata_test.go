@@ -1,0 +1,63 @@
+package scheduler
+
+import "testing"
+
+// Regression: re-recording a derivation against a new output path used
+// to leave byOutput[oldOutput] pointing at the live key, so deleting
+// the *old* path invalidated the *current* derivation.
+func TestCatalogRerecordRetiresStaleReverseEntry(t *testing.T) {
+	c := NewCatalog()
+	c.Record("fft", []string{"/in/raw"}, "/out/v1")
+	c.Record("fft", []string{"/in/raw"}, "/out/v2")
+
+	c.Invalidate("/out/v1")
+	out, ok := c.Lookup("fft", []string{"/in/raw"})
+	if !ok || out != "/out/v2" {
+		t.Fatalf("invalidating the retired path killed the live derivation: got %q, %v", out, ok)
+	}
+
+	c.Invalidate("/out/v2")
+	if _, ok := c.Lookup("fft", []string{"/in/raw"}); ok {
+		t.Fatal("invalidating the live path left the derivation recorded")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("catalog not empty after invalidation: %d entries", n)
+	}
+}
+
+// Regression: two derivations sharing an output path used to leave a
+// dangling byKey entry after Invalidate — only the last-recorded key
+// was removed.
+func TestCatalogSharedOutputInvalidatesAllKeys(t *testing.T) {
+	c := NewCatalog()
+	c.Record("fft", []string{"/in/a"}, "/out/shared")
+	c.Record("wavelet", []string{"/in/b"}, "/out/shared")
+	if n := c.Len(); n != 2 {
+		t.Fatalf("expected 2 derivations, got %d", n)
+	}
+
+	c.Invalidate("/out/shared")
+	if _, ok := c.Lookup("fft", []string{"/in/a"}); ok {
+		t.Fatal("fft derivation dangled after its output was invalidated")
+	}
+	if _, ok := c.Lookup("wavelet", []string{"/in/b"}); ok {
+		t.Fatal("wavelet derivation dangled after its output was invalidated")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("catalog not empty after shared-output invalidation: %d entries", n)
+	}
+}
+
+// Input order must not change the derivation key, and invalidation is
+// idempotent on unknown outputs.
+func TestCatalogKeyCanonicalization(t *testing.T) {
+	c := NewCatalog()
+	c.Record("merge", []string{"/in/b", "/in/a"}, "/out/m")
+	if !c.Has("merge", []string{"/in/a", "/in/b"}, "/out/m") {
+		t.Fatal("input order changed the derivation key")
+	}
+	c.Invalidate("/out/never-recorded")
+	if !c.Has("merge", []string{"/in/a", "/in/b"}, "/out/m") {
+		t.Fatal("invalidating an unknown output disturbed the catalog")
+	}
+}

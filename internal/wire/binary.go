@@ -6,6 +6,7 @@ import (
 
 	"datagridflow/internal/codec"
 	"datagridflow/internal/tenant"
+	"datagridflow/internal/vdata"
 )
 
 // Binary codecs for the wire's JSON envelope types (Control, Batch,
@@ -26,6 +27,11 @@ func appendControl(e *codec.Encoder, c *Control) {
 	// string field, not a symbol-table entry.
 	e.Str(4, c.Token)
 	e.Uint(5, uint64(c.Limit))
+	e.Sym(6, c.Sub)
+	e.Sym(7, c.User)
+	// Key is a high-entropy derivation hash: a plain string, like Token.
+	e.Str(8, c.Key)
+	e.Str(9, c.Data)
 }
 
 func decodeControl(payload []byte) (Control, error) {
@@ -46,6 +52,14 @@ func decodeControl(payload []byte) (Control, error) {
 			c.Token = d.Str()
 		case 5:
 			c.Limit = int(d.Uint())
+		case 6:
+			c.Sub = d.Sym()
+		case 7:
+			c.User = d.Sym()
+		case 8:
+			c.Key = d.Str()
+		case 9:
+			c.Data = d.Str()
 		default:
 			d.Skip()
 		}
@@ -142,6 +156,25 @@ func appendControlResult(e *codec.Encoder, r *ControlResult) {
 					e.Uint(4, uint64(row.StoreBytes))
 					e.Uint(5, uint64(row.Delegations))
 				})
+			}
+		})
+	}
+	if v := r.Vdata; v != nil {
+		e.Msg(12, func(e *codec.Encoder) {
+			e.Bool(1, v.Enabled)
+			e.Uint(2, uint64(v.Entries))
+			e.Uint(3, uint64(v.Tenants))
+			e.Uint(4, v.Publishes)
+			e.Uint(5, v.Invalidations)
+			e.Bool(6, v.Durable)
+			e.Bool(7, v.Found)
+			e.Uint(8, uint64(v.Removed))
+			if v.Entry != nil {
+				// The entry stays a JSON blob: cold-path catalog metadata,
+				// like the metrics snapshot (docs/CODEC.md).
+				if raw, err := json.Marshal(v.Entry); err == nil {
+					e.Blob(9, raw)
+				}
 			}
 		})
 	}
@@ -342,6 +375,38 @@ func decodeControlResult(payload []byte) (ControlResult, error) {
 				}
 			})
 			r.Tenants = t
+		case 12:
+			v := &VdataInfo{}
+			d.Msg(func(d *codec.Decoder) {
+				for d.Next() {
+					switch d.Field() {
+					case 1:
+						v.Enabled = d.Bool()
+					case 2:
+						v.Entries = int(d.Uint())
+					case 3:
+						v.Tenants = int(d.Uint())
+					case 4:
+						v.Publishes = d.Uint()
+					case 5:
+						v.Invalidations = d.Uint()
+					case 6:
+						v.Durable = d.Bool()
+					case 7:
+						v.Found = d.Bool()
+					case 8:
+						v.Removed = int(d.Uint())
+					case 9:
+						ent := &vdata.Entry{}
+						if err := json.Unmarshal(d.Blob(), ent); err == nil {
+							v.Entry = ent
+						}
+					default:
+						d.Skip()
+					}
+				}
+			})
+			r.Vdata = v
 		default:
 			d.Skip()
 		}

@@ -14,6 +14,7 @@ import (
 	"datagridflow/internal/dgferr"
 	"datagridflow/internal/dgl"
 	"datagridflow/internal/obs"
+	"datagridflow/internal/vdata"
 )
 
 // Client is a connection to one matrix server. A fresh client speaks
@@ -966,6 +967,80 @@ func (c *Client) Tenants(limit int) (*TenantsInfo, error) {
 		return nil, errors.New("wire: empty tenants reply")
 	}
 	return res.Tenants, nil
+}
+
+// CanVdata reports whether the server advertised virtual-data wire
+// support (>= 1.8) in its hello reply: the "vdata" control verb for
+// fleet-wide derivation lookup, publish and invalidation. Against an
+// older server the memoization plane degrades to local-only
+// (docs/VDATA.md).
+func (c *Client) CanVdata() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return VdataSupported(c.serverMajor, c.serverMinor)
+}
+
+// vdataMsg sends one "vdata" sub-operation, carrying the session token
+// and the claimed tenant identity for per-tenant re-verification.
+func (c *Client) vdataMsg(msg Control) (*VdataInfo, error) {
+	if !c.CanVdata() {
+		return nil, fmt.Errorf("%w: server does not speak the vdata verb (need >= %s)",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, vdataMinor))
+	}
+	msg.Op = "vdata"
+	if msg.Token == "" {
+		msg.Token = c.Token()
+	}
+	res, err := c.controlMsg(context.Background(), msg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Vdata == nil {
+		return nil, errors.New("wire: empty vdata reply")
+	}
+	return res.Vdata, nil
+}
+
+// VdataStats retrieves the server's derivation-catalog shape. Requires
+// a 1.8 server; Enabled false means no catalog is attached there.
+func (c *Client) VdataStats() (*VdataInfo, error) {
+	return c.vdataMsg(Control{Sub: "stats"})
+}
+
+// VdataLookup resolves a derivation key in the server's catalog under
+// the given tenant identity. ok false with a nil error means the server
+// holds no such derivation (or holds it under another tenant).
+func (c *Client) VdataLookup(user, key string) (*vdata.Entry, bool, error) {
+	info, err := c.vdataMsg(Control{Sub: "lookup", User: user, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if !info.Found || info.Entry == nil {
+		return nil, false, nil
+	}
+	return info.Entry, true, nil
+}
+
+// VdataPublish records a derivation in the server's catalog under the
+// caller's resolved tenant (the entry's own Tenant field is overridden
+// server-side — no cross-tenant writes).
+func (c *Client) VdataPublish(user string, ent vdata.Entry) error {
+	raw, err := json.Marshal(ent)
+	if err != nil {
+		return err
+	}
+	_, err = c.vdataMsg(Control{Sub: "publish", User: user, Data: string(raw)})
+	return err
+}
+
+// VdataInvalidate drops the tenant's derivations matching target — a
+// derivation key or an output path — returning how many were removed.
+func (c *Client) VdataInvalidate(user, target string) (int, error) {
+	info, err := c.vdataMsg(Control{Sub: "invalidate", User: user, Key: target})
+	if err != nil {
+		return 0, err
+	}
+	return info.Removed, nil
 }
 
 // Owner asks the server which peer owns a flow or execution id,

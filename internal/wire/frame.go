@@ -28,6 +28,7 @@ import (
 
 	"datagridflow/internal/replica"
 	"datagridflow/internal/tenant"
+	"datagridflow/internal/vdata"
 )
 
 // Frame kinds.
@@ -119,7 +120,7 @@ func ReadFrame(r io.Reader) (kind byte, payload []byte, err error) {
 // "Version negotiation" and "Multiplexed framing".
 const (
 	ProtoMajor = 1
-	ProtoMinor = 7
+	ProtoMinor = 8
 	// muxMinor is the minimum minor version that speaks mux framing.
 	muxMinor = 2
 	// delegateMinor is the minimum minor version that accepts
@@ -153,6 +154,14 @@ const (
 	// admits untokened traffic under the anonymous tenant unless the
 	// operator requires auth, so mixed 1.6/1.7 federations interoperate.
 	tenantMinor = 7
+	// vdataMinor is the minimum minor version that understands the
+	// "vdata" control verb (docs/VDATA.md): fleet-wide lookup, publish
+	// and invalidation of memoized derivations, with the bearer token on
+	// each frame re-verified per tenant. A pre-1.8 peer never receives
+	// one — remote lookups gate on the hello reply and the fleet
+	// degrades to local-only memoization against that peer, so mixed
+	// 1.7/1.8 federations interoperate.
+	vdataMinor = 8
 )
 
 // MuxSupported reports whether a peer advertising major.minor can speak
@@ -195,6 +204,12 @@ func ReplicateSupported(major, minor int) bool {
 // >= 1.7).
 func TenantSupported(major, minor int) bool {
 	return major == ProtoMajor && minor >= tenantMinor
+}
+
+// VdataSupported reports whether a peer advertising major.minor
+// understands the "vdata" control verb (same major, minor >= 1.8).
+func VdataSupported(major, minor int) bool {
+	return major == ProtoMajor && minor >= vdataMinor
 }
 
 // WriteMuxFrame writes one multiplexed frame: the serial header plus a
@@ -270,6 +285,19 @@ type Control struct {
 	Token string `json:"token,omitempty"`
 	// Limit bounds the "tenants" verb's reply rows (0 = server default).
 	Limit int `json:"limit,omitempty"`
+	// Sub selects the "vdata" verb's sub-operation: "stats" (the
+	// default), "lookup", "publish" or "invalidate" (wire >= 1.8,
+	// docs/VDATA.md).
+	Sub string `json:"sub,omitempty"`
+	// User is the claimed tenant identity for verbs resolved per tenant
+	// ("vdata"); with an authority attached the token must agree with it
+	// (the same re-verification submissions get).
+	User string `json:"user,omitempty"`
+	// Key is the "vdata" verb's target: a derivation key for lookup, a
+	// key or output path for invalidate.
+	Key string `json:"key,omitempty"`
+	// Data carries the JSON vdata.Entry of a "vdata" publish.
+	Data string `json:"data,omitempty"`
 }
 
 // ControlResult is the JSON reply to a control frame.
@@ -299,6 +327,30 @@ type ControlResult struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Tenants carries the tenancy summary for the "tenants" verb.
 	Tenants *TenantsInfo `json:"tenants,omitempty"`
+	// Vdata carries the virtual-data reply for the "vdata" verb
+	// (wire >= 1.8, docs/VDATA.md).
+	Vdata *VdataInfo `json:"vdata,omitempty"`
+}
+
+// VdataInfo is the reply to the "vdata" control verb: the catalog's
+// shape for "stats", the resolution for "lookup", the drop count for
+// "invalidate" (docs/VDATA.md).
+type VdataInfo struct {
+	// Enabled reports whether a derivation catalog is attached at all.
+	Enabled bool `json:"enabled"`
+	// Entries/Tenants/Publishes/Invalidations/Durable mirror
+	// vdata.Stats for the "stats" sub-operation.
+	Entries       int    `json:"entries,omitempty"`
+	Tenants       int    `json:"tenants,omitempty"`
+	Publishes     uint64 `json:"publishes,omitempty"`
+	Invalidations uint64 `json:"invalidations,omitempty"`
+	Durable       bool   `json:"durable,omitempty"`
+	// Found and Entry answer a "lookup": the memoized derivation, tenant
+	// permitting.
+	Found bool         `json:"found,omitempty"`
+	Entry *vdata.Entry `json:"entry,omitempty"`
+	// Removed counts the derivations an "invalidate" dropped.
+	Removed int `json:"removed,omitempty"`
 }
 
 // StoreInfo is the reply to the "store" control verb: the shape of the

@@ -18,6 +18,7 @@ import (
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/shard"
 	"datagridflow/internal/tenant"
+	"datagridflow/internal/vdata"
 )
 
 // lookupMsg is the JSON protocol of the lookup server: newline-delimited
@@ -45,6 +46,11 @@ type lookupMsg struct {
 	// (LookupServer.SetAuth, docs/TENANCY.md): a tenant bearer token
 	// authorizing registration, heartbeat and lease operations.
 	Token string `json:"token,omitempty"`
+	// Keys rides vput requests: derivation keys the named peer's
+	// virtual-data catalog now holds (docs/VDATA.md).
+	Keys []string `json:"keys,omitempty"`
+	// Key rides vget requests and replies: the derivation key to locate.
+	Key string `json:"key,omitempty"`
 }
 
 // PeerInfo is one live peer as the lookup registry knows it — the
@@ -93,6 +99,11 @@ type LookupServer struct {
 	// auth, when set (SetAuth), gates every mutating operation behind a
 	// verified tenant bearer token (docs/TENANCY.md).
 	auth *tenant.Authority
+	// vkeys maps derivation keys to the name of the peer that announced
+	// them (vput), so any peer can locate a memoized derivation with one
+	// vget (docs/VDATA.md). Rows die with their peer: eviction and
+	// unregister drop them, so a vget never routes to a dead holder.
+	vkeys map[string]string
 }
 
 // NewLookupServer returns an empty registry emitting metrics into
@@ -104,6 +115,7 @@ func NewLookupServer() *LookupServer {
 		ttl:   DefaultLookupTTL,
 		now:   time.Now,
 		conns: make(map[net.Conn]bool),
+		vkeys: make(map[string]string),
 	}
 }
 
@@ -190,10 +202,23 @@ func (s *LookupServer) sweepLocked() {
 					// than waiting out each lease individually.
 					s.leases.ReleaseAll(name)
 				}
+				s.dropVdataLocked(name)
 			}
 		}
 	}
 	s.obs.Gauge("lookup_peers_alive").Set(int64(len(s.peers)))
+}
+
+// dropVdataLocked forgets every derivation key announced by a departed
+// peer. Its catalog may well survive a restart — the peer re-announces
+// Keys() on its next Start. Caller holds s.mu.
+func (s *LookupServer) dropVdataLocked(name string) {
+	for key, holder := range s.vkeys {
+		if holder == name {
+			delete(s.vkeys, key)
+		}
+	}
+	s.obs.Gauge("lookup_vdata_keys").Set(int64(len(s.vkeys)))
 }
 
 // infosLocked snapshots the live peers as gossip rows, sorted by name
@@ -266,13 +291,13 @@ func (s *LookupServer) serve(conn net.Conn) {
 		}
 		var reply lookupMsg
 		switch msg.Op {
-		case "register", "resolve", "list", "heartbeat", "unregister", "claim", "release":
+		case "register", "resolve", "list", "heartbeat", "unregister", "claim", "release", "vput", "vget":
 			s.obs.Counter("lookup_requests_total", "op", msg.Op).Inc()
 		default:
 			s.obs.Counter("lookup_requests_total", "op", "unknown").Inc()
 		}
 		switch msg.Op {
-		case "register", "heartbeat", "unregister", "claim", "release":
+		case "register", "heartbeat", "unregister", "claim", "release", "vput":
 			if err := s.authorize(&msg); err != nil {
 				if werr := enc.Encode(lookupMsg{Error: "lookup: " + err.Error()}); werr != nil {
 					return
@@ -330,9 +355,52 @@ func (s *LookupServer) serve(conn net.Conn) {
 			if s.leases != nil {
 				s.leases.ReleaseAll(msg.Name)
 			}
+			s.dropVdataLocked(msg.Name)
 			s.sweepLocked()
 			s.mu.Unlock()
 			reply = lookupMsg{OK: true}
+		case "vput":
+			// A peer announces derivation keys its catalog holds. Rows are
+			// advisory routing hints: the holder's wire server re-verifies
+			// tenancy on the actual lookup (serveVdata), so a poisoned
+			// announcement can misroute a probe but never leak an entry.
+			if msg.Name == "" || len(msg.Keys) == 0 {
+				reply = lookupMsg{Error: "vput needs name and keys"}
+				break
+			}
+			s.mu.Lock()
+			for _, k := range msg.Keys {
+				if k != "" {
+					s.vkeys[k] = msg.Name
+				}
+			}
+			s.obs.Gauge("lookup_vdata_keys").Set(int64(len(s.vkeys)))
+			s.mu.Unlock()
+			reply = lookupMsg{OK: true}
+		case "vget":
+			// Open read, like resolve: key placement is not a secret, the
+			// entry behind it is (and stays tenant-gated at the holder).
+			if msg.Key == "" {
+				reply = lookupMsg{Error: "vget needs key"}
+				break
+			}
+			s.mu.Lock()
+			s.sweepLocked()
+			holder, ok := s.vkeys[msg.Key]
+			var addr string
+			if ok {
+				if e, live := s.peers[holder]; live {
+					addr = e.addr
+				} else {
+					ok = false
+				}
+			}
+			s.mu.Unlock()
+			if !ok {
+				reply = lookupMsg{Error: "unknown derivation key"}
+			} else {
+				reply = lookupMsg{OK: true, Name: holder, Addr: addr}
+			}
 		case "claim":
 			if msg.Name == "" {
 				reply = lookupMsg{Error: "claim needs name"}
@@ -517,6 +585,24 @@ func (c *LookupClient) ReleaseShards(name string, shards []int) (map[int]string,
 	return reply.Owners, err
 }
 
+// AnnounceVdata records name as the holder of the given derivation
+// keys, so other peers' vget probes route to it (docs/VDATA.md). A
+// token-gated registry requires the client token, like register.
+func (c *LookupClient) AnnounceVdata(name string, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	_, err := c.call(lookupMsg{Op: "vput", Name: name, Keys: keys})
+	return err
+}
+
+// ResolveVdata returns the name and address of the live peer holding a
+// derivation key; an error means no live holder is known.
+func (c *LookupClient) ResolveVdata(key string) (name, addr string, err error) {
+	reply, err := c.call(lookupMsg{Op: "vget", Key: key})
+	return reply.Name, reply.Addr, err
+}
+
 // Unregister removes a peer's registration immediately (a clean
 // shutdown, rather than waiting out the TTL).
 func (c *LookupClient) Unregister(name string) error {
@@ -550,6 +636,15 @@ type Peer struct {
 	// lookup registration and heartbeat — required against a registry
 	// token-gated with LookupServer.SetAuth (docs/TENANCY.md).
 	lookupToken string
+	// vcat, when set (EnableVdata, before Start), makes this a
+	// derivation-sharing node: pure-step results publish into the
+	// catalog, announce to the lookup registry, and misses probe the
+	// announced holder (docs/VDATA.md).
+	vcat *vdata.Catalog
+	// vdataToken, when set (SetVdataToken, before Start), rides every
+	// remote derivation lookup — required against peers running with
+	// -require-auth, where the tenant identity is re-verified per lookup.
+	vdataToken string
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -574,6 +669,82 @@ func NewPeerConfig(name string, engine *matrix.Engine, cfg ServerConfig) *Peer {
 // otherwise. Call before Start.
 func (p *Peer) SetLookupToken(tok string) { p.lookupToken = tok }
 
+// EnableVdata attaches a derivation catalog to this peer and wires the
+// fleet-wide memoization plane (docs/VDATA.md): the engine consults the
+// catalog before running pure steps, every publish announces its key to
+// the lookup registry, and local misses probe the announced holder over
+// the wire (1.8's vdata verb; older holders degrade to local-only).
+// Call before Start.
+func (p *Peer) EnableVdata(cat *vdata.Catalog) {
+	p.vcat = cat
+	cat.SetPeer(p.Name)
+	eng := p.server.Engine()
+	eng.SetVdata(cat)
+	eng.SetVdataRemote(p.vdataRemote)
+	eng.SetVdataLocator(p.vdataLocate)
+	cat.SetAnnounce(p.announceVdata)
+}
+
+// vdataLocate is the engine's holder-location hook: one registry round
+// trip, no entry fetch — the vdata-locality placement hint.
+func (p *Peer) vdataLocate(key string) (string, bool) {
+	if p.lookup == nil {
+		return "", false
+	}
+	name, _, err := p.lookup.ResolveVdata(key)
+	return name, err == nil && name != ""
+}
+
+// SetVdataToken attaches a tenant bearer token to this peer's remote
+// derivation lookups. Required against -require-auth peers, which
+// re-verify the claimed tenant on every vdata operation; harmless
+// otherwise. Call before Start.
+func (p *Peer) SetVdataToken(tok string) { p.vdataToken = tok }
+
+// announceVdata is the catalog's publish hook: best-effort — a failed
+// announcement costs remote reuse until the restart re-announcement,
+// never correctness.
+func (p *Peer) announceVdata(key string) {
+	if p.lookup == nil {
+		return
+	}
+	if err := p.lookup.AnnounceVdata(p.Name, []string{key}); err != nil {
+		p.server.Engine().Obs().Counter("wire_vdata_announce_errors_total").Inc()
+	}
+}
+
+// vdataRemote is the engine's remote-lookup hook: locate the announced
+// holder through the registry, then fetch the entry over the wire. Any
+// failure — no holder, a 1.7 holder without the vdata verb, a token the
+// holder refuses — reports a miss and the step simply executes.
+func (p *Peer) vdataRemote(tenantID, key string) (vdata.Entry, bool) {
+	if p.lookup == nil {
+		return vdata.Entry{}, false
+	}
+	holder, _, err := p.lookup.ResolveVdata(key)
+	if err != nil || holder == "" || holder == p.Name {
+		return vdata.Entry{}, false
+	}
+	c, err := p.clientFor(holder)
+	if err != nil {
+		return vdata.Entry{}, false
+	}
+	if !c.CanVdata() {
+		// Pre-1.8 holder: it memoizes locally but cannot serve lookups —
+		// the interop degradation documented in docs/VDATA.md.
+		return vdata.Entry{}, false
+	}
+	info, err := c.vdataMsg(Control{Sub: "lookup", User: tenantID, Key: key, Token: p.vdataToken})
+	if err != nil || !info.Found || info.Entry == nil {
+		return vdata.Entry{}, false
+	}
+	ent := *info.Entry
+	if ent.Peer == "" {
+		ent.Peer = holder
+	}
+	return ent, true
+}
+
 // Start listens on addr and registers with the lookup server at
 // lookupAddr. It returns the peer's bound address.
 func (p *Peer) Start(addr, lookupAddr string) (string, error) {
@@ -597,6 +768,14 @@ func (p *Peer) Start(addr, lookupAddr string) (string, error) {
 		return "", err
 	}
 	p.addr = bound
+	if p.vcat != nil {
+		// Re-announce every derivation the catalog already holds: a
+		// restarted peer's memoized results become fleet-visible again
+		// without recomputation. Best-effort, like the per-publish hook.
+		if err := lc.AnnounceVdata(p.Name, p.vcat.Keys()); err != nil {
+			p.server.Engine().Obs().Counter("wire_vdata_announce_errors_total").Inc()
+		}
+	}
 	if p.shardMgr != nil {
 		// Take an initial position on the ring: one heartbeat learns the
 		// live member set and the current owner map, then a rebalance

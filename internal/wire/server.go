@@ -18,6 +18,7 @@ import (
 	"datagridflow/internal/scheduler"
 	"datagridflow/internal/store"
 	"datagridflow/internal/tenant"
+	"datagridflow/internal/vdata"
 )
 
 // Frame header overheads counted by the byte metrics.
@@ -987,6 +988,11 @@ func (s *Server) serveControlOp(c Control) ControlResult {
 		}
 		return ControlResult{OK: true, Tenants: info}
 	}
+	if c.Op == "vdata" {
+		// Like "owner": resolved before the execution lookup so a catalog
+		// probe cannot resurrect anything as a side effect.
+		return s.serveVdata(c)
+	}
 	if c.Op == "repl" {
 		// Like "owner": resolved before the execution lookup so a status
 		// probe cannot resurrect anything as a side effect.
@@ -1077,6 +1083,79 @@ func (s *Server) serveControlOp(c Control) ControlResult {
 		return ControlResult{Error: dgferr.Encode(
 			fmt.Errorf("%w: unknown control op %q", dgferr.ErrInvalid, c.Op))}
 	}
+}
+
+// serveVdata services the "vdata" control verb (wire >= 1.8,
+// docs/VDATA.md): stats, lookup, publish and invalidate against the
+// engine's derivation catalog. Every sub-operation resolves the caller's
+// tenant exactly as submissions do — the bearer token on the frame is
+// re-verified, and with an authority attached it must agree with the
+// claimed user — so no tenant can read or drop another's derivations.
+func (s *Server) serveVdata(c Control) ControlResult {
+	if s.minor() < vdataMinor {
+		return ControlResult{Error: dgferr.Encode(fmt.Errorf(
+			"%w: vdata verb needs protocol >= %s, server advertises %s",
+			dgferr.ErrProtocol, ProtoVersion(ProtoMajor, vdataMinor), s.proto()))}
+	}
+	info := &VdataInfo{}
+	cat := s.engine.Vdata()
+	if cat == nil {
+		return ControlResult{OK: true, Vdata: info}
+	}
+	info.Enabled = true
+	ten, err := s.resolveTenant(c.Token, c.User)
+	if err != nil {
+		return ControlResult{Error: dgferr.Encode(err)}
+	}
+	sub := c.Sub
+	if sub == "" {
+		sub = "stats"
+	}
+	s.engine.Obs().Counter("wire_vdata_ops_total", "op", sub).Inc()
+	switch sub {
+	case "stats":
+		st := cat.Stats()
+		info.Entries = st.Entries
+		info.Tenants = st.Tenants
+		info.Publishes = st.Publishes
+		info.Invalidations = st.Invalidations
+		info.Durable = st.Durable
+	case "lookup":
+		if c.Key == "" {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: vdata lookup needs a key", dgferr.ErrInvalid))}
+		}
+		if ent, ok := cat.Lookup(ten, c.Key); ok {
+			info.Found = true
+			info.Entry = &ent
+		}
+	case "publish":
+		var ent vdata.Entry
+		if err := json.Unmarshal([]byte(c.Data), &ent); err != nil {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: vdata publish: bad entry: %v", dgferr.ErrInvalid, err))}
+		}
+		// A caller may only ever write its own tenant scope.
+		ent.Tenant = ten
+		if err := cat.Publish(ent); err != nil {
+			return ControlResult{Error: dgferr.Encode(err)}
+		}
+		info.Entries = cat.Len()
+	case "invalidate":
+		if c.Key == "" {
+			return ControlResult{Error: dgferr.Encode(
+				fmt.Errorf("%w: vdata invalidate needs a key or output path", dgferr.ErrInvalid))}
+		}
+		n, err := cat.Invalidate(ten, c.Key)
+		if err != nil {
+			return ControlResult{Error: dgferr.Encode(err)}
+		}
+		info.Removed = n
+	default:
+		return ControlResult{Error: dgferr.Encode(
+			fmt.Errorf("%w: unknown vdata sub-operation %q", dgferr.ErrInvalid, c.Sub))}
+	}
+	return ControlResult{OK: true, Vdata: info}
 }
 
 // storeInfo summarizes the engine's flow-state store for the "store"
